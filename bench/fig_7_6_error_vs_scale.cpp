@@ -1,0 +1,49 @@
+// Figure 7.6: trend of the circuit error rate as the block scale grows
+// (0.5M -> 4M gates) at the 90nm node. Larger blocks have more cells that
+// can glitch and a longer wire-length tail, so the error rate rises
+// markedly with scale (the thesis's argument that SI circuits become less
+// safe as designs grow).
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "benchdata/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "tech/error_model.hpp"
+
+int main() {
+  using namespace sitime;
+  try {
+    const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+    const stg::Stg stg = benchdata::load_stg(bench);
+    const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+    const core::FlowResult flow =
+        core::derive_timing_constraints(stg, circuit);
+    std::vector<int> levels;
+    for (const auto& [constraint, weight] : flow.after) {
+      (void)constraint;
+      if (weight < circuit::kEnvironmentWeight) levels.push_back(weight + 1);
+    }
+    const tech::TechNode& node = tech::node("90nm");
+
+    std::printf("Figure 7.6: circuit error rate vs scale at 90nm\n\n");
+    std::printf("%-12s %12s %12s\n", "gates", "un-buf", "buf-1");
+    for (double gates : {0.5e6, 1.0e6, 2.0e6, 4.0e6}) {
+      tech::ErrorModelOptions unbuf;
+      tech::ErrorModelOptions buf1;
+      buf1.buffered_direct_wire = true;
+      const double e0 =
+          tech::circuit_error_rate(node, gates, levels, unbuf);
+      const double e1 =
+          tech::circuit_error_rate(node, gates, levels, buf1);
+      std::printf("%-12.1fM %10.2f%% %11.2f%%\n", gates / 1e6, 100.0 * e0,
+                  100.0 * e1);
+    }
+    std::printf("\n(thesis: error rate increases remarkably with the scale "
+                "of the circuit)\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks for the core algorithms, backing the
+// complexity discussion of Section 5.6.1: projection, a relaxation step,
+// redundant-arc elimination, state-graph construction, Hack decomposition,
+// QM minimization, and the end-to-end flow on the largest benchmark.
+#include <benchmark/benchmark.h>
+
+#include "benchdata/benchmarks.hpp"
+#include "boolfn/qm.hpp"
+#include "core/flow.hpp"
+#include "core/local_stg.hpp"
+#include "pn/hack.hpp"
+#include "sg/state_graph.hpp"
+
+namespace {
+
+using namespace sitime;
+
+const stg::Stg& imec_stg() {
+  static const stg::Stg stg =
+      benchdata::load_stg(benchdata::benchmark("imec-ram-read-sbuf"));
+  return stg;
+}
+
+const circuit::Circuit& imec_circuit() {
+  static const circuit::Circuit circuit =
+      benchdata::load_circuit(benchdata::benchmark("imec-ram-read-sbuf"),
+                              imec_stg());
+  return circuit;
+}
+
+stg::MgStg imec_component() {
+  const stg::Stg& stg = imec_stg();
+  const sg::GlobalSg global = sg::build_global_sg(stg);
+  const auto values = sg::initial_values(stg, global);
+  const auto components = pn::mg_components(stg.net);
+  return core::mg_from_component(stg, components[0], values);
+}
+
+void BM_GlobalStateGraph(benchmark::State& state) {
+  const stg::Stg& stg = imec_stg();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sg::build_global_sg(stg).state_count());
+}
+BENCHMARK(BM_GlobalStateGraph);
+
+void BM_HackDecomposition(benchmark::State& state) {
+  const stg::Stg& stg = imec_stg();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pn::mg_components(stg.net).size());
+}
+BENCHMARK(BM_HackDecomposition);
+
+void BM_LocalStgProjection(benchmark::State& state) {
+  const stg::MgStg component = imec_component();
+  const circuit::Gate& gate =
+      imec_circuit().gate_for(imec_stg().signals.find("i0"));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::local_stg(component, gate).arcs().size());
+}
+BENCHMARK(BM_LocalStgProjection);
+
+void BM_RelaxationStep(benchmark::State& state) {
+  const stg::MgStg component = imec_component();
+  const circuit::Gate& gate =
+      imec_circuit().gate_for(imec_stg().signals.find("i0"));
+  const stg::MgStg local = core::local_stg(component, gate);
+  const auto arcs = core::relaxable_arcs(local, gate.output);
+  for (auto _ : state) {
+    stg::MgStg trial = local;
+    trial.relax(local.arcs()[arcs.front()].from,
+                local.arcs()[arcs.front()].to);
+    benchmark::DoNotOptimize(trial.arcs().size());
+  }
+}
+BENCHMARK(BM_RelaxationStep);
+
+void BM_LocalStateGraph(benchmark::State& state) {
+  const stg::MgStg component = imec_component();
+  const circuit::Gate& gate =
+      imec_circuit().gate_for(imec_stg().signals.find("i0"));
+  const stg::MgStg local = core::local_stg(component, gate);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sg::build_state_graph(local).state_count());
+}
+BENCHMARK(BM_LocalStateGraph);
+
+void BM_QuineMcCluskey(benchmark::State& state) {
+  // 6-variable function with a mixed on/dc set.
+  std::vector<std::uint32_t> on;
+  std::vector<std::uint32_t> dc;
+  for (std::uint32_t m = 0; m < 64; ++m) {
+    if ((m * 2654435761u >> 28) % 3 == 0) on.push_back(m);
+    else if ((m * 2654435761u >> 28) % 3 == 1) dc.push_back(m);
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        boolfn::irredundant_prime_cover(6, on, dc).size());
+}
+BENCHMARK(BM_QuineMcCluskey);
+
+void BM_FullFlowImec(benchmark::State& state) {
+  const stg::Stg& stg = imec_stg();
+  const circuit::Circuit& circuit = imec_circuit();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::derive_timing_constraints(stg, circuit).after.size());
+}
+BENCHMARK(BM_FullFlowImec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Table 7.1: list of timing constraints for the FIFO controller, as pairs
+// "direct wire  <  adversary path". Each relative timing constraint
+// "x* < y* at gate a" maps to the delay constraint that the wire x->a be
+// faster than every acknowledgement path from x* to y* followed by the wire
+// y->a (Section 7.1). Constraints whose slowest adversary path crosses the
+// environment are marked; Section 7.1 treats them as already fulfilled.
+#include <cstdio>
+#include <exception>
+
+#include "benchdata/benchmarks.hpp"
+#include "circuit/adversary.hpp"
+#include "circuit/padding.hpp"
+#include "core/flow.hpp"
+
+int main() {
+  using namespace sitime;
+  try {
+    const auto& bench = benchdata::benchmark("fifo");
+    const stg::Stg stg = benchdata::load_stg(bench);
+    const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+    const core::FlowResult result =
+        core::derive_timing_constraints(stg, circuit);
+    const circuit::AdversaryAnalysis adversary(&stg);
+
+    std::printf("Table 7.1: list of timing constraints (FIFO)\n\n");
+    std::printf("%-28s  %s\n", "wire", "adversary path");
+    std::vector<circuit::DelayConstraint> delay_constraints;
+    for (const auto& [constraint, weight] : result.after) {
+      const std::string wire =
+          "w(" + stg.signals.name(constraint.before.signal) + "->" +
+          stg.signals.name(constraint.gate) + ") [" +
+          core::to_string(constraint, stg.signals) + "]";
+      const auto paths =
+          adversary.paths(constraint.before, constraint.after, 3);
+      if (paths.empty()) {
+        std::printf("%-28s  (no acknowledgement path: guarded by "
+                    "environment)\n",
+                    wire.c_str());
+      } else {
+        bool first = true;
+        for (const auto& path : paths) {
+          std::printf("%-28s  %s\n", first ? wire.c_str() : "",
+                      adversary.path_text(path, constraint.gate).c_str());
+          first = false;
+        }
+      }
+      delay_constraints.push_back(circuit::DelayConstraint{
+          constraint.gate, constraint.before, constraint.after, weight});
+    }
+
+    std::printf("\nPadding plan for strong constraints (Section 5.7):\n");
+    const auto plan =
+        circuit::plan_padding(adversary, circuit, delay_constraints);
+    if (plan.empty())
+      std::printf("  (no strong constraints: all adversary paths are long "
+                  "or cross the environment)\n");
+    for (const auto& decision : plan)
+      std::printf("  %s  ->  %s\n",
+                  core::to_string(
+                      core::TimingConstraint{decision.constraint.gate,
+                                             decision.constraint.before,
+                                             decision.constraint.after},
+                      stg.signals)
+                      .c_str(),
+                  decision.text.c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,30 @@
+// Section 7.3.1: the exact Check_hazard tool output for imec-ram-read-sbuf.
+// The STG and the gate equations are the ones printed in the thesis; the
+// two constraint lists below must match it line for line (19 adversary-path
+// conditions before, 12 relative timing constraints after). This is the
+// reproduction's primary ground truth and is also locked in by
+// tests/imec_integration_test.cpp.
+#include <cstdio>
+#include <exception>
+
+#include "benchdata/benchmarks.hpp"
+#include "core/flow.hpp"
+
+int main() {
+  using namespace sitime;
+  try {
+    const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+    const stg::Stg stg = benchdata::load_stg(bench);
+    const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+    const core::FlowResult result =
+        core::derive_timing_constraints(stg, circuit);
+    std::printf("%s", core::format_report(result, stg.signals).c_str());
+    std::printf("\nexpected (thesis Section 7.3.1): 19 constraints before, "
+                "12 after; got %zu and %zu\n",
+                result.before.size(), result.after.size());
+    return result.before.size() == 19 && result.after.size() == 12 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,63 @@
+// The full Section 7.1 design example on the FIFO controller:
+//   1. load the implementation STG and synthesize the complex-gate netlist,
+//   2. verify the circuit is speed independent under the isochronic fork,
+//   3. relax the isochronic fork and derive the relative timing constraints,
+//   4. map each constraint to its wire-vs-adversary-path delay constraint,
+//   5. plan delay padding for the strong constraints (Section 5.7).
+#include <cstdio>
+#include <exception>
+
+#include "benchdata/benchmarks.hpp"
+#include "circuit/padding.hpp"
+#include "core/flow.hpp"
+
+int main() {
+  using namespace sitime;
+  try {
+    const auto& bench = benchdata::benchmark("fifo");
+    const stg::Stg stg = benchdata::load_stg(bench);
+    const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+
+    std::printf("== FIFO controller (chu150-style) ==\n\nnetlist:\n%s\n",
+                circuit.to_eqn().c_str());
+
+    const std::string not_si = core::verify_speed_independent(stg, circuit);
+    std::printf("speed independent under the isochronic fork: %s\n\n",
+                not_si.empty() ? "yes" : ("NO, gate " + not_si).c_str());
+
+    const core::FlowResult result =
+        core::derive_timing_constraints(stg, circuit);
+    std::printf("%s\n", core::format_report(result, stg.signals).c_str());
+
+    const circuit::AdversaryAnalysis adversary(&stg);
+    std::printf("delay constraints (wire < adversary path):\n");
+    std::vector<circuit::DelayConstraint> delay_constraints;
+    for (const auto& [constraint, weight] : result.after) {
+      delay_constraints.push_back(circuit::DelayConstraint{
+          constraint.gate, constraint.before, constraint.after, weight});
+      std::printf("  w(%s->%s)",
+                  stg.signals.name(constraint.before.signal).c_str(),
+                  stg.signals.name(constraint.gate).c_str());
+      const auto paths = adversary.paths(constraint.before, constraint.after);
+      if (paths.empty())
+        std::printf("  <  (environment response)\n");
+      else
+        std::printf("  <  %s\n",
+                    adversary.path_text(paths.front(), constraint.gate)
+                        .c_str());
+    }
+
+    std::printf("\npadding plan:\n");
+    const auto plan =
+        circuit::plan_padding(adversary, circuit, delay_constraints);
+    if (plan.empty())
+      std::printf("  none needed: every adversary path is long or crosses "
+                  "the environment\n");
+    for (const auto& decision : plan)
+      std::printf("  %s\n", decision.text.c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

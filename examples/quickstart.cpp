@@ -1,0 +1,40 @@
+// Quickstart: derive relative timing constraints for a speed-independent
+// circuit when the isochronic fork assumption is relaxed.
+//
+// Loads the imec-ram-read-sbuf benchmark (the STG and gate equations printed
+// verbatim in Section 7.3.1 of the thesis), runs the relaxation flow, and
+// prints the two constraint lists exactly like the thesis tool Check_hazard.
+#include <cstdio>
+#include <exception>
+
+#include "benchdata/benchmarks.hpp"
+#include "core/flow.hpp"
+
+int main() {
+  using namespace sitime;
+  try {
+    const benchdata::Benchmark& bench =
+        benchdata::benchmark("imec-ram-read-sbuf");
+    const stg::Stg stg = benchdata::load_stg(bench);
+    const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+
+    std::printf("model: %s  (%d signals, %zu gates)\n\n",
+                stg.model_name.c_str(), stg.signals.count(),
+                circuit.gates().size());
+
+    const core::FlowResult result =
+        core::derive_timing_constraints(stg, circuit);
+    std::printf("%s", core::format_report(result, stg.signals).c_str());
+    std::printf("\nbefore: %zu constraints, after: %zu constraints "
+                "(%.1f%% kept)\n",
+                result.before.size(), result.after.size(),
+                result.before.empty()
+                    ? 0.0
+                    : 100.0 * static_cast<double>(result.after.size()) /
+                          static_cast<double>(result.before.size()));
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+// The SR-latch of Figure 5.4: builds its local STG by hand, classifies all
+// nine arcs into the four types of Section 5.3.1, and runs the relaxation
+// engine on the two type-4 arcs.
+#include <cstdio>
+#include <exception>
+
+#include "boolfn/qm.hpp"
+#include "core/expand.hpp"
+#include "core/local_stg.hpp"
+
+int main() {
+  using namespace sitime;
+  using stg::SignalKind;
+  using stg::TransitionLabel;
+  try {
+    stg::SignalTable table;
+    const int a = table.add("a", SignalKind::input);
+    const int b = table.add("b", SignalKind::input);
+    const int o = table.add("o", SignalKind::output);
+
+    // Local STG of Figure 5.4 (the SR-latch treated as an atomic gate).
+    stg::MgStg mg(&table);
+    const int am = mg.add_transition(TransitionLabel{a, false, 1});
+    const int ap = mg.add_transition(TransitionLabel{a, true, 1});
+    const int bp = mg.add_transition(TransitionLabel{b, true, 1});
+    const int bm = mg.add_transition(TransitionLabel{b, false, 1});
+    const int bp2 = mg.add_transition(TransitionLabel{b, true, 2});
+    const int bm2 = mg.add_transition(TransitionLabel{b, false, 2});
+    const int op = mg.add_transition(TransitionLabel{o, true, 1});
+    const int om = mg.add_transition(TransitionLabel{o, false, 1});
+    mg.insert_arc(am, op, 0);    // type (1)
+    mg.insert_arc(ap, om, 0);    // type (1)
+    mg.insert_arc(bm2, om, 0);   // type (1)
+    mg.insert_arc(om, bp, 0);    // type (2)
+    mg.insert_arc(op, bp2, 0);   // type (2)
+    mg.insert_arc(bp, bm, 0);    // type (3)
+    mg.insert_arc(bp2, bm2, 0);  // type (3)
+    mg.insert_arc(bm, am, 1);    // type (4)
+    mg.insert_arc(bp2, ap, 0);   // type (4)
+    mg.insert_arc(om, am, 1);    // closes the cycle
+    mg.initial_values = {1, 0, 0};
+
+    std::printf("SR-latch local STG (Figure 5.4), arc classification:\n");
+    const char* const names[] = {"(1) input->output acknowledgement",
+                                 "(2) output->input environment response",
+                                 "(3) same-signal wire order",
+                                 "(4) relies on the isochronic fork"};
+    for (const stg::MgArc& arc : mg.arcs())
+      std::printf("  %-6s => %-6s : type %s\n",
+                  mg.transition_text(arc.from).c_str(),
+                  mg.transition_text(arc.to).c_str(),
+                  names[static_cast<int>(core::classify_arc(mg, arc, o))]);
+
+    // The latch's set-dominant next-state function: o = a' + b'*o
+    // (a is the active-low set input, b the active-low reset input).
+    circuit::Gate gate;
+    gate.output = o;
+    gate.fanins = {a, b};
+    boolfn::Cube set = boolfn::Cube::literal(a, false);
+    boolfn::Cube hold;
+    hold.neg = boolfn::Cube::literal(b, false).neg;
+    hold.pos = boolfn::Cube::literal(o, true).pos;
+    gate.up.cubes = {set, hold};
+    gate.down = boolfn::complement_cover(gate.up);
+
+    std::string trace;
+    core::ExpandOptions options;
+    options.trace = &trace;
+    core::Expander expander(nullptr, options);
+    core::ConstraintSet rt;
+    expander.expand(mg, gate, rt);
+    std::printf("\nrelaxation trace:\n%s\n", trace.c_str());
+    std::printf("required timing constraints: %zu\n", rt.size());
+    for (const auto& [constraint, weight] : rt) {
+      (void)weight;
+      std::printf("  %s\n", core::to_string(constraint, table).c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

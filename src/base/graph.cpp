@@ -1,0 +1,126 @@
+#include "base/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "base/error.hpp"
+
+namespace sitime::base {
+
+std::vector<std::int64_t> dijkstra(const WeightedGraph& graph, int source) {
+  const int n = static_cast<int>(graph.size());
+  check(source >= 0 && source < n, "dijkstra: source out of range");
+  std::vector<std::int64_t> dist(n, kUnreachable);
+  using Item = std::pair<std::int64_t, int>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[source] = 0;
+  queue.emplace(0, source);
+  while (!queue.empty()) {
+    const auto [d, v] = queue.top();
+    queue.pop();
+    if (d != dist[v]) continue;
+    for (const auto& [to, w] : graph[v]) {
+      check(w >= 0, "dijkstra: negative edge weight");
+      const std::int64_t candidate = d + w;
+      if (dist[to] == kUnreachable || candidate < dist[to]) {
+        dist[to] = candidate;
+        queue.emplace(candidate, to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> topological_order(const WeightedGraph& graph) {
+  const int n = static_cast<int>(graph.size());
+  std::vector<int> in_degree(n, 0);
+  for (const auto& edges : graph)
+    for (const auto& [to, w] : edges) {
+      (void)w;
+      ++in_degree[to];
+    }
+  std::queue<int> ready;
+  for (int v = 0; v < n; ++v)
+    if (in_degree[v] == 0) ready.push(v);
+  std::vector<int> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const int v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (const auto& [to, w] : graph[v]) {
+      (void)w;
+      if (--in_degree[to] == 0) ready.push(to);
+    }
+  }
+  check(static_cast<int>(order.size()) == n,
+        "topological_order: graph contains a cycle");
+  return order;
+}
+
+std::vector<std::int64_t> dag_longest_paths(const WeightedGraph& graph,
+                                            int source) {
+  const int n = static_cast<int>(graph.size());
+  check(source >= 0 && source < n, "dag_longest_paths: source out of range");
+  const std::vector<int> order = topological_order(graph);
+  std::vector<std::int64_t> dist(n, kUnreachable);
+  dist[source] = 0;
+  for (int v : order) {
+    if (dist[v] == kUnreachable) continue;
+    for (const auto& [to, w] : graph[v]) {
+      const std::int64_t candidate = dist[v] + w;
+      if (dist[to] == kUnreachable || candidate > dist[to])
+        dist[to] = candidate;
+    }
+  }
+  return dist;
+}
+
+bool has_cycle(const WeightedGraph& graph) {
+  try {
+    topological_order(graph);
+  } catch (const Error&) {
+    return true;
+  }
+  return false;
+}
+
+std::vector<int> weak_components(const WeightedGraph& graph,
+                                 const std::vector<bool>& member) {
+  const int n = static_cast<int>(graph.size());
+  check(static_cast<int>(member.size()) == n,
+        "weak_components: member size mismatch");
+  // Build undirected adjacency restricted to member vertices.
+  std::vector<std::vector<int>> undirected(n);
+  for (int v = 0; v < n; ++v) {
+    if (!member[v]) continue;
+    for (const auto& [to, w] : graph[v]) {
+      (void)w;
+      if (!member[to]) continue;
+      undirected[v].push_back(to);
+      undirected[to].push_back(v);
+    }
+  }
+  std::vector<int> component(n, -1);
+  int next_id = 0;
+  for (int start = 0; start < n; ++start) {
+    if (!member[start] || component[start] != -1) continue;
+    component[start] = next_id;
+    std::queue<int> frontier;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop();
+      for (int to : undirected[v]) {
+        if (component[to] == -1) {
+          component[to] = next_id;
+          frontier.push(to);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+}  // namespace sitime::base

@@ -1,0 +1,43 @@
+// Generic graph algorithms shared across the library:
+//  - Dijkstra shortest paths (used by the shortcut-place redundancy check,
+//    Algorithm 3 / Figure 5.15 of the thesis),
+//  - longest path in a DAG (used to weight type-4 arcs by adversary-path
+//    level, Section 5.5 / Figure 5.24),
+//  - weakly connected components (used to index excitation/quiescent regions).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sitime::base {
+
+/// Adjacency list: adjacency[v] holds (target, weight) pairs.
+using WeightedGraph = std::vector<std::vector<std::pair<int, std::int64_t>>>;
+
+/// Marker for unreachable vertices in shortest/longest path results.
+inline constexpr std::int64_t kUnreachable = -1;
+
+/// Single-source shortest paths with non-negative edge weights.
+/// Returns a distance per vertex; kUnreachable where no path exists.
+std::vector<std::int64_t> dijkstra(const WeightedGraph& graph, int source);
+
+/// Topological order of a DAG. Throws sitime::Error when the graph contains
+/// a cycle.
+std::vector<int> topological_order(const WeightedGraph& graph);
+
+/// Single-source longest paths in a DAG (weights may be any sign).
+/// Returns a distance per vertex; kUnreachable where no path exists.
+std::vector<std::int64_t> dag_longest_paths(const WeightedGraph& graph,
+                                            int source);
+
+/// True when the directed graph contains at least one cycle.
+bool has_cycle(const WeightedGraph& graph);
+
+/// Weakly connected components of the subgraph induced by `member`:
+/// vertices with member[v] == false get component id -1; all others get ids
+/// 0..k-1. Edges are taken from `graph` ignoring direction.
+std::vector<int> weak_components(const WeightedGraph& graph,
+                                 const std::vector<bool>& member);
+
+}  // namespace sitime::base

@@ -1,0 +1,51 @@
+#include "base/strings.hpp"
+
+namespace sitime::base {
+
+std::vector<std::string> split(const std::string& text,
+                               const std::string& separators) {
+  std::vector<std::string> pieces;
+  std::string current;
+  for (char c : text) {
+    if (separators.find(c) != std::string::npos) {
+      if (!current.empty()) {
+        pieces.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) pieces.push_back(current);
+  return pieces;
+}
+
+std::string trim(const std::string& text) {
+  const std::string whitespace = " \t\r\n";
+  const auto first = text.find_first_not_of(whitespace);
+  if (first == std::string::npos) return "";
+  const auto last = text.find_last_not_of(whitespace);
+  return text.substr(first, last - first + 1);
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& separator) {
+  std::string result;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result += separator;
+    result += pieces[i];
+  }
+  return result;
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace sitime::base

@@ -1,0 +1,27 @@
+// Small string utilities used by the parsers and report writers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sitime::base {
+
+/// Splits `text` on any run of characters from `separators`; empty pieces are
+/// dropped.
+std::vector<std::string> split(const std::string& text,
+                               const std::string& separators = " \t\r\n");
+
+/// Removes leading and trailing whitespace.
+std::string trim(const std::string& text);
+
+/// Joins `pieces` with `separator` between consecutive elements.
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& separator);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// True when `text` ends with `suffix`.
+bool ends_with(const std::string& text, const std::string& suffix);
+
+}  // namespace sitime::base

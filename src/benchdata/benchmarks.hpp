@@ -1,0 +1,42 @@
+// Embedded benchmark suite (Section 7.3).
+//
+// Each benchmark is an *implementation STG* in astg text plus, optionally, a
+// restricted-EQN netlist. `imec-ram-read-sbuf` reproduces the STG and EQN
+// printed verbatim in Section 7.3.1 of the thesis (its before/after
+// constraint lists are the ground truth this reproduction validates
+// against). The remaining entries are reconstructions with the same names,
+// interface sizes in the spirit of Table 7.2, and CSC-complete internal
+// signals, since the original petrify-synthesized netlists are not
+// available offline (see DESIGN.md, substitution 1). Benchmarks without an
+// EQN are synthesized by src/synth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "stg/stg.hpp"
+
+namespace sitime::benchdata {
+
+struct Benchmark {
+  std::string name;
+  std::string astg;  // implementation STG
+  std::string eqn;   // optional netlist; empty -> synthesize from the SG
+};
+
+/// The full suite in Table 7.2 order.
+const std::vector<Benchmark>& all_benchmarks();
+
+/// Lookup by name; throws on unknown names.
+const Benchmark& benchmark(const std::string& name);
+
+/// Parses the benchmark's STG.
+stg::Stg load_stg(const Benchmark& bench);
+
+/// Builds the benchmark's circuit against `stg` (which must outlive the
+/// returned Circuit): from the embedded EQN when present, otherwise by
+/// SG-based synthesis.
+circuit::Circuit load_circuit(const Benchmark& bench, const stg::Stg& stg);
+
+}  // namespace sitime::benchdata

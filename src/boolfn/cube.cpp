@@ -1,0 +1,90 @@
+#include "boolfn/cube.hpp"
+
+#include <bit>
+
+#include "base/error.hpp"
+
+namespace sitime::boolfn {
+
+Cube Cube::literal(int var, bool phase) {
+  check(var >= 0 && var < kMaxVariables, "Cube::literal: variable out of range");
+  Cube cube;
+  if (phase)
+    cube.pos = std::uint64_t{1} << var;
+  else
+    cube.neg = std::uint64_t{1} << var;
+  return cube;
+}
+
+int Cube::literal_count() const {
+  return std::popcount(pos) + std::popcount(neg);
+}
+
+bool Cube::has_literal(int var, bool phase) const {
+  const std::uint64_t bit = std::uint64_t{1} << var;
+  return phase ? (pos & bit) != 0 : (neg & bit) != 0;
+}
+
+bool Cube::covers(const Cube& other) const {
+  return (pos & ~other.pos) == 0 && (neg & ~other.neg) == 0;
+}
+
+bool Cube::eval(std::uint64_t values) const {
+  return (values & pos) == pos && (values & neg) == 0;
+}
+
+Cube Cube::without(int var) const {
+  const std::uint64_t bit = std::uint64_t{1} << var;
+  return Cube{pos & ~bit, neg & ~bit};
+}
+
+bool Cover::eval(std::uint64_t values) const {
+  for (const Cube& cube : cubes)
+    if (cube.eval(values)) return true;
+  return false;
+}
+
+std::uint64_t Cover::support() const {
+  std::uint64_t mask = 0;
+  for (const Cube& cube : cubes) mask |= cube.support();
+  return mask;
+}
+
+bool Cover::covers_cube(const Cube& cube) const {
+  for (const Cube& mine : cubes)
+    if (mine.covers(cube)) return true;
+  return false;
+}
+
+std::vector<int> support_variables(std::uint64_t mask) {
+  std::vector<int> vars;
+  for (int v = 0; v < kMaxVariables; ++v)
+    if (mask & (std::uint64_t{1} << v)) vars.push_back(v);
+  return vars;
+}
+
+std::string to_string(const Cube& cube,
+                      const std::vector<std::string>& names) {
+  if (cube.support() == 0) return "1";
+  std::string out;
+  for (int v : support_variables(cube.support())) {
+    if (!out.empty()) out += "*";
+    check(v < static_cast<int>(names.size()), "to_string: unnamed variable");
+    out += names[v];
+    if (cube.has_literal(v, false)) out += "'";
+  }
+  return out;
+}
+
+std::string to_string(const Cover& cover,
+                      const std::vector<std::string>& names) {
+  if (cover.cubes.empty()) return "0";
+  std::string out;
+  for (const Cube& cube : cover.cubes) {
+    if (!out.empty()) out += " + ";
+    out += to_string(cube, names);
+  }
+  return out;
+}
+
+}  // namespace sitime::boolfn

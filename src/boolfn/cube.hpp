@@ -1,0 +1,88 @@
+// Cubes and covers (Section 2.1 of the thesis).
+//
+// A logic function over n input variables maps {0,1}^n to {0,1}. A *literal*
+// is a variable or its complement; a *cube* is a product of literals on
+// distinct variables; a *cover* is a sum of cubes. The hazard criterion of
+// Chapter 5 evaluates the irredundant prime on-set cover f-up and off-set
+// cover f-down of every gate on binary state-graph codes, so cubes are stored
+// as a pair of bitmasks over global signal ids (limited to 64 signals, far
+// above any benchmark in the evaluation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sitime::boolfn {
+
+/// Maximum number of distinct variables a cube can mention.
+inline constexpr int kMaxVariables = 64;
+
+/// A product of literals: bit v of `pos` set means literal v appears
+/// positively, bit v of `neg` means it appears complemented. A valid cube
+/// never contains both phases of a variable.
+struct Cube {
+  std::uint64_t pos = 0;
+  std::uint64_t neg = 0;
+
+  /// The constant-true cube (empty product).
+  static Cube one() { return Cube{}; }
+
+  /// Cube with a single literal on `var`; positive phase when `phase`.
+  static Cube literal(int var, bool phase);
+
+  bool operator==(const Cube&) const = default;
+
+  /// True when no variable appears in both phases.
+  bool valid() const { return (pos & neg) == 0; }
+
+  /// Variables mentioned by this cube.
+  std::uint64_t support() const { return pos | neg; }
+
+  /// Number of literals.
+  int literal_count() const;
+
+  /// True when this cube's literal on `var` exists with the given phase.
+  bool has_literal(int var, bool phase) const;
+
+  /// Set-containment: this cube covers `other` when every vertex of `other`
+  /// is a vertex of this cube (i.e. this cube's literals are a subset of
+  /// `other`'s).
+  bool covers(const Cube& other) const;
+
+  /// Evaluates the cube on a complete assignment: bit v of `values` is the
+  /// value of variable v.
+  bool eval(std::uint64_t values) const;
+
+  /// Cube with the literal on `var` removed (no-op when absent).
+  Cube without(int var) const;
+};
+
+/// A sum of cubes. The empty cover is the constant-false function.
+struct Cover {
+  std::vector<Cube> cubes;
+
+  static Cover zero() { return Cover{}; }
+
+  /// Evaluates the cover (boolean sum of its cubes) on a full assignment.
+  bool eval(std::uint64_t values) const;
+
+  /// Union of cube supports.
+  std::uint64_t support() const;
+
+  /// True when some cube of this cover covers `cube`.
+  bool covers_cube(const Cube& cube) const;
+};
+
+/// Returns the variables (ascending) present in `mask`.
+std::vector<int> support_variables(std::uint64_t mask);
+
+/// Renders a cube as e.g. "a*b'*c" given a variable-name lookup.
+std::string to_string(const Cube& cube,
+                      const std::vector<std::string>& names);
+
+/// Renders a cover as e.g. "a*b + c'" (empty cover renders as "0").
+std::string to_string(const Cover& cover,
+                      const std::vector<std::string>& names);
+
+}  // namespace sitime::boolfn

@@ -1,0 +1,39 @@
+// Restricted-EQN netlist format (Section 7.3.1 of the thesis).
+//
+// One line per gate, sum-of-products, no brackets:
+//   prnot = i4*precharged + i4*prnot + precharged*prnot;
+//   i0 = precharged + wenin';
+// The right-hand side is the gate's set (pull-up / next-state on-set cover)
+// function; a trailing apostrophe complements a literal. The tool derives the
+// pull-down cover internally by complementation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "boolfn/cube.hpp"
+
+namespace sitime::boolfn {
+
+/// One parsed gate equation: output variable and its on-set cover.
+struct Equation {
+  int output = -1;
+  Cover cover;
+};
+
+/// Maps a signal name to a variable id; must throw or return -1 for unknown
+/// names (the parser reports -1 as an error with the offending name).
+using NameResolver = std::function<int(const std::string&)>;
+
+/// Parses a restricted-EQN file body. Comment lines starting with '#' and
+/// blank lines are skipped. Throws sitime::Error on malformed syntax,
+/// duplicate phases in one cube, or unknown signal names.
+std::vector<Equation> parse_eqn(const std::string& text,
+                                const NameResolver& resolve);
+
+/// Writes equations back in the restricted-EQN syntax.
+std::string write_eqn(const std::vector<Equation>& equations,
+                      const std::vector<std::string>& names);
+
+}  // namespace sitime::boolfn

@@ -1,0 +1,196 @@
+#include "boolfn/qm.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+
+#include "base/error.hpp"
+
+namespace sitime::boolfn {
+
+namespace {
+
+/// Groups implicants by popcount of value for the classic QM merge step.
+std::vector<Implicant> merge_step(const std::vector<Implicant>& current,
+                                  std::set<Implicant>& primes) {
+  std::set<Implicant> merged_out;
+  std::vector<bool> was_merged(current.size(), false);
+  // Bucket by care mask so only compatible implicants are compared.
+  std::map<std::uint32_t, std::vector<int>> by_care;
+  for (int i = 0; i < static_cast<int>(current.size()); ++i)
+    by_care[current[i].care].push_back(i);
+  for (const auto& [care, indices] : by_care) {
+    (void)care;
+    for (std::size_t a = 0; a < indices.size(); ++a) {
+      for (std::size_t b = a + 1; b < indices.size(); ++b) {
+        const Implicant& x = current[indices[a]];
+        const Implicant& y = current[indices[b]];
+        const std::uint32_t diff = x.value ^ y.value;
+        if (std::popcount(diff) != 1) continue;
+        merged_out.insert(Implicant{x.value & ~diff, x.care & ~diff});
+        was_merged[indices[a]] = true;
+        was_merged[indices[b]] = true;
+      }
+    }
+  }
+  for (int i = 0; i < static_cast<int>(current.size()); ++i)
+    if (!was_merged[i]) primes.insert(current[i]);
+  return {merged_out.begin(), merged_out.end()};
+}
+
+}  // namespace
+
+std::vector<Implicant> prime_implicants(int n,
+                                        const std::vector<std::uint32_t>& on,
+                                        const std::vector<std::uint32_t>& dc) {
+  check(n >= 0 && n <= 24, "prime_implicants: variable count out of range");
+  const std::uint32_t full = n == 0 ? 0u : ((n == 32 ? 0u : (1u << n)) - 1u);
+  std::set<Implicant> start;
+  for (std::uint32_t m : on) {
+    check((m & ~full) == 0, "prime_implicants: on-minterm out of range");
+    start.insert(Implicant{m, full});
+  }
+  for (std::uint32_t m : dc) {
+    check((m & ~full) == 0, "prime_implicants: dc-minterm out of range");
+    start.insert(Implicant{m, full});
+  }
+  std::set<Implicant> primes;
+  std::vector<Implicant> current(start.begin(), start.end());
+  while (!current.empty()) current = merge_step(current, primes);
+  return {primes.begin(), primes.end()};
+}
+
+std::vector<Implicant> irredundant_prime_cover(
+    int n, const std::vector<std::uint32_t>& on,
+    const std::vector<std::uint32_t>& dc) {
+  if (on.empty()) return {};
+  const std::vector<Implicant> primes = prime_implicants(n, on, dc);
+  // Which primes cover each on-minterm.
+  std::vector<std::vector<int>> coverers(on.size());
+  for (std::size_t m = 0; m < on.size(); ++m) {
+    for (int p = 0; p < static_cast<int>(primes.size()); ++p)
+      if (primes[p].covers_minterm(on[m])) coverers[m].push_back(p);
+    check(!coverers[m].empty(),
+          "irredundant_prime_cover: uncoverable on-minterm");
+  }
+  std::vector<bool> selected(primes.size(), false);
+  std::vector<bool> covered(on.size(), false);
+  // Essential primes: sole coverer of some minterm.
+  for (std::size_t m = 0; m < on.size(); ++m)
+    if (coverers[m].size() == 1) selected[coverers[m][0]] = true;
+  for (std::size_t m = 0; m < on.size(); ++m)
+    for (int p : coverers[m])
+      if (selected[p]) covered[m] = true;
+  // Greedy set cover for the rest.
+  while (true) {
+    int best = -1;
+    int best_gain = 0;
+    for (int p = 0; p < static_cast<int>(primes.size()); ++p) {
+      if (selected[p]) continue;
+      int gain = 0;
+      for (std::size_t m = 0; m < on.size(); ++m)
+        if (!covered[m] && primes[p].covers_minterm(on[m])) ++gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = p;
+      }
+    }
+    if (best == -1) break;
+    selected[best] = true;
+    for (std::size_t m = 0; m < on.size(); ++m)
+      if (primes[best].covers_minterm(on[m])) covered[m] = true;
+  }
+  // Final irredundancy pass: drop any cube whose on-minterms are covered by
+  // the other selected cubes.
+  std::vector<int> chosen;
+  for (int p = 0; p < static_cast<int>(primes.size()); ++p)
+    if (selected[p]) chosen.push_back(p);
+  for (std::size_t i = 0; i < chosen.size();) {
+    bool removable = true;
+    for (std::size_t m = 0; m < on.size() && removable; ++m) {
+      if (!primes[chosen[i]].covers_minterm(on[m])) continue;
+      bool other = false;
+      for (std::size_t j = 0; j < chosen.size() && !other; ++j)
+        if (j != i && primes[chosen[j]].covers_minterm(on[m])) other = true;
+      if (!other) removable = false;
+    }
+    if (removable)
+      chosen.erase(chosen.begin() + static_cast<std::ptrdiff_t>(i));
+    else
+      ++i;
+  }
+  std::vector<Implicant> cover;
+  cover.reserve(chosen.size());
+  for (int p : chosen) cover.push_back(primes[p]);
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+Cube to_cube(const Implicant& implicant, const std::vector<int>& global_vars) {
+  Cube cube;
+  for (int i = 0; i < static_cast<int>(global_vars.size()); ++i) {
+    const std::uint32_t bit = 1u << i;
+    if (!(implicant.care & bit)) continue;
+    const std::uint64_t global_bit = std::uint64_t{1} << global_vars[i];
+    if (implicant.value & bit)
+      cube.pos |= global_bit;
+    else
+      cube.neg |= global_bit;
+  }
+  return cube;
+}
+
+Cover minimize_to_cover(int n, const std::vector<std::uint32_t>& on,
+                        const std::vector<std::uint32_t>& dc,
+                        const std::vector<int>& global_vars) {
+  check(static_cast<int>(global_vars.size()) == n,
+        "minimize_to_cover: variable map size mismatch");
+  Cover cover;
+  for (const Implicant& imp : irredundant_prime_cover(n, on, dc))
+    cover.cubes.push_back(to_cube(imp, global_vars));
+  return cover;
+}
+
+Cover complement_cover(const Cover& cover, std::uint64_t extra_support) {
+  const std::uint64_t support = cover.support() | extra_support;
+  const std::vector<int> vars = support_variables(support);
+  const int n = static_cast<int>(vars.size());
+  check(n <= 20, "complement_cover: support too large for truth table");
+  std::vector<std::uint32_t> off;
+  for (std::uint32_t local = 0; local < (1u << n); ++local) {
+    std::uint64_t values = 0;
+    for (int i = 0; i < n; ++i)
+      if (local & (1u << i)) values |= std::uint64_t{1} << vars[i];
+    if (!cover.eval(values)) off.push_back(local);
+  }
+  return minimize_to_cover(n, off, {}, vars);
+}
+
+bool has_redundant_literal(const Cover& cover) {
+  const std::vector<int> vars = support_variables(cover.support());
+  const int n = static_cast<int>(vars.size());
+  check(n <= 20, "has_redundant_literal: support too large");
+  // Precompute the truth table of the cover.
+  auto values_of = [&vars, n](std::uint32_t local) {
+    std::uint64_t values = 0;
+    for (int i = 0; i < n; ++i)
+      if (local & (1u << i)) values |= std::uint64_t{1} << vars[i];
+    return values;
+  };
+  for (std::size_t c = 0; c < cover.cubes.size(); ++c) {
+    for (int v : support_variables(cover.cubes[c].support())) {
+      Cover trial = cover;
+      trial.cubes[c] = trial.cubes[c].without(v);
+      bool same = true;
+      for (std::uint32_t local = 0; local < (1u << n) && same; ++local) {
+        const std::uint64_t values = values_of(local);
+        if (trial.eval(values) != cover.eval(values)) same = false;
+      }
+      if (same) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sitime::boolfn

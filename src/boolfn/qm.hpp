@@ -1,0 +1,71 @@
+// Quine-McCluskey minimization producing irredundant prime covers.
+//
+// Chapter 5 requires every gate to carry an *irredundant prime* on-set cover
+// f-up and off-set cover f-down: Lemma 2 shows arc relaxation only breaks
+// safeness when a gate has redundant literals, and prime irredundant covers
+// have none. The synthesis substrate (src/synth) also uses this to derive
+// complex-gate equations from the state graph, with unreachable codes as
+// don't-cares.
+//
+// Functions here work on a *local* variable space 0..n-1 (n <= 24); the
+// caller maps local variables to global signal ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "boolfn/cube.hpp"
+
+namespace sitime::boolfn {
+
+/// An implicant over a local variable space: `care` has a bit per bound
+/// variable, `value` holds the phase of each bound variable (zero on
+/// don't-care positions).
+struct Implicant {
+  std::uint32_t value = 0;
+  std::uint32_t care = 0;
+
+  bool operator==(const Implicant&) const = default;
+  auto operator<=>(const Implicant&) const = default;
+
+  bool covers_minterm(std::uint32_t minterm) const {
+    return (minterm & care) == value;
+  }
+};
+
+/// All prime implicants of the (incompletely specified) function given by
+/// on-set and dc-set minterms over `n` variables. Throws when on and dc
+/// overlap inconsistently with off (callers pass disjoint sets).
+std::vector<Implicant> prime_implicants(int n,
+                                        const std::vector<std::uint32_t>& on,
+                                        const std::vector<std::uint32_t>& dc);
+
+/// An irredundant cover of the on-set by prime implicants (essential primes
+/// first, then greedy set covering, then a final irredundancy pass).
+std::vector<Implicant> irredundant_prime_cover(
+    int n, const std::vector<std::uint32_t>& on,
+    const std::vector<std::uint32_t>& dc);
+
+/// Translates a local-space implicant into a global Cube through
+/// `global_vars`, where local variable i corresponds to global variable
+/// global_vars[i].
+Cube to_cube(const Implicant& implicant, const std::vector<int>& global_vars);
+
+/// Convenience: minimize and translate to a global-variable Cover.
+Cover minimize_to_cover(int n, const std::vector<std::uint32_t>& on,
+                        const std::vector<std::uint32_t>& dc,
+                        const std::vector<int>& global_vars);
+
+/// Irredundant prime cover of the *complement* of `cover`, computed by
+/// enumerating the truth table over the cover's support (plus
+/// `extra_support` variables that the complement must be allowed to mention).
+/// This implements the thesis's f-down = irredundant prime cover of the
+/// function with on- and off-sets exchanged.
+Cover complement_cover(const Cover& cover, std::uint64_t extra_support = 0);
+
+/// True when removing `var`'s literal from some cube of `cover` leaves the
+/// function unchanged, i.e. the cover has a redundant literal on `var`
+/// (Figure 5.12). Evaluated over the full truth table of the support.
+bool has_redundant_literal(const Cover& cover);
+
+}  // namespace sitime::boolfn

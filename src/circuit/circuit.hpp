@@ -1,0 +1,78 @@
+// Gate-level netlist of an SI circuit (Section 2.3's C = (A, phi)).
+//
+// Every non-input signal is computed by one atomic complex gate carrying its
+// pull-up and pull-down covers. Wires are identified by (source signal,
+// sink gate); a signal with several sinks forms a fork whose branches are
+// the wires — exactly the objects the intra-operator fork assumption and the
+// derived timing constraints talk about.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "boolfn/cube.hpp"
+#include "boolfn/eqn.hpp"
+#include "stg/signal.hpp"
+#include "synth/synthesis.hpp"
+
+namespace sitime::circuit {
+
+/// One atomic complex gate.
+struct Gate {
+  int output = -1;
+  boolfn::Cover up;
+  boolfn::Cover down;
+  /// Fan-in signals: the union support of up and down, excluding the output
+  /// itself (a sequential gate still reads its own output; the local STG
+  /// projection set is {output} + fanins either way).
+  std::vector<int> fanins;
+};
+
+/// A wire: one branch of the fork of `source`, feeding gate `sink_gate`.
+struct Wire {
+  int source = -1;     // driving signal
+  int sink_gate = -1;  // output signal of the gate it feeds
+};
+
+class Circuit {
+ public:
+  explicit Circuit(const stg::SignalTable* signals);
+
+  /// Builds from synthesized gate functions.
+  static Circuit from_synthesis(const stg::SignalTable* signals,
+                                const std::vector<synth::GateFunctions>& fns);
+
+  /// Builds from a restricted-EQN netlist; the pull-down cover of each gate
+  /// is the complement of its equation. Signals without an equation must be
+  /// inputs.
+  static Circuit from_equations(const stg::SignalTable* signals,
+                                const std::string& eqn_text);
+
+  const stg::SignalTable& signals() const { return *signals_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  /// Gate computing `signal` (error when `signal` is an input).
+  const Gate& gate_for(int signal) const;
+  bool has_gate(int signal) const;
+
+  /// All wires of the circuit: for every gate, one wire per fan-in.
+  std::vector<Wire> wires() const;
+
+  /// Number of sinks of `signal` (gates reading it); > 1 means a fork.
+  int fanout(int signal) const;
+
+  /// The signal set of the local environment of `signal`'s gate:
+  /// {signal} + fanins, as a keep-mask over signal ids.
+  std::vector<bool> local_signal_mask(int signal) const;
+
+  /// Renders the netlist in the restricted-EQN format (up covers only).
+  std::string to_eqn() const;
+
+ private:
+  const stg::SignalTable* signals_;
+  std::vector<Gate> gates_;
+  std::vector<int> gate_index_;  // signal id -> index into gates_, or -1
+  void add_gate(Gate gate);
+};
+
+}  // namespace sitime::circuit

@@ -1,0 +1,61 @@
+#include "circuit/padding.hpp"
+
+#include <set>
+
+#include "base/error.hpp"
+
+namespace sitime::circuit {
+
+std::vector<PaddingDecision> plan_padding(
+    const AdversaryAnalysis& analysis, const Circuit& circuit,
+    const std::vector<DelayConstraint>& constraints, int strong_level) {
+  (void)circuit;
+  // Fast sides: the direct wires that must stay fast, (source, sink gate).
+  std::set<std::pair<int, int>> fast_wires;
+  for (const DelayConstraint& c : constraints)
+    fast_wires.insert({c.before.signal, c.gate});
+
+  std::vector<PaddingDecision> decisions;
+  const stg::SignalTable& signals = analysis.impl().signals;
+  for (const DelayConstraint& c : constraints) {
+    if (c.weight > strong_level || c.weight >= kEnvironmentWeight)
+      continue;  // loose or environment-guarded: already fulfilled
+    const auto paths = analysis.paths(c.before, c.after);
+    if (paths.empty()) continue;
+    // Wires along the slowest path, ordered destination-first:
+    // (y -> gate), (z_k -> y), ..., (x -> z_1).
+    const std::vector<int>& path = paths.front();
+    std::vector<std::pair<int, int>> wires;
+    wires.emplace_back(c.after.signal, c.gate);
+    for (std::size_t i = path.size(); i-- > 1;) {
+      const int to = analysis.impl().labels[path[i]].signal;
+      const int from = analysis.impl().labels[path[i - 1]].signal;
+      wires.emplace_back(from, to);
+    }
+    PaddingDecision decision;
+    decision.constraint = c;
+    bool placed = false;
+    for (const auto& wire : wires) {
+      if (fast_wires.count(wire)) continue;
+      decision.kind = PaddingKind::wire;
+      decision.source = wire.first;
+      decision.sink = wire.second;
+      decision.text = "pad wire " + signals.name(wire.first) + "->" +
+                      signals.name(wire.second);
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      // Every wire of the path is some constraint's fast side: pad the last
+      // gate of the adversary path instead (cannot worsen a fast side).
+      decision.kind = PaddingKind::gate;
+      decision.source = c.after.signal;
+      decision.sink = -1;
+      decision.text = "pad gate " + signals.name(c.after.signal);
+    }
+    decisions.push_back(decision);
+  }
+  return decisions;
+}
+
+}  // namespace sitime::circuit

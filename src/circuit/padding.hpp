@@ -1,0 +1,49 @@
+// Delay padding to fulfil timing constraints (Section 5.7, Figure 5.25).
+//
+// After relaxation, each remaining timing constraint "x* < y* at gate a"
+// demands that the direct wire x->a be faster than the adversary paths from
+// x to y to a. Constraints whose slowest adversary path is long, or passes
+// through the environment, are considered fulfilled already (Section 7.1).
+// The remaining *strong* constraints are fixed by padding delay into the
+// adversary path. Padding a wire only delays one fork branch; padding a gate
+// delays every branch but can never worsen another constraint's fast side.
+// The greedy policy below follows the thesis: try the adversary-path wire
+// nearest the destination gate that is not the fast (direct) wire of another
+// constraint; fall back to padding a gate of the path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/adversary.hpp"
+
+namespace sitime::circuit {
+
+/// A timing constraint at gate `gate`: transition `before` must arrive
+/// before `after` (mirrors core::TimingConstraint without depending on it).
+struct DelayConstraint {
+  int gate = -1;
+  stg::TransitionLabel before;
+  stg::TransitionLabel after;
+  int weight = 0;  // adversary level (number of gates on the slowest path)
+};
+
+enum class PaddingKind { wire, gate };
+
+struct PaddingDecision {
+  DelayConstraint constraint;
+  PaddingKind kind = PaddingKind::wire;
+  int source = -1;  // wire: driving signal; gate: the padded gate signal
+  int sink = -1;    // wire: the sink gate signal (unused for gate padding)
+  std::string text;
+};
+
+/// Decides padding positions for every constraint whose weight is at most
+/// `strong_level` (gate count on the slowest path); weaker constraints and
+/// environment-crossing ones are reported as already fulfilled and receive
+/// no padding.
+std::vector<PaddingDecision> plan_padding(
+    const AdversaryAnalysis& analysis, const Circuit& circuit,
+    const std::vector<DelayConstraint>& constraints, int strong_level = 2);
+
+}  // namespace sitime::circuit

@@ -1,0 +1,42 @@
+// Relative timing constraints (the Rt set of Algorithm 4).
+//
+// A constraint "a: x* < y*" demands that transition x* arrive at gate a
+// before y*; equivalently, the direct wire x->a must be faster than every
+// adversary path from x* to y* ending at a (Section 5.7 turns these into
+// pairwise wire/path delay constraints).
+#pragma once
+
+#include <compare>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stg/signal.hpp"
+
+namespace sitime::core {
+
+struct TimingConstraint {
+  int gate = -1;                // signal id of the constrained gate
+  stg::TransitionLabel before;  // must arrive first
+  stg::TransitionLabel after;
+
+  auto operator<=>(const TimingConstraint&) const = default;
+};
+
+/// Renders "ack: map0- < i0+" like the thesis tool Check_hazard.
+std::string to_string(const TimingConstraint& constraint,
+                      const stg::SignalTable& signals);
+
+/// A constraint set with per-constraint adversary weights (the level of the
+/// slowest adversary path; kEnvironmentWeight and above means "safe through
+/// environment").
+using ConstraintSet = std::map<TimingConstraint, int>;
+
+/// Number of constraints whose weight (transitions strictly between x* and
+/// y* on the slowest acknowledgement path) is at most `max_weight`. The
+/// racing path additionally contains the gate producing y*, so Table 7.2's
+/// "<= 5 level" column (two gates on the path) is weight <= 1 and
+/// "<= 3 level" (one gate) is weight 0.
+int count_up_to_level(const ConstraintSet& constraints, int max_weight);
+
+}  // namespace sitime::core

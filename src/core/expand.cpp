@@ -1,0 +1,214 @@
+#include "core/expand.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "core/local_stg.hpp"
+#include "sg/regions.hpp"
+
+namespace sitime::core {
+
+Expander::Expander(const circuit::AdversaryAnalysis* adversary,
+                   ExpandOptions options)
+    : adversary_(adversary), options_(options) {}
+
+int Expander::weight_of(const stg::MgStg& mg, const stg::MgArc& arc) const {
+  if (adversary_ == nullptr) return 0;
+  return adversary_->weight(mg.label(arc.from), mg.label(arc.to));
+}
+
+int Expander::pick_arc(const stg::MgStg& mg,
+                       const std::vector<int>& arcs) const {
+  check(!arcs.empty(), "pick_arc: no candidates");
+  if (options_.order == ExpandOptions::OrderPolicy::input_order)
+    return arcs.front();
+  int best = arcs.front();
+  auto key = [this, &mg](int index) {
+    const stg::MgArc& arc = mg.arcs()[index];
+    return std::tuple(weight_of(mg, arc), mg.label(arc.from),
+                      mg.label(arc.to));
+  };
+  for (int index : arcs) {
+    const bool better =
+        options_.order == ExpandOptions::OrderPolicy::tightest_first
+            ? key(index) < key(best)
+            : key(index) > key(best);
+    if (better) best = index;
+  }
+  return best;
+}
+
+namespace {
+
+/// First excitation-region non-conformance: the output transition of an ER
+/// whose states leave the matching pull function false. Returns -1 when
+/// none.
+int find_er_violation(const sg::StateGraph& graph, const stg::MgStg& mg,
+                      const circuit::Gate& gate, bool* rising_out) {
+  for (int s = 0; s < graph.state_count(); ++s) {
+    for (const auto& [t, succ] : graph.out[s]) {
+      (void)succ;
+      const stg::TransitionLabel& label = mg.label(t);
+      if (label.signal != gate.output) continue;
+      const boolfn::Cover& fn = label.rising ? gate.up : gate.down;
+      if (!fn.eval(graph.codes[s])) {
+        if (rising_out != nullptr) *rising_out = label.rising;
+        return t;
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+void Expander::expand(stg::MgStg local, const circuit::Gate& gate,
+                      ConstraintSet& rt) {
+  expand_inner(std::move(local), gate, rt, 0);
+}
+
+void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
+                            ConstraintSet& rt, int depth) {
+  check(depth <= options_.max_depth, "expand: subSTG recursion too deep");
+  auto trace = [this, depth, &gate, &local](const std::string& line) {
+    if (options_.trace == nullptr) return;
+    *options_.trace += std::string(2 * depth, ' ') + "[" +
+                       local.signals().name(gate.output) + "] " + line + "\n";
+  };
+  while (true) {
+    const std::vector<int> candidates = relaxable_arcs(local, gate.output);
+    if (candidates.empty()) return;
+    check(++steps_ <= options_.max_steps, "expand: step limit exceeded");
+
+    const int arc_index = pick_arc(local, candidates);
+    const stg::MgArc arc = local.arcs()[arc_index];
+    const int x = arc.from;
+    const int y = arc.to;
+    const int weight = weight_of(local, arc);
+
+    // Prerequisite sets come from the STG *before* this relaxation.
+    const PrerequisiteMap epre = prerequisites(local, gate.output);
+
+    stg::MgStg trial = local;
+    trial.relax(x, y);
+    const sg::StateGraph graph = sg::build_state_graph(trial);
+    CheckResult result = check_relaxation(graph, trial, gate, x, epre);
+
+    // The thesis analyses one premature output transition per relaxation;
+    // when one relaxation hits several at once, fall back to the (sound)
+    // timing constraint.
+    if (result.violations.size() > 1 &&
+        result.kind != RelaxationCase::hazard)
+      result.kind = RelaxationCase::hazard;
+
+    trace("relax " + local.transition_text(x) + " => " +
+          local.transition_text(y) + " (weight " + std::to_string(weight) +
+          "): case " +
+          std::to_string(static_cast<int>(result.kind) + 1));
+
+    // Rejecting the relaxation is always sound (the ordering stays
+    // guaranteed by a timing constraint). Cases 2 and 3 fall back to this
+    // when the OR-causality decomposition's preconditions do not hold
+    // (e.g. a single-clause pull function cannot race against itself) --
+    // matching the constraints the thesis tool reports for such arcs.
+    auto emit_constraint = [this, &rt, &local, &gate, &trace, x, y,
+                            weight]() {
+      trace("  constraint " + local.transition_text(x) + " < " +
+            local.transition_text(y));
+      rt.emplace(
+          TimingConstraint{gate.output, local.label(x), local.label(y)},
+          weight);
+      local.set_arc_kind(x, y, stg::ArcKind::guaranteed);
+    };
+
+    switch (result.kind) {
+      case RelaxationCase::conforms: {
+        local = std::move(trial);
+        break;
+      }
+      case RelaxationCase::spurious_prereq: {
+        // Try making x* concurrent with the raced output transition.
+        OrProblem problem;
+        problem.relaxed_x = x;
+        if (!result.violations.empty()) {
+          problem.output_transition = result.violations[0].output_transition;
+          problem.output_rising = result.violations[0].output_rising;
+        } else {
+          // Conformance failed only inside an excitation region.
+          bool rising = false;
+          problem.output_transition =
+              find_er_violation(graph, trial, gate, &rising);
+          problem.output_rising = rising;
+          check(problem.output_transition != -1,
+                "expand: case-2 classification without a violation");
+        }
+        const auto it = epre.find(problem.output_transition);
+        if (it != epre.end()) problem.prerequisites = it->second;
+
+        stg::MgStg concurrent = trial;
+        if (concurrent.has_arc(x, problem.output_transition) &&
+            concurrent.arc_kind(x, problem.output_transition) ==
+                stg::ArcKind::normal)
+          concurrent.relax(x, problem.output_transition);
+        const sg::StateGraph graph2 = sg::build_state_graph(concurrent);
+        if (timing_conformant(graph2, concurrent, gate)) {
+          trace("  made " + local.transition_text(x) +
+                " concurrent with the output; accepted");
+          local = std::move(concurrent);
+          break;
+        }
+        trace("  OR-causality after making " + local.transition_text(x) +
+              " concurrent with the output; decomposing");
+        // OR-causality in case 2: candidate clauses are judged on the SG
+        // before the arc modification; the STG with x* concurrent is the
+        // one decomposed (Figures 6.1 and 6.5).
+        try {
+          const std::vector<CandidateClause> clauses = find_candidate_clauses(
+              trial, graph, concurrent, gate, problem);
+          const auto init = initial_restrictions(concurrent, clauses);
+          const auto entries = or_causality_decomposition(clauses, init);
+          trace("  " + std::to_string(entries.size()) + " subSTGs");
+          for (stg::MgStg& sub :
+               build_substgs(concurrent, gate, problem, clauses, entries,
+                             /*relax_non_clause_prereqs=*/false))
+            expand_inner(std::move(sub), gate, rt, depth + 1);
+          return;
+        } catch (const Error&) {
+          emit_constraint();
+          break;
+        }
+      }
+      case RelaxationCase::or_causality_input: {
+        OrProblem problem;
+        problem.relaxed_x = x;
+        problem.output_transition = result.violations[0].output_transition;
+        problem.output_rising = result.violations[0].output_rising;
+        const auto it = epre.find(problem.output_transition);
+        check(it != epre.end(), "expand: case 3 without prerequisites");
+        problem.prerequisites = it->second;
+        try {
+          const std::vector<CandidateClause> clauses =
+              find_candidate_clauses(trial, graph, trial, gate, problem);
+          const auto init = initial_restrictions(trial, clauses);
+          const auto entries = or_causality_decomposition(clauses, init);
+          trace("  OR-causality (case 3): " + std::to_string(entries.size()) +
+                " subSTGs");
+          for (stg::MgStg& sub :
+               build_substgs(trial, gate, problem, clauses, entries,
+                             /*relax_non_clause_prereqs=*/true))
+            expand_inner(std::move(sub), gate, rt, depth + 1);
+          return;
+        } catch (const Error&) {
+          emit_constraint();
+          break;
+        }
+      }
+      case RelaxationCase::hazard: {
+        emit_constraint();
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace sitime::core

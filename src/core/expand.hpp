@@ -1,0 +1,64 @@
+// The Expand relaxation loop (Algorithm 4, Section 5.6).
+//
+// Starting from a gate's local STG, repeatedly pick the tightest
+// not-yet-guaranteed type-4 arc (Section 5.5: smallest adversary-path
+// weight, i.e. most likely to be violated by process variation), relax it,
+// and classify the result:
+//   case 1: keep the relaxed STG (one adversary path fewer),
+//   case 2: additionally make x* concurrent with the output; if still not
+//           conformant, decompose the OR-causality and recurse per subSTG,
+//   case 3: decompose the OR-causality and recurse per subSTG,
+//   case 4: reject, emit the timing constraint x* < y*, mark the arc
+//           guaranteed ('&').
+// The loop ends when every remaining type-4 ordering is guaranteed either
+// by acknowledgement or by a constraint.
+#pragma once
+
+#include "circuit/adversary.hpp"
+#include "core/constraint.hpp"
+#include "core/hazard_check.hpp"
+#include "core/or_causality.hpp"
+
+namespace sitime::core {
+
+struct ExpandOptions {
+  enum class OrderPolicy {
+    tightest_first,  // the thesis policy (Section 5.5)
+    loosest_first,   // ablation: reversed priority
+    input_order,     // ablation: first relaxable arc in stable order
+  };
+  OrderPolicy order = OrderPolicy::tightest_first;
+  int max_steps = 50000;  // defensive bound on relaxation attempts
+  int max_depth = 24;     // defensive bound on subSTG recursion
+  /// When non-null, a human-readable line per step is appended (used by the
+  /// Figure 7.3 relaxation-trace bench and for debugging).
+  std::string* trace = nullptr;
+};
+
+class Expander {
+ public:
+  /// `adversary` supplies arc weights from the implementation STG; it may
+  /// be null, in which case every arc weighs 0 (pure input order).
+  explicit Expander(const circuit::AdversaryAnalysis* adversary,
+                    ExpandOptions options = {});
+
+  /// Runs Algorithm 4, accumulating constraints (keyed with their adversary
+  /// weight) into `rt`.
+  void expand(stg::MgStg local, const circuit::Gate& gate,
+              ConstraintSet& rt);
+
+  /// Relaxation attempts performed so far (across expand() calls).
+  int steps() const { return steps_; }
+
+ private:
+  void expand_inner(stg::MgStg local, const circuit::Gate& gate,
+                    ConstraintSet& rt, int depth);
+  int pick_arc(const stg::MgStg& mg, const std::vector<int>& arcs) const;
+  int weight_of(const stg::MgStg& mg, const stg::MgArc& arc) const;
+
+  const circuit::AdversaryAnalysis* adversary_;
+  ExpandOptions options_;
+  int steps_ = 0;
+};
+
+}  // namespace sitime::core

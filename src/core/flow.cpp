@@ -1,0 +1,112 @@
+#include "core/flow.hpp"
+
+#include <chrono>
+
+#include "base/error.hpp"
+#include "core/local_stg.hpp"
+#include "pn/hack.hpp"
+#include "sg/state_graph.hpp"
+
+namespace sitime::core {
+
+std::string to_string(const TimingConstraint& constraint,
+                      const stg::SignalTable& signals) {
+  return signals.name(constraint.gate) + ": " +
+         stg::label_text(constraint.before, signals) + " < " +
+         stg::label_text(constraint.after, signals);
+}
+
+int count_up_to_level(const ConstraintSet& constraints, int max_weight) {
+  int count = 0;
+  for (const auto& [constraint, weight] : constraints) {
+    (void)constraint;
+    if (weight <= max_weight) ++count;
+  }
+  return count;
+}
+
+FlowResult derive_timing_constraints(const stg::Stg& impl,
+                                     const circuit::Circuit& circuit,
+                                     const ExpandOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  FlowResult result;
+
+  const sg::GlobalSg global = sg::build_global_sg(impl);
+  result.state_count = global.state_count();
+  const std::vector<int> values = sg::initial_values(impl, global);
+
+  for (int s = 0; s < impl.signals.count(); ++s) {
+    if (impl.signals.is_input(s))
+      ++result.input_count;
+    else if (impl.signals.kind(s) == stg::SignalKind::output)
+      ++result.output_count;
+  }
+  result.gate_count = static_cast<int>(circuit.gates().size());
+
+  const circuit::AdversaryAnalysis adversary(&impl);
+  Expander expander(&adversary, options);
+
+  const std::vector<pn::MgComponent> components = pn::mg_components(impl.net);
+  result.mg_component_count = static_cast<int>(components.size());
+  for (const pn::MgComponent& component : components) {
+    const stg::MgStg component_stg =
+        mg_from_component(impl, component, values);
+    for (const circuit::Gate& gate : circuit.gates()) {
+      stg::MgStg local = local_stg(component_stg, gate);
+      // Baseline: every type-4 arc is an adversary-path condition.
+      for (int index : relaxable_arcs(local, gate.output)) {
+        const stg::MgArc& arc = local.arcs()[index];
+        const TimingConstraint constraint{gate.output, local.label(arc.from),
+                                          local.label(arc.to)};
+        result.before.emplace(
+            constraint,
+            adversary.weight(local.label(arc.from), local.label(arc.to)));
+      }
+      expander.expand(std::move(local), gate, result.after);
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+std::string verify_speed_independent(const stg::Stg& impl,
+                                     const circuit::Circuit& circuit) {
+  const sg::GlobalSg global = sg::build_global_sg(impl);
+  const std::vector<int> values = sg::initial_values(impl, global);
+  for (const pn::MgComponent& component : pn::mg_components(impl.net)) {
+    const stg::MgStg component_stg =
+        mg_from_component(impl, component, values);
+    for (const circuit::Gate& gate : circuit.gates()) {
+      const stg::MgStg local = local_stg(component_stg, gate);
+      const sg::StateGraph graph = sg::build_state_graph(local);
+      if (!timing_conformant(graph, local, gate))
+        return impl.signals.name(gate.output);
+    }
+  }
+  return "";
+}
+
+std::string format_report(const FlowResult& result,
+                          const stg::SignalTable& signals) {
+  std::string out =
+      "The timing constraints in the original specification are:\n\n";
+  for (const auto& [constraint, weight] : result.before) {
+    (void)weight;
+    out += to_string(constraint, signals) + "\n";
+  }
+  out += "\nThe timing constraints for this circuit to work correctly "
+         "are:\n\n";
+  for (const auto& [constraint, weight] : result.after) {
+    (void)weight;
+    out += to_string(constraint, signals) + "\n";
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer),
+                "\nThe running time for this program is %f seconds\n",
+                result.seconds);
+  out += buffer;
+  return out;
+}
+
+}  // namespace sitime::core

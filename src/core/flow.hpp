@@ -1,0 +1,49 @@
+// Top-level flow (Algorithm 5 and the Check_hazard tool of Section 7.3.1).
+//
+// Inputs: the implementation STG and the gate netlist. The STG is
+// decomposed into MG components (Hack), each component is projected onto
+// every gate's local signals, and the Expand loop derives the relative
+// timing constraints. The *before* set — all type-4 arcs of the initial
+// local STGs — equals the adversary-path conditions of Keller et al.
+// (ASYNC'09), the baseline of Table 7.2.
+#pragma once
+
+#include <string>
+
+#include "circuit/adversary.hpp"
+#include "circuit/circuit.hpp"
+#include "core/expand.hpp"
+#include "stg/stg.hpp"
+
+namespace sitime::core {
+
+struct FlowResult {
+  ConstraintSet before;  // adversary-path baseline, with weights
+  ConstraintSet after;   // relaxed constraint set Rt, with weights
+  int state_count = 0;   // size of the global state graph
+  int gate_count = 0;
+  int input_count = 0;
+  int output_count = 0;
+  int mg_component_count = 0;
+  double seconds = 0.0;
+};
+
+/// Runs the whole flow. Throws on malformed inputs (inconsistent STG,
+/// non-free-choice net, missing gates).
+FlowResult derive_timing_constraints(const stg::Stg& impl,
+                                     const circuit::Circuit& circuit,
+                                     const ExpandOptions& options = {});
+
+/// Checks the precondition of the flow: under the isochronic fork
+/// assumption (i.e. before any relaxation) every gate's local STG is timing
+/// conformant to the gate. Returns the name of the first offending gate, or
+/// an empty string.
+std::string verify_speed_independent(const stg::Stg& impl,
+                                     const circuit::Circuit& circuit);
+
+/// Renders the two constraint lists in the format of the thesis tool
+/// Check_hazard (Section 7.3.1).
+std::string format_report(const FlowResult& result,
+                          const stg::SignalTable& signals);
+
+}  // namespace sitime::core

@@ -1,0 +1,159 @@
+#include "core/hazard_check.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "base/error.hpp"
+
+namespace sitime::core {
+
+PrerequisiteMap prerequisites(const stg::MgStg& mg, int gate_signal) {
+  PrerequisiteMap epre;
+  for (int t : mg.alive_transitions())
+    if (mg.label(t).signal == gate_signal) epre[t] = mg.preds(t);
+  return epre;
+}
+
+bool transition_fired(const sg::StateGraph& graph, const stg::MgStg& mg,
+                      int state, int transition) {
+  const stg::TransitionLabel& label = mg.label(transition);
+  return graph.value(state, label.signal) == label.rising;
+}
+
+namespace {
+
+/// Collects the violating states grouped by (direction, following ER
+/// component) so each group carries one output transition.
+std::vector<Violation> find_violations(const sg::StateGraph& graph,
+                                       const stg::MgStg& mg,
+                                       const circuit::Gate& gate,
+                                       const sg::RegionSet& regions) {
+  // Key: (output_rising, er_component).
+  std::map<std::pair<bool, int>, Violation> grouped;
+  for (int s = 0; s < graph.state_count(); ++s) {
+    // Premature fall: quiescent high but pull-down true.
+    if (regions.in_qr(s, true) && gate.down.eval(graph.codes[s])) {
+      int t_o = -1;
+      const int er = sg::following_er(graph, mg, regions, s, false, &t_o);
+      check(er != -1, "find_violations: QR(o+) state with no following "
+                      "ER(o-)");
+      auto& violation = grouped[{false, er}];
+      violation.output_rising = false;
+      violation.er_component = er;
+      violation.output_transition = t_o;
+      violation.states.push_back(s);
+    }
+    // Premature rise: quiescent low but pull-up true.
+    if (regions.in_qr(s, false) && gate.up.eval(graph.codes[s])) {
+      int t_o = -1;
+      const int er = sg::following_er(graph, mg, regions, s, true, &t_o);
+      check(er != -1, "find_violations: QR(o-) state with no following "
+                      "ER(o+)");
+      auto& violation = grouped[{true, er}];
+      violation.output_rising = true;
+      violation.er_component = er;
+      violation.output_transition = t_o;
+      violation.states.push_back(s);
+    }
+  }
+  std::vector<Violation> result;
+  result.reserve(grouped.size());
+  for (auto& [key, violation] : grouped) {
+    (void)key;
+    result.push_back(std::move(violation));
+  }
+  return result;
+}
+
+bool er_conformance(const sg::StateGraph& graph, const circuit::Gate& gate,
+                    const sg::RegionSet& regions) {
+  for (int s = 0; s < graph.state_count(); ++s) {
+    if (regions.in_er(s, true) && !gate.up.eval(graph.codes[s])) return false;
+    if (regions.in_er(s, false) && !gate.down.eval(graph.codes[s]))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CheckResult check_relaxation(const sg::StateGraph& graph,
+                             const stg::MgStg& mg, const circuit::Gate& gate,
+                             int relaxed_from, const PrerequisiteMap& epre) {
+  const sg::RegionSet regions = sg::compute_regions(graph, mg, gate.output);
+  CheckResult result;
+  result.er_conformant = er_conformance(graph, gate, regions);
+  result.violations = find_violations(graph, mg, gate, regions);
+
+  if (result.violations.empty()) {
+    // No premature enabling. A non-conformant excitation region (the gate
+    // not yet enabled although the specification says excited) is not a
+    // glitch; it surfaces during case-2 handling as OR-causality
+    // (Figure 5.21(b)). Callers doing the nested case-2 check require full
+    // conformance.
+    result.kind = result.er_conformant ? RelaxationCase::conforms
+                                       : RelaxationCase::spurious_prereq;
+    return result;
+  }
+  if (relaxed_from == -1) {
+    result.kind = RelaxationCase::hazard;
+    return result;
+  }
+
+  bool all_case2 = true;   // every violating state has all prerequisites in
+  bool case3_possible = true;
+  bool any_x_unfired = false;
+  for (const Violation& violation : result.violations) {
+    const auto it = epre.find(violation.output_transition);
+    check(it != epre.end(),
+          "check_relaxation: missing prerequisite set for output transition");
+    const std::vector<int>& prereq = it->second;
+    const bool x_is_prereq =
+        std::find(prereq.begin(), prereq.end(), relaxed_from) != prereq.end();
+    for (int s : violation.states) {
+      bool others_fired = true;
+      for (int z : prereq) {
+        if (z == relaxed_from) continue;
+        if (!transition_fired(graph, mg, s, z)) others_fired = false;
+      }
+      const bool x_fired = transition_fired(graph, mg, s, relaxed_from);
+      // Case 2 requires every prerequisite of the following output
+      // transition to have fired; x* only counts when it is a prerequisite
+      // (in case 2 it typically is not -- it was added by the relaxation).
+      const bool prereqs_fired = others_fired && (!x_is_prereq || x_fired);
+      if (!prereqs_fired) all_case2 = false;
+      if (others_fired && !x_fired && x_is_prereq) {
+        any_x_unfired = true;
+        // Case-3 test: x excited here and firing it enters the following ER.
+        const int succ = graph.successor(s, relaxed_from);
+        if (succ == -1) {
+          case3_possible = false;
+        } else {
+          const int d = violation.output_rising ? 1 : 0;
+          if (regions.er[d][succ] != violation.er_component)
+            case3_possible = false;
+        }
+      } else if (!prereqs_fired) {
+        // Neither "everything fired" nor "only x missing": rules out both
+        // case 2 and case 3 for this state.
+        case3_possible = false;
+      }
+    }
+  }
+  if (all_case2)
+    result.kind = RelaxationCase::spurious_prereq;
+  else if (any_x_unfired && case3_possible)
+    result.kind = RelaxationCase::or_causality_input;
+  else
+    result.kind = RelaxationCase::hazard;
+  return result;
+}
+
+bool timing_conformant(const sg::StateGraph& graph, const stg::MgStg& mg,
+                       const circuit::Gate& gate) {
+  const CheckResult result =
+      check_relaxation(graph, mg, gate, -1, PrerequisiteMap{});
+  return result.kind == RelaxationCase::conforms && result.er_conformant;
+}
+
+}  // namespace sitime::core

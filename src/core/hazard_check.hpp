@@ -1,0 +1,79 @@
+// The four-case hazard criterion (Section 5.4).
+//
+// After relaxing an arc x* => y* in the local STG of gate o, the state graph
+// of the resulting STG is examined. A state is *violating* when the gate is
+// enabled to leave a quiescent region prematurely: s in QR(o+) with
+// f-down(s) true, or s in QR(o-) with f-up(s) true. With Epre(o*/i) — the
+// prerequisite (predecessor) transitions of each output transition computed
+// on the STG *before* the relaxation — the outcome is classified:
+//
+//   case 1  no violations and the STG is timing-conformant: accept.
+//   case 2  in every violating state all prerequisite transitions of the
+//           following output transition have fired: x* was unnecessarily
+//           made a prerequisite; try making it concurrent with the output.
+//   case 3  x* is the only unfired prerequisite, it is excited in every
+//           violating state, and firing it enters the following excitation
+//           region: OR-causality; decompose (Chapter 6).
+//   case 4  anything else is a genuine glitch: reject the relaxation and
+//           emit the timing constraint x* < y*.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sg/regions.hpp"
+#include "sg/state_graph.hpp"
+#include "stg/marked_graph.hpp"
+
+namespace sitime::core {
+
+enum class RelaxationCase {
+  conforms,            // case 1
+  spurious_prereq,     // case 2
+  or_causality_input,  // case 3
+  hazard,              // case 4
+};
+
+/// One premature-enabling episode: the violating states of one quiescent
+/// region together with the output transition of the excitation region that
+/// follows them.
+struct Violation {
+  bool output_rising = false;  // direction of the premature output firing
+  std::vector<int> states;     // violating state ids
+  int er_component = -1;       // following ER component id
+  int output_transition = -1;  // the o* transition excited there
+};
+
+struct CheckResult {
+  RelaxationCase kind = RelaxationCase::conforms;
+  std::vector<Violation> violations;
+  bool er_conformant = true;  // f true throughout the excitation regions
+};
+
+/// Prerequisite sets: output transition id -> predecessor transition ids.
+using PrerequisiteMap = std::map<int, std::vector<int>>;
+
+/// Computes Epre for every alive transition of the gate's output signal
+/// (to be called on the STG *before* a relaxation; ids are stable).
+PrerequisiteMap prerequisites(const stg::MgStg& mg, int gate_signal);
+
+/// True when transition `t` (by its label) has already fired in `state`:
+/// the signal value equals the post-transition value.
+bool transition_fired(const sg::StateGraph& graph, const stg::MgStg& mg,
+                      int state, int transition);
+
+/// Classifies the relaxation of the arc whose source transition is
+/// `relaxed_from` (pass -1 for a pure conformance check, which then returns
+/// conforms or hazard only). `epre` must come from the pre-relaxation STG.
+CheckResult check_relaxation(const sg::StateGraph& graph,
+                             const stg::MgStg& mg,
+                             const circuit::Gate& gate, int relaxed_from,
+                             const PrerequisiteMap& epre);
+
+/// Convenience: timing conformance only (Section 5.4's definition), i.e.
+/// check_relaxation(...).kind == conforms.
+bool timing_conformant(const sg::StateGraph& graph, const stg::MgStg& mg,
+                       const circuit::Gate& gate);
+
+}  // namespace sitime::core

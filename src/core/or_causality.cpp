@@ -1,0 +1,240 @@
+#include "core/or_causality.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "sg/regions.hpp"
+
+namespace sitime::core {
+
+namespace {
+
+/// True when `cube` has the literal matching the firing of `label`:
+/// a+ fired leaves a = 1 (positive literal), a- leaves a = 0 (negative).
+bool cube_matches_transition(const boolfn::Cube& cube,
+                             const stg::TransitionLabel& label) {
+  return cube.has_literal(label.signal, label.rising);
+}
+
+}  // namespace
+
+std::vector<CandidateClause> find_candidate_clauses(
+    const stg::MgStg& clause_mg, const sg::StateGraph& clause_graph,
+    const stg::MgStg& decomposed_mg, const circuit::Gate& gate,
+    const OrProblem& problem) {
+  const boolfn::Cover& cover =
+      problem.output_rising ? gate.up : gate.down;
+  const sg::RegionSet regions =
+      sg::compute_regions(clause_graph, clause_mg, gate.output);
+  const int qr_dir = problem.output_rising ? 0 : 1;  // QR(o-) for o+ races
+
+  // Literal set for condition (2): every prerequisite of t_o plus x*.
+  std::vector<stg::TransitionLabel> required;
+  for (int z : problem.prerequisites)
+    required.push_back(clause_mg.label(z));
+  if (problem.relaxed_x != -1)
+    required.push_back(clause_mg.label(problem.relaxed_x));
+
+  std::vector<CandidateClause> result;
+  for (int c = 0; c < static_cast<int>(cover.cubes.size()); ++c) {
+    const boolfn::Cube& cube = cover.cubes[c];
+    // Condition (1): the clause can flip the pull function true inside the
+    // preceding quiescent region.
+    bool can_win = false;
+    for (int s = 0; s < clause_graph.state_count() && !can_win; ++s) {
+      if (regions.qr[qr_dir][s] == -1) continue;
+      if (cover.eval(clause_graph.codes[s])) continue;
+      for (const auto& [t, succ] : clause_graph.out[s]) {
+        (void)t;
+        if (regions.qr[qr_dir][succ] == -1) continue;
+        if (cover.eval(clause_graph.codes[succ]) &&
+            cube.eval(clause_graph.codes[succ])) {
+          can_win = true;
+          break;
+        }
+      }
+    }
+    // Condition (2): the clause carrying all prerequisite literals (and x*).
+    bool is_prereq_clause = true;
+    for (const stg::TransitionLabel& label : required)
+      if (!cube_matches_transition(cube, label)) is_prereq_clause = false;
+    if (!can_win && !is_prereq_clause) continue;
+
+    CandidateClause candidate;
+    candidate.cube_index = c;
+    candidate.cube = cube;
+    // Candidate transitions: literal events concurrent with t_o in the STG
+    // being decomposed, plus x* for its own clause.
+    for (int t : decomposed_mg.alive_transitions()) {
+      const stg::TransitionLabel& label = decomposed_mg.label(t);
+      if (label.signal == gate.output) continue;
+      if (!cube_matches_transition(cube, label)) continue;
+      const bool is_x = t == problem.relaxed_x;
+      if (is_x ||
+          decomposed_mg.structurally_concurrent(t, problem.output_transition))
+        candidate.transitions.push_back(t);
+    }
+    std::sort(candidate.transitions.begin(), candidate.transitions.end());
+    candidate.transitions.erase(
+        std::unique(candidate.transitions.begin(),
+                    candidate.transitions.end()),
+        candidate.transitions.end());
+    check(!candidate.transitions.empty(),
+          "find_candidate_clauses: candidate clause without candidate "
+          "transitions");
+    result.push_back(std::move(candidate));
+  }
+  check(result.size() >= 2,
+        "find_candidate_clauses: OR-causality needs at least two candidate "
+        "clauses");
+  return result;
+}
+
+std::vector<RestrictionSet> two_clause_solver(
+    std::vector<int> a, std::vector<int> b,
+    const std::set<std::pair<int, int>>& init) {
+  // Remove from A the transitions shared with B and those already ordered
+  // before some transition of B.
+  std::vector<int> a_common_removed;
+  for (int t : a)
+    if (std::find(b.begin(), b.end(), t) == b.end())
+      a_common_removed.push_back(t);
+  std::vector<int> a_final;
+  for (int t : a_common_removed) {
+    bool guaranteed = false;
+    for (int t2 : b)
+      if (init.count({t, t2})) guaranteed = true;
+    if (!guaranteed) a_final.push_back(t);
+  }
+  // Remove from B the transitions ordered before some remaining A
+  // transition: they can never be the last transition of clause B.
+  std::vector<int> b_final;
+  for (int t2 : b) {
+    bool precedes_a = false;
+    for (int t : a_common_removed)
+      if (init.count({t2, t})) precedes_a = true;
+    if (!precedes_a) b_final.push_back(t2);
+  }
+  std::vector<RestrictionSet> sets;
+  for (int t2 : b_final) {
+    RestrictionSet set;
+    for (int t : a_final) set.insert({t, t2});
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+namespace {
+
+bool subset(const RestrictionSet& inner, const RestrictionSet& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+/// Algorithm 7: cartesian combination with subset skipping.
+void gen_group(const std::vector<std::vector<RestrictionSet>>& sub_sets,
+               std::size_t n, const RestrictionSet& build,
+               std::vector<RestrictionSet>& out) {
+  if (n == sub_sets.size()) {
+    out.push_back(build);
+    return;
+  }
+  for (const RestrictionSet& set : sub_sets[n]) {
+    if (subset(set, build)) {
+      // One option of this group is already implied: skip the group.
+      gen_group(sub_sets, n + 1, build, out);
+      return;
+    }
+  }
+  for (const RestrictionSet& set : sub_sets[n]) {
+    RestrictionSet next = build;
+    next.insert(set.begin(), set.end());
+    gen_group(sub_sets, n + 1, next, out);
+  }
+}
+
+}  // namespace
+
+std::vector<RestrictionSet> one_clause_take_over(
+    int a_index, const std::vector<CandidateClause>& clauses,
+    const std::set<std::pair<int, int>>& init) {
+  std::vector<std::vector<RestrictionSet>> sub_sets;
+  for (int b_index = 0; b_index < static_cast<int>(clauses.size());
+       ++b_index) {
+    if (b_index == a_index) continue;
+    sub_sets.push_back(two_clause_solver(clauses[a_index].transitions,
+                                         clauses[b_index].transitions, init));
+  }
+  std::vector<RestrictionSet> merged;
+  gen_group(sub_sets, 0, RestrictionSet{}, merged);
+  // Deduplicate identical merged sets.
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+std::set<std::pair<int, int>> initial_restrictions(
+    const stg::MgStg& mg, const std::vector<CandidateClause>& clauses) {
+  std::set<int> candidates;
+  for (const CandidateClause& clause : clauses)
+    candidates.insert(clause.transitions.begin(), clause.transitions.end());
+  std::set<std::pair<int, int>> init;
+  for (int u : candidates)
+    for (int v : candidates)
+      if (u != v && mg.structurally_before(u, v)) init.insert({u, v});
+  return init;
+}
+
+std::vector<SolutionEntry> or_causality_decomposition(
+    const std::vector<CandidateClause>& clauses,
+    const std::set<std::pair<int, int>>& init) {
+  std::vector<SolutionEntry> entries;
+  for (int a = 0; a < static_cast<int>(clauses.size()); ++a)
+    for (RestrictionSet& set : one_clause_take_over(a, clauses, init)) {
+      SolutionEntry entry;
+      entry.clause_index = a;
+      entry.restrictions = std::move(set);
+      entries.push_back(std::move(entry));
+    }
+  check(!entries.empty(),
+        "or_causality_decomposition: empty solution group");
+  return entries;
+}
+
+std::vector<stg::MgStg> build_substgs(
+    const stg::MgStg& base, const circuit::Gate& gate,
+    const OrProblem& problem, const std::vector<CandidateClause>& clauses,
+    const std::vector<SolutionEntry>& entries,
+    bool relax_non_clause_prereqs) {
+  (void)gate;  // reserved: future diagnostics name the gate
+  std::vector<stg::MgStg> result;
+  for (const SolutionEntry& entry : entries) {
+    stg::MgStg sub = base;
+    const CandidateClause& winner = clauses[entry.clause_index];
+    for (const auto& [before, after] : entry.restrictions)
+      sub.insert_arc(before, after, 0, stg::ArcKind::restriction);
+    // The winning clause's candidate transitions become prerequisites.
+    for (int t : winner.transitions)
+      sub.insert_arc(t, problem.output_transition, 0, stg::ArcKind::normal);
+    if (relax_non_clause_prereqs) {
+      // Case 3: old prerequisites outside the winning clause are made
+      // concurrent with the output transition again.
+      for (int z : problem.prerequisites) {
+        if (z == problem.output_transition) continue;
+        if (cube_matches_transition(winner.cube, base.label(z))) continue;
+        if (sub.has_arc(z, problem.output_transition) &&
+            sub.arc_kind(z, problem.output_transition) ==
+                stg::ArcKind::normal)
+          sub.relax(z, problem.output_transition);
+      }
+    }
+    sub.eliminate_redundant_arcs();
+    check(sub.live(), "build_substgs: restriction arcs created a token-free "
+                      "cycle");
+    sub.validate();
+    result.push_back(std::move(sub));
+  }
+  return result;
+}
+
+}  // namespace sitime::core

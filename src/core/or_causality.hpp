@@ -1,0 +1,101 @@
+// OR-causality decomposition (Chapter 6).
+//
+// When relaxation lets more than one clause of a gate's pull function race
+// to cause the same output transition, a safe marked graph cannot express
+// the race. The local STG is decomposed into subSTGs: in each one, order-
+// restriction arcs ('#') force one *candidate clause* to evaluate true
+// first, and that clause's candidate transitions become prerequisites of the
+// output transition. The union of subSTG state spaces covers every firing
+// order of the original race (Section 6.2).
+//
+// The solver (Algorithms 6-8) computes, for each clause A, a group of
+// restriction sets realizing "A completes before every other clause":
+//   - transitions common to both clauses need no constraint,
+//   - transitions already (transitively) ordered before the other clause
+//     need no constraint,
+//   - a restriction set is emitted per possible last transition t' of the
+//     other clause, ordering all remaining A-transitions before t'.
+// Note: the worked example in Section 6.2.1 prints c+ inside the final sets
+// although the text's own A'' = {b+,g+,h+} excludes it; we follow the
+// algorithm (and the A'' computation), not the printed set.
+#pragma once
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "core/hazard_check.hpp"
+#include "sg/state_graph.hpp"
+#include "stg/marked_graph.hpp"
+
+namespace sitime::core {
+
+/// Context of one OR-causality episode.
+struct OrProblem {
+  int output_transition = -1;      // t_o, the raced output transition
+  bool output_rising = false;      // direction of t_o
+  std::vector<int> prerequisites;  // Epre(t_o) on the pre-relaxation STG
+  int relaxed_x = -1;              // the x* whose relaxation exposed the race
+};
+
+/// A clause able to win the race, with its candidate transitions (the
+/// literal events still concurrent with t_o, plus x* for its own clause).
+struct CandidateClause {
+  int cube_index = -1;
+  boolfn::Cube cube;
+  std::vector<int> transitions;  // candidate transition ids, sorted
+};
+
+/// Ordered pair (u, v): u must fire before v.
+using RestrictionSet = std::set<std::pair<int, int>>;
+
+/// One subSTG recipe: the winning clause and its restriction arcs.
+struct SolutionEntry {
+  int clause_index = -1;  // index into the CandidateClause vector
+  RestrictionSet restrictions;
+};
+
+/// Finds candidate clauses per Section 6.1. Condition (1) is evaluated on
+/// `clause_graph`/`clause_mg` (the SG "before arc modification" for case 2,
+/// the current SG for case 3); candidate-transition concurrency is evaluated
+/// on `decomposed_mg` (the STG being decomposed). Throws when a candidate
+/// clause ends up with no candidate transitions.
+std::vector<CandidateClause> find_candidate_clauses(
+    const stg::MgStg& clause_mg, const sg::StateGraph& clause_graph,
+    const stg::MgStg& decomposed_mg, const circuit::Gate& gate,
+    const OrProblem& problem);
+
+/// Algorithm 6: restriction sets for "clause A completes before clause B"
+/// under the initial orderings `init` (pairs u-before-v among candidates).
+std::vector<RestrictionSet> two_clause_solver(
+    std::vector<int> a, std::vector<int> b,
+    const std::set<std::pair<int, int>>& init);
+
+/// Algorithm 7/8: all merged restriction sets letting clause `a_index` win
+/// against every other clause (cartesian combination with subset skipping).
+std::vector<RestrictionSet> one_clause_take_over(
+    int a_index, const std::vector<CandidateClause>& clauses,
+    const std::set<std::pair<int, int>>& init);
+
+/// Structural orderings among all candidate transitions of `clauses` in
+/// `mg` (the initial restrictions fed to the solver).
+std::set<std::pair<int, int>> initial_restrictions(
+    const stg::MgStg& mg, const std::vector<CandidateClause>& clauses);
+
+/// Algorithm 9: the full solution group (one entry per subSTG).
+std::vector<SolutionEntry> or_causality_decomposition(
+    const std::vector<CandidateClause>& clauses,
+    const std::set<std::pair<int, int>>& init);
+
+/// Builds the subSTGs from `base` (the STG being decomposed): adds the '#'
+/// restriction arcs and the winning clause's prerequisite arcs; for case 3
+/// (`relax_non_clause_prereqs`), old prerequisites whose literal is not in
+/// the winning clause are made concurrent with t_o again (Section 6.2.2).
+std::vector<stg::MgStg> build_substgs(
+    const stg::MgStg& base, const circuit::Gate& gate,
+    const OrProblem& problem, const std::vector<CandidateClause>& clauses,
+    const std::vector<SolutionEntry>& entries,
+    bool relax_non_clause_prereqs);
+
+}  // namespace sitime::core

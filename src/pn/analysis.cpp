@@ -1,0 +1,131 @@
+#include "pn/analysis.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "base/error.hpp"
+
+namespace sitime::pn {
+
+ReachabilityGraph reachability(const PetriNet& net, int state_limit,
+                               int token_limit) {
+  ReachabilityGraph graph;
+  const Marking& m0 = net.initial_marking();
+  graph.markings.push_back(m0);
+  graph.index[m0] = 0;
+  graph.edges.emplace_back();
+  std::queue<int> frontier;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const int state = frontier.front();
+    frontier.pop();
+    const Marking current = graph.markings[state];
+    for (int t : net.enabled_transitions(current)) {
+      Marking next = net.fire(t, current);
+      for (int tokens : next)
+        check(tokens <= token_limit,
+              "reachability: place exceeded token limit (unbounded net?)");
+      auto [it, inserted] =
+          graph.index.emplace(std::move(next), static_cast<int>(
+                                                   graph.markings.size()));
+      if (inserted) {
+        graph.markings.push_back(it->first);
+        graph.edges.emplace_back();
+        check(static_cast<int>(graph.markings.size()) <= state_limit,
+              "reachability: state limit exceeded");
+        frontier.push(it->second);
+      }
+      graph.edges[state].emplace_back(t, it->second);
+    }
+  }
+  return graph;
+}
+
+bool is_safe(const PetriNet& net, const ReachabilityGraph& graph) {
+  (void)net;
+  for (const Marking& marking : graph.markings)
+    for (int tokens : marking)
+      if (tokens > 1) return false;
+  return true;
+}
+
+bool is_live(const PetriNet& net, const ReachabilityGraph& graph) {
+  // A transition t is live when from every reachable marking some marking
+  // enabling t is reachable. Compute, per state, the set of transitions
+  // reachable-enabled via backward propagation over the edge relation.
+  const int states = static_cast<int>(graph.markings.size());
+  const int transitions = net.transition_count();
+  // can_enable[s] = bitset of transitions enabled somewhere reachable from s.
+  std::vector<std::vector<bool>> can_enable(
+      states, std::vector<bool>(transitions, false));
+  for (int s = 0; s < states; ++s)
+    for (const auto& [t, succ] : graph.edges[s]) {
+      (void)succ;
+      can_enable[s][t] = true;
+    }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int s = 0; s < states; ++s) {
+      for (const auto& [t, succ] : graph.edges[s]) {
+        (void)t;
+        for (int u = 0; u < transitions; ++u) {
+          if (can_enable[succ][u] && !can_enable[s][u]) {
+            can_enable[s][u] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  for (int s = 0; s < states; ++s)
+    for (int u = 0; u < transitions; ++u)
+      if (!can_enable[s][u]) return false;
+  return true;
+}
+
+bool is_free_choice(const PetriNet& net) {
+  for (int p = 0; p < net.place_count(); ++p) {
+    const auto& outs = net.place_outputs(p);
+    if (outs.size() <= 1) continue;
+    for (int t : outs)
+      if (net.transition_inputs(t).size() != 1) return false;
+  }
+  return true;
+}
+
+bool is_marked_graph(const PetriNet& net) {
+  for (int p = 0; p < net.place_count(); ++p) {
+    if (net.place_inputs(p).size() > 1) return false;
+    if (net.place_outputs(p).size() > 1) return false;
+  }
+  return true;
+}
+
+bool in_conflict(const PetriNet& net, const ReachabilityGraph& graph, int t1,
+                 int t2) {
+  if (t1 == t2) return false;
+  for (const Marking& marking : graph.markings) {
+    if (!net.enabled(t1, marking) || !net.enabled(t2, marking)) continue;
+    const Marking after1 = net.fire(t1, marking);
+    const Marking after2 = net.fire(t2, marking);
+    if (!net.enabled(t2, after1) || !net.enabled(t1, after2)) return true;
+  }
+  return false;
+}
+
+bool concurrent(const PetriNet& net, const ReachabilityGraph& graph, int t1,
+                int t2) {
+  if (t1 == t2) return false;
+  bool both_enabled_somewhere = false;
+  for (const Marking& marking : graph.markings) {
+    if (!net.enabled(t1, marking) || !net.enabled(t2, marking)) continue;
+    both_enabled_somewhere = true;
+    const Marking after1 = net.fire(t1, marking);
+    const Marking after2 = net.fire(t2, marking);
+    if (!net.enabled(t2, after1) || !net.enabled(t1, after2)) return false;
+  }
+  return both_enabled_somewhere;
+}
+
+}  // namespace sitime::pn

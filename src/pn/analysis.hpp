@@ -1,0 +1,49 @@
+// Behavioural and structural analysis of Petri nets (Section 3.2):
+// reachability, safeness, liveness, free-choice and marked-graph predicates,
+// conflict/concurrency of transitions.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "pn/petri_net.hpp"
+
+namespace sitime::pn {
+
+/// Explicit reachability graph of a Petri net.
+struct ReachabilityGraph {
+  std::vector<Marking> markings;                  // index = state id
+  std::map<Marking, int> index;                   // marking -> state id
+  std::vector<std::vector<std::pair<int, int>>> edges;  // (transition, succ)
+};
+
+/// Exhaustive reachability from the initial marking. Throws when the number
+/// of markings exceeds `state_limit` (defensive bound for unbounded nets) or
+/// any place accumulates more than `token_limit` tokens.
+ReachabilityGraph reachability(const PetriNet& net, int state_limit = 1 << 20,
+                               int token_limit = 8);
+
+/// Every reachable marking puts at most one token in each place.
+bool is_safe(const PetriNet& net, const ReachabilityGraph& graph);
+
+/// Every transition can be enabled again from every reachable marking.
+bool is_live(const PetriNet& net, const ReachabilityGraph& graph);
+
+/// Every choice place (more than one output transition) is a free-choice
+/// place: it is the unique input place of all its output transitions.
+bool is_free_choice(const PetriNet& net);
+
+/// No place has more than one input or more than one output transition.
+bool is_marked_graph(const PetriNet& net);
+
+/// Transitions t1 and t2 are in conflict when some reachable marking enables
+/// both but firing one disables the other.
+bool in_conflict(const PetriNet& net, const ReachabilityGraph& graph, int t1,
+                 int t2);
+
+/// Transitions t1 and t2 are concurrent: whenever both are enabled they are
+/// not in conflict, and some reachable marking enables both.
+bool concurrent(const PetriNet& net, const ReachabilityGraph& graph, int t1,
+                int t2);
+
+}  // namespace sitime::pn

@@ -1,0 +1,35 @@
+// Hack's decomposition of a live and safe free-choice net into marked-graph
+// components (Section 5.2.1, after [Hack72]).
+//
+// An MG allocation picks one output transition for every choice place. The
+// reduction then (1) eliminates all unallocated transitions, (2) eliminates
+// places whose input transitions are all eliminated, (3) eliminates
+// transitions with an eliminated input place, repeating (2)-(3) to a
+// fixpoint. Each surviving transition keeps its full preset and postset, so
+// the result is a transition-generated subnet; allocations whose reduction
+// is not a marked graph are discarded. The thesis notes the enumeration is
+// exponential only in the number of choice places, which specifications keep
+// small.
+#pragma once
+
+#include <vector>
+
+#include "pn/petri_net.hpp"
+
+namespace sitime::pn {
+
+/// One marked-graph component of a free-choice net, referencing ids of the
+/// parent net.
+struct MgComponent {
+  std::vector<int> transitions;  // kept transitions, ascending
+  std::vector<int> places;       // kept places, ascending
+};
+
+/// All distinct MG components produced by MG allocations. Throws when the
+/// net is not free-choice, when the allocation count exceeds
+/// `allocation_limit`, or when the resulting components fail to cover every
+/// transition of the net.
+std::vector<MgComponent> mg_components(const PetriNet& net,
+                                       int allocation_limit = 4096);
+
+}  // namespace sitime::pn

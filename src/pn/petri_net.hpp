@@ -1,0 +1,82 @@
+// Petri nets (Section 3.2 of the thesis).
+//
+// A Petri net is a quadruple N = (P, T, F, m0): places, transitions, a flow
+// relation, and an initial marking. Places and transitions are referenced by
+// dense integer ids; names are kept for diagnostics and the astg format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sitime::pn {
+
+/// Marking: number of tokens per place id.
+using Marking = std::vector<int>;
+
+class PetriNet {
+ public:
+  /// Adds a place with `tokens` initial tokens; returns its id.
+  int add_place(const std::string& name, int tokens = 0);
+
+  /// Adds a transition; returns its id.
+  int add_transition(const std::string& name);
+
+  /// Adds a flow arc place -> transition.
+  void add_place_to_transition(int place, int transition);
+
+  /// Adds a flow arc transition -> place.
+  void add_transition_to_place(int transition, int place);
+
+  int place_count() const { return static_cast<int>(place_names_.size()); }
+  int transition_count() const {
+    return static_cast<int>(transition_names_.size());
+  }
+
+  const std::string& place_name(int place) const { return place_names_[place]; }
+  const std::string& transition_name(int transition) const {
+    return transition_names_[transition];
+  }
+
+  /// Id of the place/transition with the given name, or -1.
+  int find_place(const std::string& name) const;
+  int find_transition(const std::string& name) const;
+
+  /// Preset / postset accessors (ids).
+  const std::vector<int>& place_inputs(int place) const {
+    return place_in_[place];
+  }
+  const std::vector<int>& place_outputs(int place) const {
+    return place_out_[place];
+  }
+  const std::vector<int>& transition_inputs(int transition) const {
+    return transition_in_[transition];
+  }
+  const std::vector<int>& transition_outputs(int transition) const {
+    return transition_out_[transition];
+  }
+
+  const Marking& initial_marking() const { return initial_marking_; }
+  void set_initial_tokens(int place, int tokens);
+
+  /// True when `transition` is enabled in `marking` (every input place
+  /// marked).
+  bool enabled(int transition, const Marking& marking) const;
+
+  /// Fires an enabled transition, returning the successor marking. Throws
+  /// when the transition is not enabled.
+  Marking fire(int transition, const Marking& marking) const;
+
+  /// All transitions enabled in `marking`, ascending by id.
+  std::vector<int> enabled_transitions(const Marking& marking) const;
+
+ private:
+  std::vector<std::string> place_names_;
+  std::vector<std::string> transition_names_;
+  std::vector<std::vector<int>> place_in_;        // transitions feeding place
+  std::vector<std::vector<int>> place_out_;       // transitions fed by place
+  std::vector<std::vector<int>> transition_in_;   // places feeding transition
+  std::vector<std::vector<int>> transition_out_;  // places fed by transition
+  Marking initial_marking_;
+};
+
+}  // namespace sitime::pn

@@ -1,0 +1,108 @@
+#include "sg/regions.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "base/error.hpp"
+#include "base/graph.hpp"
+
+namespace sitime::sg {
+
+namespace {
+
+/// Renumbers components by decreasing size; `membership` holds raw ids.
+int renumber_by_size(std::vector<int>& membership) {
+  int max_id = -1;
+  for (int id : membership) max_id = std::max(max_id, id);
+  if (max_id < 0) return 0;
+  std::vector<int> size(max_id + 1, 0);
+  for (int id : membership)
+    if (id >= 0) ++size[id];
+  std::vector<int> order(max_id + 1);
+  for (int i = 0; i <= max_id; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&size](int a, int b) { return size[a] > size[b]; });
+  std::vector<int> rename(max_id + 1, -1);
+  for (int rank = 0; rank <= max_id; ++rank) rename[order[rank]] = rank;
+  for (int& id : membership)
+    if (id >= 0) id = rename[id];
+  return max_id + 1;
+}
+
+}  // namespace
+
+RegionSet compute_regions(const StateGraph& graph, const stg::MgStg& mg,
+                          int signal) {
+  const int states = graph.state_count();
+  RegionSet regions;
+  regions.signal = signal;
+
+  base::WeightedGraph adjacency(states);
+  for (int s = 0; s < states; ++s)
+    for (const auto& [t, succ] : graph.out[s]) {
+      (void)t;
+      adjacency[s].emplace_back(succ, 1);
+    }
+
+  for (int d = 0; d < 2; ++d) {
+    const bool rising = d == 1;
+    std::vector<bool> er_member(states, false);
+    std::vector<bool> qr_member(states, false);
+    for (int s = 0; s < states; ++s) {
+      const bool excited_this = graph.excites(mg, s, signal, rising);
+      const bool excited_other = graph.excites(mg, s, signal, !rising);
+      const bool value = graph.value(s, signal);
+      if (excited_this) {
+        er_member[s] = true;
+      } else if (!excited_other && value == rising) {
+        // Signal stable at the post-transition value of this direction.
+        qr_member[s] = true;
+      }
+    }
+    regions.er[d] = base::weak_components(adjacency, er_member);
+    regions.qr[d] = base::weak_components(adjacency, qr_member);
+    regions.er_count[d] = renumber_by_size(regions.er[d]);
+    regions.qr_count[d] = renumber_by_size(regions.qr[d]);
+  }
+  return regions;
+}
+
+int following_er(const StateGraph& graph, const stg::MgStg& mg,
+                 const RegionSet& regions, int state, bool rising,
+                 int* out_transition) {
+  const int d = rising ? 1 : 0;
+  std::vector<bool> visited(graph.state_count(), false);
+  std::queue<int> frontier;
+  frontier.push(state);
+  visited[state] = true;
+  while (!frontier.empty()) {
+    const int s = frontier.front();
+    frontier.pop();
+    if (regions.er[d][s] != -1) {
+      if (out_transition != nullptr) {
+        *out_transition = -1;
+        for (const auto& [t, succ] : graph.out[s]) {
+          (void)succ;
+          if (mg.label(t).signal == regions.signal &&
+              mg.label(t).rising == rising) {
+            *out_transition = t;
+            break;
+          }
+        }
+        check(*out_transition != -1, "following_er: ER state without the "
+                                     "excited transition");
+      }
+      return regions.er[d][s];
+    }
+    for (const auto& [t, succ] : graph.out[s]) {
+      (void)t;
+      if (!visited[succ]) {
+        visited[succ] = true;
+        frontier.push(succ);
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace sitime::sg

@@ -1,0 +1,46 @@
+// Excitation and quiescent regions (Section 3.4) for one signal of a local
+// state graph, with connected-component indexing (the thesis's ER_i / QR_i)
+// and the "QR_i is followed by ER_j" adjacency used by the hazard criterion
+// of Section 5.4.
+#pragma once
+
+#include <vector>
+
+#include "sg/state_graph.hpp"
+
+namespace sitime::sg {
+
+/// Region classification of every state with respect to one signal.
+/// Direction index: 1 = rising (o+), 0 = falling (o-).
+struct RegionSet {
+  int signal = -1;
+  /// er[d][s]: component id of state s within ER(o+)/ER(o-), or -1.
+  std::vector<int> er[2];
+  /// qr[d][s]: component id within QR(o+)/QR(o-), or -1.
+  std::vector<int> qr[2];
+  int er_count[2] = {0, 0};
+  int qr_count[2] = {0, 0};
+
+  bool in_er(int state, bool rising) const {
+    return er[rising ? 1 : 0][state] != -1;
+  }
+  bool in_qr(int state, bool rising) const {
+    return qr[rising ? 1 : 0][state] != -1;
+  }
+};
+
+/// Computes ER/QR membership and weakly-connected component ids (components
+/// are numbered by decreasing size, matching the thesis's "i-th largest").
+RegionSet compute_regions(const StateGraph& graph, const stg::MgStg& mg,
+                          int signal);
+
+/// Forward search from `state` (expected in QR(o, !rising... i.e. a
+/// quiescent region) for the first states where a transition on
+/// `regions.signal` with direction `rising` becomes excited. Returns the ER
+/// component id reached, or -1 when none is reachable. When `out_transition`
+/// is non-null it receives the id of the excited transition found there.
+int following_er(const StateGraph& graph, const stg::MgStg& mg,
+                 const RegionSet& regions, int state, bool rising,
+                 int* out_transition = nullptr);
+
+}  // namespace sitime::sg

@@ -1,0 +1,181 @@
+#include "sg/state_graph.hpp"
+
+#include <numeric>
+#include <queue>
+
+#include "base/error.hpp"
+
+namespace sitime::sg {
+
+int StateGraph::successor(int state, int transition) const {
+  for (const auto& [t, succ] : out[state])
+    if (t == transition) return succ;
+  return -1;
+}
+
+bool StateGraph::excites(const stg::MgStg& mg, int state, int signal,
+                         bool rising) const {
+  for (const auto& [t, succ] : out[state]) {
+    (void)succ;
+    if (mg.label(t).signal == signal && mg.label(t).rising == rising)
+      return true;
+  }
+  return false;
+}
+
+StateGraph build_state_graph(const stg::MgStg& mg, int state_limit,
+                             int token_limit) {
+  const auto& arcs = mg.arcs();
+  const int arc_count = static_cast<int>(arcs.size());
+
+  // Per-transition input/output arc indices.
+  std::vector<std::vector<int>> in_arcs(mg.transition_count());
+  std::vector<std::vector<int>> out_arcs(mg.transition_count());
+  for (int i = 0; i < arc_count; ++i) {
+    in_arcs[arcs[i].to].push_back(i);
+    out_arcs[arcs[i].from].push_back(i);
+  }
+  for (int t : mg.alive_transitions())
+    check(!in_arcs[t].empty(), "build_state_graph: transition '" +
+                                   mg.transition_text(t) +
+                                   "' has no input arc");
+
+  std::uint64_t initial_code = 0;
+  for (int t : mg.alive_transitions()) {
+    const int signal = mg.label(t).signal;
+    check(mg.initial_values[signal] >= 0,
+          "build_state_graph: unknown initial value for signal '" +
+              mg.signals().name(signal) + "'");
+    if (mg.initial_values[signal] == 1)
+      initial_code |= std::uint64_t{1} << signal;
+  }
+
+  StateGraph graph;
+  std::vector<int> m0(arc_count);
+  for (int i = 0; i < arc_count; ++i) m0[i] = arcs[i].tokens;
+  graph.markings.push_back(m0);
+  graph.codes.push_back(initial_code);
+  graph.out.emplace_back();
+  graph.index[m0] = 0;
+  std::queue<int> frontier;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    const int state = frontier.front();
+    frontier.pop();
+    const std::vector<int> current = graph.markings[state];
+    for (int t : mg.alive_transitions()) {
+      bool enabled = true;
+      for (int a : in_arcs[t])
+        if (current[a] <= 0) {
+          enabled = false;
+          break;
+        }
+      if (!enabled) continue;
+      // Consistency: a+ requires a = 0, a- requires a = 1.
+      const stg::TransitionLabel& label = mg.label(t);
+      const bool value = (graph.codes[state] >> label.signal) & 1;
+      check(value != label.rising,
+            "build_state_graph: inconsistent firing of '" +
+                mg.transition_text(t) + "'");
+      std::vector<int> next = current;
+      for (int a : in_arcs[t]) --next[a];
+      for (int a : out_arcs[t]) {
+        ++next[a];
+        check(next[a] <= token_limit,
+              "build_state_graph: token bound exceeded (unsafe relaxation; "
+              "does the gate have redundant literals?)");
+      }
+      const std::uint64_t next_code =
+          graph.codes[state] ^ (std::uint64_t{1} << label.signal);
+      auto [it, inserted] =
+          graph.index.emplace(next, static_cast<int>(graph.markings.size()));
+      if (inserted) {
+        graph.markings.push_back(next);
+        graph.codes.push_back(next_code);
+        graph.out.emplace_back();
+        check(graph.state_count() <= state_limit,
+              "build_state_graph: state limit exceeded");
+        frontier.push(it->second);
+      } else {
+        check(graph.codes[it->second] == next_code,
+              "build_state_graph: inconsistent codes for one marking");
+      }
+      graph.out[state].emplace_back(t, it->second);
+    }
+  }
+  return graph;
+}
+
+GlobalSg build_global_sg(const stg::Stg& stg, int state_limit) {
+  GlobalSg sg;
+  sg.reach = pn::reachability(stg.net, state_limit);
+  const int states = sg.reach.markings.size() > 0
+                         ? static_cast<int>(sg.reach.markings.size())
+                         : 0;
+  const int signal_count = stg.signals.count();
+  check(signal_count <= 64, "build_global_sg: too many signals");
+  sg.codes.assign(states, 0);
+
+  // Infer per-signal values by union-find over edges not labelled with the
+  // signal, then pin component values from the labelled edges.
+  for (int a = 0; a < signal_count; ++a) {
+    std::vector<int> parent(states);
+    std::iota(parent.begin(), parent.end(), 0);
+    std::vector<int> rank(states, 0);
+    auto find = [&parent](int v) {
+      while (parent[v] != v) {
+        parent[v] = parent[parent[v]];
+        v = parent[v];
+      }
+      return v;
+    };
+    auto unite = [&find, &parent, &rank](int a_, int b_) {
+      a_ = find(a_);
+      b_ = find(b_);
+      if (a_ == b_) return;
+      if (rank[a_] < rank[b_]) std::swap(a_, b_);
+      parent[b_] = a_;
+      if (rank[a_] == rank[b_]) ++rank[a_];
+    };
+    for (int s = 0; s < states; ++s)
+      for (const auto& [t, succ] : sg.reach.edges[s])
+        if (stg.labels[t].signal != a) unite(s, succ);
+    std::vector<int> component_value(states, -1);
+    bool constrained = false;
+    for (int s = 0; s < states; ++s) {
+      for (const auto& [t, succ] : sg.reach.edges[s]) {
+        if (stg.labels[t].signal != a) continue;
+        constrained = true;
+        const int before = stg.labels[t].rising ? 0 : 1;
+        for (const auto& [state, value] :
+             {std::pair<int, int>{s, before},
+              std::pair<int, int>{succ, 1 - before}}) {
+          const int root = find(state);
+          check(component_value[root] == -1 ||
+                    component_value[root] == value,
+                "build_global_sg: STG is inconsistent on signal '" +
+                    stg.signals.name(a) + "'");
+          component_value[root] = value;
+        }
+      }
+    }
+    check(constrained, "build_global_sg: signal '" + stg.signals.name(a) +
+                           "' never transitions");
+    for (int s = 0; s < states; ++s) {
+      const int value = component_value[find(s)];
+      check(value != -1, "build_global_sg: undetermined value of '" +
+                             stg.signals.name(a) + "'");
+      if (value == 1) sg.codes[s] |= std::uint64_t{1} << a;
+    }
+  }
+  return sg;
+}
+
+std::vector<int> initial_values(const stg::Stg& stg, const GlobalSg& sg) {
+  std::vector<int> values(stg.signals.count(), -1);
+  for (int a = 0; a < stg.signals.count(); ++a)
+    values[a] = sg.value(0, a) ? 1 : 0;
+  return values;
+}
+
+}  // namespace sitime::sg

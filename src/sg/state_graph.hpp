@@ -1,0 +1,74 @@
+// State graphs (Section 3.4).
+//
+// Two builders are provided:
+//  - build_state_graph(): the SG of a local (marked-graph) STG, used by the
+//    hazard criterion of Section 5.4. States are arc markings plus a binary
+//    signal code; building checks consistency (rising/falling alternation).
+//  - build_global_sg(): the SG of the full implementation STG (a possibly
+//    free-choice net), used by the synthesis substrate and for the "number
+//    of states" column of Table 7.2. Signal values are inferred from the
+//    transition labels by constraint propagation; conflicts mean the STG is
+//    inconsistent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pn/analysis.hpp"
+#include "stg/marked_graph.hpp"
+#include "stg/stg.hpp"
+
+namespace sitime::sg {
+
+/// Explicit state graph of a marked-graph STG. States are indexed densely;
+/// state 0 is the initial state.
+struct StateGraph {
+  std::vector<std::vector<int>> markings;  // tokens per arc index of the MgStg
+  std::vector<std::uint64_t> codes;        // bit per signal id
+  std::vector<std::vector<std::pair<int, int>>> out;  // (transition, succ)
+  std::map<std::vector<int>, int> index;
+
+  int state_count() const { return static_cast<int>(markings.size()); }
+
+  bool value(int state, int signal) const {
+    return (codes[state] >> signal) & 1;
+  }
+
+  /// Successor of `state` by firing `transition`, or -1 when not enabled.
+  int successor(int state, int transition) const;
+
+  /// True when some transition on `signal` with direction `rising` is
+  /// enabled in `state` (the MgStg labels are needed to interpret ids).
+  bool excites(const stg::MgStg& mg, int state, int signal,
+               bool rising) const;
+};
+
+/// Exhaustive reachability of the local STG. `mg.initial_values` must be set
+/// for every signal that has an alive transition. Throws on inconsistent
+/// firing (a+ from a state where a = 1), when a state/token bound is
+/// exceeded (a symptom of relaxing a gate with redundant literals, Lemma 2),
+/// or when a transition has no input arc.
+StateGraph build_state_graph(const stg::MgStg& mg, int state_limit = 200000,
+                             int token_limit = 6);
+
+/// State graph of the full STG: Petri-net reachability plus inferred codes.
+struct GlobalSg {
+  pn::ReachabilityGraph reach;
+  std::vector<std::uint64_t> codes;
+
+  int state_count() const { return static_cast<int>(reach.markings.size()); }
+  bool value(int state, int signal) const {
+    return (codes[state] >> signal) & 1;
+  }
+};
+
+/// Builds the global SG and infers a consistent binary code per state.
+/// Throws when the STG is inconsistent (no consistent value assignment
+/// exists) or when some signal never transitions.
+GlobalSg build_global_sg(const stg::Stg& stg, int state_limit = 1 << 20);
+
+/// Signal values at the initial marking of `stg` (index = signal id).
+std::vector<int> initial_values(const stg::Stg& stg, const GlobalSg& sg);
+
+}  // namespace sitime::sg

@@ -1,0 +1,112 @@
+#include "sim/montecarlo.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "base/error.hpp"
+
+namespace sitime::sim {
+
+namespace {
+
+/// Total delay of one adversary path for a constraint at `gate`:
+/// wires between consecutive path signals plus gate delays, plus the final
+/// wire into the constrained gate.
+double path_delay(const std::vector<int>& path,
+                  const circuit::AdversaryAnalysis& adversary, int gate,
+                  const DelayModel& delays) {
+  const stg::Stg& impl = adversary.impl();
+  double total = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const int from = impl.labels[path[i - 1]].signal;
+    const int to = impl.labels[path[i]].signal;
+    if (impl.signals.is_input(to))
+      total += delays.environment;
+    else
+      total += delays.wire_delay(from, to) + delays.gate_delay(to);
+  }
+  const int last = impl.labels[path.back()].signal;
+  total += delays.wire_delay(last, gate);
+  return total;
+}
+
+}  // namespace
+
+DelayModel random_delays(const circuit::Circuit& circuit, std::uint32_t seed,
+                         const McOptions& options) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> wire_dist(0.0,
+                                                   options.max_wire_delay);
+  DelayModel delays;
+  delays.environment = options.environment_delay;
+  for (const circuit::Wire& wire : circuit.wires())
+    delays.wire[{wire.source, wire.sink_gate}] = wire_dist(rng);
+  for (const circuit::Gate& gate : circuit.gates())
+    delays.gate[gate.output] = options.gate_delay;
+  return delays;
+}
+
+void enforce_constraints(DelayModel& delays,
+                         const core::ConstraintSet& constraints,
+                         const circuit::AdversaryAnalysis& adversary,
+                         const McOptions& options) {
+  // Only ever *reduce* wire delays, so iteration converges.
+  for (int round = 0; round < 16; ++round) {
+    bool changed = false;
+    for (const auto& [constraint, weight] : constraints) {
+      (void)weight;
+      const auto paths = adversary.paths(constraint.before, constraint.after);
+      if (paths.empty()) continue;
+      double slowest_allowed = 1e300;
+      for (const auto& path : paths)
+        slowest_allowed = std::min(
+            slowest_allowed,
+            path_delay(path, adversary, constraint.gate, delays));
+      auto& direct =
+          delays.wire[{constraint.before.signal, constraint.gate}];
+      const double target = options.margin * slowest_allowed;
+      if (direct > target) {
+        direct = target;
+        changed = true;
+      }
+    }
+    if (!changed) return;
+  }
+}
+
+void violate_constraint(DelayModel& delays,
+                        const core::TimingConstraint& constraint,
+                        const circuit::AdversaryAnalysis& adversary,
+                        double factor) {
+  const auto paths = adversary.paths(constraint.before, constraint.after);
+  check(!paths.empty(), "violate_constraint: no adversary path to race");
+  double fastest = 1e300;
+  for (const auto& path : paths)
+    fastest = std::min(fastest,
+                       path_delay(path, adversary, constraint.gate, delays));
+  delays.wire[{constraint.before.signal, constraint.gate}] =
+      factor * fastest + 1.0;
+}
+
+McResult run_montecarlo(const stg::Stg& impl, const circuit::Circuit& circuit,
+                        const core::ConstraintSet* enforce,
+                        const McOptions& options) {
+  const circuit::AdversaryAnalysis adversary(&impl);
+  McResult result;
+  for (int run = 0; run < options.runs; ++run) {
+    DelayModel delays =
+        random_delays(circuit, options.seed + static_cast<std::uint32_t>(run),
+                      options);
+    if (enforce != nullptr)
+      enforce_constraints(delays, *enforce, adversary, options);
+    const SimResult sim = simulate(impl, circuit, delays, options.sim);
+    ++result.runs;
+    if (sim.hazard_count > 0) {
+      ++result.hazardous_runs;
+      result.total_hazards += sim.hazard_count;
+    }
+  }
+  return result;
+}
+
+}  // namespace sitime::sim

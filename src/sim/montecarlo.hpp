@@ -1,0 +1,70 @@
+// Monte-Carlo hazard experiments over random wire delays.
+//
+// Random per-branch wire delays model the relaxed isochronic fork. A run is
+// hazardous when the simulator records any premature transition or lost
+// excitation. Enforcing a constraint set reshapes the sampled delays so
+// that, for every constraint "x* < y* at gate a", the direct wire x->a is
+// faster than each adversary path from x* to y* plus the wire y->a — this
+// is the delay-padding contract of Section 5.7, applied to sampled delays.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/adversary.hpp"
+#include "core/constraint.hpp"
+#include "sim/simulator.hpp"
+
+namespace sitime::sim {
+
+struct McOptions {
+  int runs = 100;
+  std::uint32_t seed = 1;
+  double max_wire_delay = 8.0;  // uniform [0, max] per wire
+  double gate_delay = 1.0;
+  /// Environment response time. Section 7.1 classifies constraints whose
+  /// adversary path crosses the environment as fulfilled already *because*
+  /// "the delay for the response from the environment is usually larger
+  /// than a wire delay in the circuit" — so the default honours that
+  /// operating assumption (slower than the slowest wire). Setting this
+  /// below max_wire_delay deliberately breaks the assumption and lets the
+  /// environment-guarded orderings race.
+  double environment_delay = 12.0;
+  double margin = 0.8;  // enforced wires get margin * path delay
+  SimOptions sim;
+};
+
+struct McResult {
+  int runs = 0;
+  int hazardous_runs = 0;
+  int total_hazards = 0;
+  double hazard_rate() const {
+    return runs == 0 ? 0.0 : static_cast<double>(hazardous_runs) / runs;
+  }
+};
+
+/// Random delay model over all wires of the circuit.
+DelayModel random_delays(const circuit::Circuit& circuit,
+                         std::uint32_t seed, const McOptions& options);
+
+/// Rewrites `delays` in place until every constraint holds: the constrained
+/// direct wire becomes faster than its slowest adversary path. Only wire
+/// delays are reduced, so the loop converges.
+void enforce_constraints(DelayModel& delays,
+                         const core::ConstraintSet& constraints,
+                         const circuit::AdversaryAnalysis& adversary,
+                         const McOptions& options);
+
+/// Deliberately breaks one constraint: the direct wire gets slower than its
+/// fastest adversary path (used to show derived constraints are not vacuous).
+void violate_constraint(DelayModel& delays,
+                        const core::TimingConstraint& constraint,
+                        const circuit::AdversaryAnalysis& adversary,
+                        double factor = 4.0);
+
+/// Runs `options.runs` simulations; when `enforce` is non-null the sampled
+/// delays are first reshaped to satisfy it.
+McResult run_montecarlo(const stg::Stg& impl, const circuit::Circuit& circuit,
+                        const core::ConstraintSet* enforce,
+                        const McOptions& options);
+
+}  // namespace sitime::sim

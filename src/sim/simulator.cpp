@@ -1,0 +1,248 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "base/error.hpp"
+#include "sg/state_graph.hpp"
+
+namespace sitime::sim {
+
+double DelayModel::wire_delay(int source, int sink) const {
+  const auto it = wire.find({source, sink});
+  return it == wire.end() ? 0.0 : it->second;
+}
+
+double DelayModel::gate_delay(int signal) const {
+  const auto it = gate.find(signal);
+  return it == gate.end() ? 1.0 : it->second;
+}
+
+namespace {
+
+enum class EventKind { wire_arrival, gate_fire, env_fire };
+
+struct Event {
+  double time = 0.0;
+  long long sequence = 0;  // tie-break for determinism
+  EventKind kind = EventKind::wire_arrival;
+  int a = -1;  // wire_arrival: source signal; gate_fire: gate; env_fire:
+               // STG transition id
+  int b = -1;  // wire_arrival: sink gate
+  bool value = false;
+  long long generation = 0;  // gate_fire cancellation token
+
+  bool operator>(const Event& other) const {
+    return std::tie(time, sequence) > std::tie(other.time, other.sequence);
+  }
+};
+
+class Simulation {
+ public:
+  Simulation(const stg::Stg& impl, const circuit::Circuit& circuit,
+             const DelayModel& delays, const SimOptions& options)
+      : impl_(impl), circuit_(circuit), delays_(delays), options_(options) {}
+
+  SimResult run() {
+    initialize();
+    while (!queue_.empty() && events_processed_ < options_.max_events &&
+           result_.transitions < options_.max_transitions) {
+      const Event event = queue_.top();
+      queue_.pop();
+      ++events_processed_;
+      now_ = event.time;
+      switch (event.kind) {
+        case EventKind::wire_arrival:
+          handle_wire_arrival(event);
+          break;
+        case EventKind::gate_fire:
+          handle_gate_fire(event);
+          break;
+        case EventKind::env_fire:
+          handle_env_fire(event);
+          break;
+      }
+    }
+    result_.deadlocked = queue_.empty();
+    return result_;
+  }
+
+ private:
+  void push(Event event) {
+    event.sequence = ++sequence_;
+    queue_.push(event);
+  }
+
+  void initialize() {
+    const sg::GlobalSg global = sg::build_global_sg(impl_);
+    values_.assign(impl_.signals.count(), false);
+    for (int s = 0; s < impl_.signals.count(); ++s)
+      values_[s] = global.value(0, s);
+    // Every gate pin starts at the driving signal's initial value.
+    for (const circuit::Gate& gate : circuit_.gates())
+      for (int fanin : gate.fanins) pins_[{fanin, gate.output}] = values_[fanin];
+    pending_generation_.assign(impl_.signals.count(), 0);
+    pending_active_.assign(impl_.signals.count(), false);
+    marking_ = impl_.net.initial_marking();
+    schedule_environment();
+    // Gates may already be excited in the initial state (none should be for
+    // a consistent SI circuit, but evaluate defensively).
+    for (const circuit::Gate& gate : circuit_.gates()) evaluate_gate(gate);
+  }
+
+  std::uint64_t gate_input_code(const circuit::Gate& gate) const {
+    std::uint64_t code = 0;
+    for (int fanin : gate.fanins)
+      if (pins_.at({fanin, gate.output}))
+        code |= std::uint64_t{1} << fanin;
+    if (values_[gate.output]) code |= std::uint64_t{1} << gate.output;
+    return code;
+  }
+
+  void evaluate_gate(const circuit::Gate& gate) {
+    const std::uint64_t code = gate_input_code(gate);
+    const bool current = values_[gate.output];
+    bool next = current;
+    if (gate.up.eval(code))
+      next = true;
+    else if (gate.down.eval(code))
+      next = false;
+    const int signal = gate.output;
+    if (next != current) {
+      if (!pending_active_[signal]) {
+        pending_active_[signal] = true;
+        ++pending_generation_[signal];
+        Event event;
+        event.time = now_ + delays_.gate_delay(signal);
+        event.kind = EventKind::gate_fire;
+        event.a = signal;
+        event.value = next;
+        event.generation = pending_generation_[signal];
+        push(event);
+      }
+    } else if (pending_active_[signal]) {
+      // Excitation vanished before the gate fired: lost pulse.
+      pending_active_[signal] = false;
+      ++pending_generation_[signal];
+      std::string pins;
+      for (int fanin : gate.fanins)
+        pins += " " + impl_.signals.name(fanin) + "=" +
+                (pins_.at({fanin, signal}) ? "1" : "0");
+      record_hazard(signal, false,
+                    "lost excitation at gate " + impl_.signals.name(signal) +
+                        " (pins" + pins + ")");
+    }
+  }
+
+  void handle_wire_arrival(const Event& event) {
+    auto it = pins_.find({event.a, event.b});
+    check(it != pins_.end(), "simulate: arrival on unknown wire");
+    if (it->second == event.value) return;
+    it->second = event.value;
+    evaluate_gate(circuit_.gate_for(event.b));
+  }
+
+  void handle_gate_fire(const Event& event) {
+    const int signal = event.a;
+    if (!pending_active_[signal] ||
+        event.generation != pending_generation_[signal])
+      return;  // cancelled
+    pending_active_[signal] = false;
+    apply_transition(signal, event.value, /*from_environment=*/false);
+    // The gate may be excited again immediately (e.g. autonomous rings).
+    evaluate_gate(circuit_.gate_for(signal));
+  }
+
+  void handle_env_fire(const Event& event) {
+    const int t = event.a;
+    if (!impl_.net.enabled(t, marking_)) return;  // raced by another choice
+    if (values_[impl_.labels[t].signal] == impl_.labels[t].rising)
+      return;  // stale
+    marking_ = impl_.net.fire(t, marking_);
+    apply_transition(impl_.labels[t].signal, impl_.labels[t].rising,
+                     /*from_environment=*/true);
+    schedule_environment();
+  }
+
+  void apply_transition(int signal, bool value, bool from_environment) {
+    values_[signal] = value;
+    ++result_.transitions;
+    if (!from_environment) {
+      // Monitor: the transition must be enabled in the STG marking.
+      int stg_transition = -1;
+      for (int t = 0; t < impl_.net.transition_count(); ++t) {
+        if (impl_.labels[t].signal == signal &&
+            impl_.labels[t].rising == value &&
+            impl_.net.enabled(t, marking_)) {
+          stg_transition = t;
+          break;
+        }
+      }
+      if (stg_transition == -1) {
+        record_hazard(signal, true,
+                      "premature transition on " + impl_.signals.name(signal));
+      } else {
+        marking_ = impl_.net.fire(stg_transition, marking_);
+        schedule_environment();
+      }
+    }
+    // Propagate along every fork branch with its wire delay.
+    for (const circuit::Gate& gate : circuit_.gates()) {
+      if (std::find(gate.fanins.begin(), gate.fanins.end(), signal) ==
+          gate.fanins.end())
+        continue;
+      Event event;
+      event.time = now_ + delays_.wire_delay(signal, gate.output);
+      event.kind = EventKind::wire_arrival;
+      event.a = signal;
+      event.b = gate.output;
+      event.value = value;
+      push(event);
+    }
+  }
+
+  void schedule_environment() {
+    for (int t = 0; t < impl_.net.transition_count(); ++t) {
+      if (!impl_.signals.is_input(impl_.labels[t].signal)) continue;
+      if (!impl_.net.enabled(t, marking_)) continue;
+      if (values_[impl_.labels[t].signal] == impl_.labels[t].rising) continue;
+      Event event;
+      event.time = now_ + delays_.environment;
+      event.kind = EventKind::env_fire;
+      event.a = t;
+      push(event);
+    }
+  }
+
+  void record_hazard(int signal, bool premature, const std::string& text) {
+    ++result_.hazard_count;
+    if (result_.hazards.size() < 64)
+      result_.hazards.push_back(HazardRecord{now_, signal, premature, text});
+  }
+
+  const stg::Stg& impl_;
+  const circuit::Circuit& circuit_;
+  const DelayModel& delays_;
+  const SimOptions& options_;
+
+  double now_ = 0.0;
+  long long sequence_ = 0;
+  int events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<bool> values_;
+  std::map<std::pair<int, int>, bool> pins_;
+  std::vector<long long> pending_generation_;
+  std::vector<bool> pending_active_;
+  pn::Marking marking_;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult simulate(const stg::Stg& impl, const circuit::Circuit& circuit,
+                   const DelayModel& delays, const SimOptions& options) {
+  Simulation simulation(impl, circuit, delays, options);
+  return simulation.run();
+}
+
+}  // namespace sitime::sim

@@ -1,0 +1,62 @@
+// Event-driven gate-level simulation with explicit wire delays.
+//
+// The thesis validates its constraints with SPICE (Section 7.2); offline we
+// use a discrete-event simulator: every gate has a pure delay, every fork
+// branch (wire source -> sink gate) has its own delay — exactly the degrees
+// of freedom the intra-operator fork assumption leaves open. The
+// environment plays the implementation STG's token game, firing input
+// transitions once enabled and consuming observed output transitions.
+//
+// Hazards are detected two ways:
+//  - premature output: a gate output transition fires that is not enabled
+//    in the STG marking (the glitch has propagated),
+//  - lost excitation: a gate's pending transition is disabled by a later
+//    input change before it fires (non-persistency; with pure delays this
+//    is a runt pulse in flight).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "stg/stg.hpp"
+
+namespace sitime::sim {
+
+/// Delay assignment for one simulation run. Times are arbitrary units.
+struct DelayModel {
+  std::map<std::pair<int, int>, double> wire;  // (source, sink gate) -> delay
+  std::map<int, double> gate;                  // gate signal -> delay
+  double environment = 1.0;  // response delay of the environment
+  double wire_delay(int source, int sink) const;
+  double gate_delay(int signal) const;
+};
+
+struct SimOptions {
+  int max_events = 20000;    // total processed events before stopping
+  int max_transitions = 2000;  // output/input transitions before stopping
+};
+
+struct HazardRecord {
+  double time = 0.0;
+  int signal = -1;
+  bool premature = false;  // true: spec-violating transition; false: lost
+                           // excitation
+  std::string text;
+};
+
+struct SimResult {
+  int transitions = 0;       // signal transitions observed
+  int hazard_count = 0;
+  std::vector<HazardRecord> hazards;
+  bool deadlocked = false;   // no events left before limits hit
+};
+
+/// Simulates the circuit in the environment defined by the implementation
+/// STG under the given delays. Initial signal values are taken from the
+/// STG's global state graph.
+SimResult simulate(const stg::Stg& impl, const circuit::Circuit& circuit,
+                   const DelayModel& delays, const SimOptions& options = {});
+
+}  // namespace sitime::sim

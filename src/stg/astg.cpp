@@ -1,0 +1,204 @@
+#include "stg/astg.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "base/strings.hpp"
+
+namespace sitime::stg {
+
+namespace {
+
+struct PendingArc {
+  std::string from;
+  std::string to;
+};
+
+/// Splits a ".marking { ... }" body into tokens, keeping "<a,b>" units
+/// together.
+std::vector<std::string> marking_tokens(const std::string& body) {
+  std::vector<std::string> tokens;
+  std::string current;
+  int depth = 0;
+  for (char c : body) {
+    if (c == '<') ++depth;
+    if (c == '>') --depth;
+    if ((c == ' ' || c == '\t') && depth == 0) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+}  // namespace
+
+Stg parse_astg(const std::string& text) {
+  Stg stg;
+  std::vector<PendingArc> arcs;
+  std::vector<std::string> marking;
+  bool in_graph = false;
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  auto syntax_error = [&line_number](const std::string& message) {
+    fail("parse_astg: line " + std::to_string(line_number) + ": " + message);
+  };
+  while (std::getline(stream, line)) {
+    ++line_number;
+    line = base::trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (base::starts_with(line, ".model")) {
+      const auto pieces = base::split(line);
+      if (pieces.size() >= 2) stg.model_name = pieces[1];
+    } else if (base::starts_with(line, ".inputs") ||
+               base::starts_with(line, ".outputs") ||
+               base::starts_with(line, ".internal")) {
+      const SignalKind kind = base::starts_with(line, ".inputs")
+                                  ? SignalKind::input
+                              : base::starts_with(line, ".outputs")
+                                  ? SignalKind::output
+                                  : SignalKind::internal;
+      auto pieces = base::split(line);
+      for (std::size_t i = 1; i < pieces.size(); ++i)
+        stg.signals.add(pieces[i], kind);
+    } else if (base::starts_with(line, ".dummy")) {
+      syntax_error("dummy transitions are not supported by this flow");
+    } else if (base::starts_with(line, ".graph")) {
+      in_graph = true;
+    } else if (base::starts_with(line, ".marking")) {
+      const auto open = line.find('{');
+      const auto close = line.rfind('}');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open)
+        syntax_error("malformed .marking line");
+      marking = marking_tokens(line.substr(open + 1, close - open - 1));
+    } else if (base::starts_with(line, ".capacity")) {
+      // Capacities are not used by safe STGs; ignored for compatibility.
+    } else if (base::starts_with(line, ".end")) {
+      break;
+    } else if (base::starts_with(line, ".")) {
+      syntax_error("unknown directive '" + base::split(line)[0] + "'");
+    } else {
+      if (!in_graph) syntax_error("graph line before .graph");
+      const auto pieces = base::split(line);
+      if (pieces.size() < 2) syntax_error("graph line needs >= 2 nodes");
+      for (std::size_t i = 1; i < pieces.size(); ++i)
+        arcs.push_back(PendingArc{pieces[0], pieces[i]});
+    }
+  }
+
+  // First pass: create all transitions (and discover explicit places).
+  std::map<std::string, int> explicit_places;
+  auto classify = [&stg](const std::string& token, TransitionLabel& label) {
+    return parse_label(token, stg.signals, label);
+  };
+  for (const PendingArc& arc : arcs) {
+    for (const std::string& token : {arc.from, arc.to}) {
+      TransitionLabel label;
+      if (classify(token, label)) {
+        if (stg.find_transition(label) == -1) stg.add_transition(label);
+      } else {
+        if (!explicit_places.count(token)) explicit_places[token] = -1;
+      }
+    }
+  }
+  for (auto& [name, id] : explicit_places) id = stg.net.add_place(name, 0);
+
+  // Second pass: materialize arcs. Transition->transition arcs introduce
+  // implicit places named "<from,to>".
+  std::map<std::string, int> implicit_places;
+  for (const PendingArc& arc : arcs) {
+    TransitionLabel from_label;
+    TransitionLabel to_label;
+    const bool from_is_transition = classify(arc.from, from_label);
+    const bool to_is_transition = classify(arc.to, to_label);
+    if (from_is_transition && to_is_transition) {
+      const int from = stg.find_transition(from_label);
+      const int to = stg.find_transition(to_label);
+      const std::string name = "<" + arc.from + "," + arc.to + ">";
+      check(!implicit_places.count(name),
+            "parse_astg: duplicate arc " + name);
+      implicit_places[name] = stg.connect(from, to, 0);
+    } else if (from_is_transition && !to_is_transition) {
+      stg.net.add_transition_to_place(stg.find_transition(from_label),
+                                      explicit_places[arc.to]);
+    } else if (!from_is_transition && to_is_transition) {
+      stg.net.add_place_to_transition(explicit_places[arc.from],
+                                      stg.find_transition(to_label));
+    } else {
+      fail("parse_astg: place-to-place arc " + arc.from + " -> " + arc.to);
+    }
+  }
+
+  // Marking.
+  for (const std::string& token : marking) {
+    int place = -1;
+    if (!token.empty() && token.front() == '<') {
+      // Normalize "<a,b>" token spacing.
+      std::string normalized;
+      for (char c : token)
+        if (c != ' ' && c != '\t') normalized.push_back(c);
+      const auto it = implicit_places.find(normalized);
+      check(it != implicit_places.end(),
+            "parse_astg: marking names unknown implicit place " + token);
+      place = it->second;
+    } else {
+      const auto it = explicit_places.find(token);
+      check(it != explicit_places.end(),
+            "parse_astg: marking names unknown place " + token);
+      place = it->second;
+    }
+    stg.net.set_initial_tokens(place,
+                               stg.net.initial_marking()[place] + 1);
+  }
+  check(stg.net.transition_count() > 0, "parse_astg: no transitions");
+  return stg;
+}
+
+std::string write_astg(const Stg& stg) {
+  std::string out = ".model " + stg.model_name + "\n";
+  auto emit_signals = [&stg, &out](SignalKind kind,
+                                   const std::string& directive) {
+    std::string names;
+    for (int s = 0; s < stg.signals.count(); ++s)
+      if (stg.signals.kind(s) == kind) names += " " + stg.signals.name(s);
+    if (!names.empty()) out += directive + names + "\n";
+  };
+  emit_signals(SignalKind::input, ".inputs");
+  emit_signals(SignalKind::output, ".outputs");
+  emit_signals(SignalKind::internal, ".internal");
+  out += ".graph\n";
+
+  const pn::PetriNet& net = stg.net;
+  std::vector<std::string> marked;
+  for (int p = 0; p < net.place_count(); ++p) {
+    const bool implicit = net.place_inputs(p).size() == 1 &&
+                          net.place_outputs(p).size() == 1 &&
+                          net.place_name(p).front() == '<';
+    if (implicit) {
+      const std::string from = stg.transition_text(net.place_inputs(p)[0]);
+      const std::string to = stg.transition_text(net.place_outputs(p)[0]);
+      out += from + " " + to + "\n";
+      for (int i = 0; i < net.initial_marking()[p]; ++i)
+        marked.push_back("<" + from + "," + to + ">");
+    } else {
+      for (int t : net.place_inputs(p))
+        out += stg.transition_text(t) + " " + net.place_name(p) + "\n";
+      for (int t : net.place_outputs(p))
+        out += net.place_name(p) + " " + stg.transition_text(t) + "\n";
+      for (int i = 0; i < net.initial_marking()[p]; ++i)
+        marked.push_back(net.place_name(p));
+    }
+  }
+  out += ".marking { " + base::join(marked, " ") + " }\n.end\n";
+  return out;
+}
+
+}  // namespace sitime::stg

@@ -1,0 +1,28 @@
+// Parser/writer for the astg (.g) format used by petrify and SIS and by the
+// thesis tool Check_hazard (Section 7.3.1).
+//
+// Supported directives: .model, .inputs, .outputs, .internal, .graph,
+// .marking, .end; comment lines start with '#'. Graph lines list a source
+// node followed by its targets; nodes are signal transitions ("req+",
+// "csc0-/2") or explicit place names (any other token, e.g. "p0"). An arc
+// between two transitions introduces the implicit place "<t1,t2>". The
+// marking holds explicit place names and/or implicit places "<t1,t2>".
+// Dummy transitions (.dummy) are rejected: the hazard-checking flow requires
+// every event to be a signal transition.
+#pragma once
+
+#include <string>
+
+#include "stg/stg.hpp"
+
+namespace sitime::stg {
+
+/// Parses astg text into an Stg. Throws sitime::Error with a line-aware
+/// message on malformed input.
+Stg parse_astg(const std::string& text);
+
+/// Renders an Stg back to astg text (implicit places are inlined into
+/// transition-to-transition graph lines where possible).
+std::string write_astg(const Stg& stg);
+
+}  // namespace sitime::stg

@@ -1,0 +1,145 @@
+// Marked-graph STGs in arc-list form (Chapters 5-6).
+//
+// Local STGs — the per-gate environments the relaxation engine operates on —
+// are marked graphs where every place is implicit on an arc t1 => t2 carrying
+// a token count. This class implements the three structural algorithms of
+// Chapter 5:
+//   - project()                 Algorithm 1, hiding signals outside a gate's
+//                               support,
+//   - relax()                   Algorithm 2, turning one ordered pair of
+//                               events into concurrent ones,
+//   - eliminate_redundant_arcs() the loop-only/shortcut-place elimination of
+//                               Section 5.3.3 (Algorithm 3, Dijkstra-based).
+//
+// Arcs carry a kind:
+//   - normal       ordinary causality, candidate for relaxation,
+//   - guaranteed   a type-4 arc whose relaxation was rejected (case 4); the
+//                  ordering is enforced by a timing constraint ("&" in the
+//                  figures) and is never relaxed again,
+//   - restriction  an order-restriction arc added by OR-causality
+//                  decomposition ("#" in the figures); behaves like a normal
+//                  place in the token game but is never relaxed and never
+//                  removed as redundant (Section 6.2).
+//
+// Transition ids are stable across all operations (projection only marks
+// transitions dead), so prerequisite sets computed before a relaxation remain
+// valid afterwards, as Section 5.4.1 requires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stg/signal.hpp"
+
+namespace sitime::stg {
+
+enum class ArcKind { normal, guaranteed, restriction };
+
+struct MgArc {
+  int from = -1;
+  int to = -1;
+  int tokens = 0;
+  ArcKind kind = ArcKind::normal;
+
+  bool operator==(const MgArc&) const = default;
+};
+
+class MgStg {
+ public:
+  explicit MgStg(const SignalTable* signals);
+
+  // ---- construction -------------------------------------------------------
+  /// Adds a transition; returns its stable id.
+  int add_transition(const TransitionLabel& label);
+
+  /// Adds (or merges into) the arc from -> to. Parallel places between the
+  /// same pair of transitions are merged keeping the *smaller* token count
+  /// (the more restrictive place; the other would be shortcut-redundant) and
+  /// the stronger kind (restriction > guaranteed > normal). Token-carrying
+  /// self-loops are loop-only places and are dropped; token-free self-loops
+  /// are an error (a dead cycle).
+  void insert_arc(int from, int to, int tokens,
+                  ArcKind kind = ArcKind::normal);
+
+  /// Removes the arc from -> to (error when absent).
+  void remove_arc(int from, int to);
+
+  // ---- inspection ---------------------------------------------------------
+  const SignalTable& signals() const { return *signals_; }
+  int transition_count() const {
+    return static_cast<int>(transitions_.size());
+  }
+  const TransitionLabel& label(int t) const { return transitions_[t]; }
+  bool alive(int t) const { return alive_[t]; }
+  std::vector<int> alive_transitions() const;
+
+  const std::vector<MgArc>& arcs() const { return arcs_; }
+  /// Index into arcs() of from -> to, or -1.
+  int find_arc(int from, int to) const;
+  bool has_arc(int from, int to) const { return find_arc(from, to) != -1; }
+  int arc_tokens(int from, int to) const;
+  ArcKind arc_kind(int from, int to) const;
+  void set_arc_kind(int from, int to, ArcKind kind);
+
+  /// Predecessor / successor transitions (Section 3.2's /t and t.).
+  std::vector<int> preds(int t) const;
+  std::vector<int> succs(int t) const;
+
+  /// First alive transition with this label, or -1.
+  int find_transition(const TransitionLabel& label) const;
+
+  /// Rendered label of transition `t`.
+  std::string transition_text(int t) const;
+
+  // ---- Chapter 5 algorithms ----------------------------------------------
+  /// Algorithm 1: hides every transition whose signal is not in
+  /// `keep_signal` (indexed by signal id), rebuilding causality through the
+  /// hidden events and eliminating redundant arcs after each elimination.
+  void project(const std::vector<bool>& keep_signal);
+
+  /// Algorithm 2: relaxes the arc x* => y*, making the two events concurrent
+  /// while preserving their orderings against all other events. Predecessors
+  /// of x* become predecessors of y*; successors of y* become successors of
+  /// x*; token counts follow the flow-preserving sum rule. Ends with a
+  /// redundant-arc sweep.
+  void relax(int from, int to);
+
+  /// Section 5.3.3: removes loop-only and shortcut places until fixpoint.
+  /// Arcs of kind `restriction` are never removed (Section 6.2); arcs of
+  /// kind `guaranteed` are kept for constraint reporting.
+  void eliminate_redundant_arcs();
+
+  /// True when the arc (by index) is redundant per the shortcut-place
+  /// criterion: a path from -> to avoiding the arc exists whose token sum
+  /// does not exceed the arc's tokens (checked with Dijkstra, Figure 5.15).
+  bool arc_redundant(int arc_index) const;
+
+  // ---- structural relations ----------------------------------------------
+  /// t1 precedes t2: a token-free directed path t1 -> ... -> t2 exists.
+  bool structurally_before(int t1, int t2) const;
+
+  /// Neither order holds (and t1 != t2).
+  bool structurally_concurrent(int t1, int t2) const;
+
+  /// Liveness of the cyclic MG: the token-free subgraph is acyclic.
+  bool live() const;
+
+  /// Internal invariants: arcs reference alive transitions, no duplicates,
+  /// no self-loops, non-negative tokens, every alive transition has at least
+  /// one predecessor and one successor. Throws on violation.
+  void validate() const;
+
+  /// Binary signal values at the initial marking, indexed by signal id
+  /// (-1 when unknown/irrelevant). Inherited from the implementation STG and
+  /// preserved by projection and relaxation.
+  std::vector<int> initial_values;
+
+ private:
+  const SignalTable* signals_;
+  std::vector<TransitionLabel> transitions_;
+  std::vector<bool> alive_;
+  std::vector<MgArc> arcs_;
+};
+
+}  // namespace sitime::stg

@@ -1,0 +1,38 @@
+// Signal Transition Graphs (Section 3.3): an interpreted Petri net whose
+// transitions are labelled with signal transitions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pn/petri_net.hpp"
+#include "stg/signal.hpp"
+
+namespace sitime::stg {
+
+/// An STG: underlying Petri net plus the signal table and one label per net
+/// transition. The specification STG carries only I and O signals; the
+/// implementation STG additionally carries the internal gate signals.
+class Stg {
+ public:
+  pn::PetriNet net;
+  SignalTable signals;
+  std::vector<TransitionLabel> labels;  // indexed by net transition id
+  std::string model_name = "stg";
+
+  /// Adds a labelled transition to the net; the net transition name is the
+  /// rendered label text.
+  int add_transition(const TransitionLabel& label);
+
+  /// Finds the net transition carrying exactly this label, or -1.
+  int find_transition(const TransitionLabel& label) const;
+
+  /// Rendered label of transition `t` (e.g. "ack-/2").
+  std::string transition_text(int t) const;
+
+  /// Convenience: adds the implicit place and the two flow arcs for
+  /// from -> to, with `tokens` initial tokens. Returns the place id.
+  int connect(int from_transition, int to_transition, int tokens = 0);
+};
+
+}  // namespace sitime::stg

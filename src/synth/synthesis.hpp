@@ -1,0 +1,62 @@
+// SG-based speed-independent synthesis substrate.
+//
+// The thesis obtains gate netlists by synthesizing each benchmark STG with
+// petrify and decomposing into simple gates. Offline we derive, for every
+// non-input signal, the next-state function from the global state graph
+// (excited -> flipped target, stable -> hold), pick a minimal support,
+// minimize with unreachable codes as don't-cares (Quine-McCluskey), and emit
+// one atomic complex gate per signal: an irredundant prime on-set cover f-up
+// plus its complement f-down. CSC violations (two states with one code but
+// different next-state values) are reported as errors; benchmarks resolve
+// them with internal signals in the STG, exactly like the imec examples in
+// Section 7.3.1. DESIGN.md documents this substitution.
+#pragma once
+
+#include <vector>
+
+#include "boolfn/cube.hpp"
+#include "sg/state_graph.hpp"
+#include "stg/stg.hpp"
+
+namespace sitime::synth {
+
+/// One synthesized complex gate.
+struct GateFunctions {
+  int output = -1;
+  boolfn::Cover up;    // on-set cover of the next-state function
+  boolfn::Cover down;  // irredundant prime cover of its complement
+};
+
+/// Next-state on/off reachable codes of `signal` in the global SG.
+struct NextStateTable {
+  std::vector<std::uint64_t> on;   // codes with next-state 1
+  std::vector<std::uint64_t> off;  // codes with next-state 0
+};
+
+/// Extracts the next-state table; throws on a CSC conflict (same code, both
+/// next-state values), naming the signal.
+NextStateTable next_state_table(const stg::Stg& stg, const sg::GlobalSg& sg,
+                                int signal);
+
+/// Chooses a minimal-ish support: essential variables (a pair of on/off
+/// codes differs only there) plus greedily added variables until on and off
+/// codes are separable on the support. Throws when more than `max_support`
+/// variables are needed.
+std::vector<int> choose_support(const NextStateTable& table,
+                                int signal_count, int max_support = 16);
+
+/// Synthesizes the complex gate for `signal`.
+GateFunctions synthesize_gate(const stg::Stg& stg, const sg::GlobalSg& sg,
+                              int signal);
+
+/// Synthesizes every non-input signal.
+std::vector<GateFunctions> synthesize(const stg::Stg& stg,
+                                      const sg::GlobalSg& sg);
+
+/// Verifies that `up`/`down` match the next-state function on every
+/// reachable state (up true exactly where next-state is 1). Returns the
+/// offending state id or -1 when correct.
+int verify_gate(const GateFunctions& gate, const stg::Stg& stg,
+                const sg::GlobalSg& sg);
+
+}  // namespace sitime::synth

@@ -1,0 +1,61 @@
+#include "tech/error_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace sitime::tech {
+
+double error_length_pitches(const TechNode& node, int path_gates,
+                            const ErrorModelOptions& options) {
+  check(path_gates >= 1, "error_length_pitches: need at least one gate");
+  // Adversary path delay: m gate delays plus m short wires (conservatively
+  // taken at half the short-wire bound).
+  double path_delay =
+      path_gates * node.gate_delay_ps +
+      path_gates * node.wire_delay_ps(options.short_wire_pitches / 2.0);
+  // A buffer inserted into the direct wire desynchronizes the fork
+  // (Section 4.2.3): the adversary branch is sped up / the direct branch
+  // pays the buffer, so the available slack shrinks by the buffer delay.
+  if (options.buffered_direct_wire)
+    path_delay = std::max(0.0, path_delay - node.buffer_delay_ps);
+  // Find the direct-wire length whose delay equals the remaining slack.
+  double lo = 1.0;
+  double hi = 1.0e6;
+  if (node.wire_delay_ps(hi) <= path_delay) return hi;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (node.wire_delay_ps(mid) < path_delay)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double gate_error_rate(const TechNode& node, double gate_count,
+                       int path_gates, const ErrorModelOptions& options) {
+  const WireLengthDistribution dist(gate_count);
+  const double error_length =
+      error_length_pitches(node, path_gates, options);
+  if (error_length >= dist.max_length()) return 0.0;
+  const double long_fraction = dist.fraction_longer_than(error_length);
+  const double short_fraction =
+      1.0 - dist.fraction_longer_than(options.short_wire_pitches);
+  return long_fraction * std::pow(short_fraction, path_gates);
+}
+
+double circuit_error_rate(const TechNode& node, double gate_count,
+                          const std::vector<int>& adversary_gate_counts,
+                          const ErrorModelOptions& options) {
+  // The thesis computes the error of the analysed cell inside a block of
+  // `gate_count` gates (the block size only shapes the wire-length
+  // statistics): the circuit fails when any constrained gate glitches.
+  double ok = 1.0;
+  for (int path_gates : adversary_gate_counts)
+    ok *= 1.0 - gate_error_rate(node, gate_count, path_gates, options);
+  return std::clamp(1.0 - ok, 0.0, 1.0);
+}
+
+}  // namespace sitime::tech

@@ -1,0 +1,45 @@
+// Isochronic-fork error-rate model (Section 7.2, Figures 7.5 and 7.6).
+//
+// For one timing constraint with an m-gate adversary path, a glitch needs
+// the direct wire to be slower than the whole adversary path. Following the
+// thesis's conservative estimate:
+//
+//   ER = Integral_{error_length}^{2 sqrt(N)} i(l) dl
+//        * ( Integral_0^{short_wire_length} i(l) dl )^m
+//
+// error_length is the direct-wire length (in gate pitches) from which the
+// wire delay exceeds the adversary path's delay; short_wire_length bounds
+// the adversary path's own wires (about 20 gate pitches). The circuit error
+// rate is taken pessimistically: the circuit fails when any constrained
+// gate glitches.
+#pragma once
+
+#include <vector>
+
+#include "tech/tech.hpp"
+
+namespace sitime::tech {
+
+struct ErrorModelOptions {
+  double short_wire_pitches = 20.0;  // wires inside adversary paths
+  bool buffered_direct_wire = false;  // "buf-1" of Figure 7.5
+};
+
+/// Per-constraint gate error rate for an adversary path of `path_gates`
+/// gates in a block of `gate_count` gates at `node`.
+double gate_error_rate(const TechNode& node, double gate_count,
+                       int path_gates, const ErrorModelOptions& options = {});
+
+/// Pessimistic circuit error rate of the analysed cell inside a block of
+/// `gate_count` gates (the block size shapes the wire-length statistics):
+/// 1 - prod(1 - ER_i) over the constraints' adversary gate counts.
+double circuit_error_rate(const TechNode& node, double gate_count,
+                          const std::vector<int>& adversary_gate_counts,
+                          const ErrorModelOptions& options = {});
+
+/// Direct-wire length (gate pitches) from which the wire beats an m-gate
+/// adversary path (the crossover the integrals start from).
+double error_length_pitches(const TechNode& node, int path_gates,
+                            const ErrorModelOptions& options = {});
+
+}  // namespace sitime::tech

@@ -1,0 +1,96 @@
+#include "tech/penalty.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/error.hpp"
+
+namespace sitime::tech {
+
+namespace {
+
+/// Length (gate pitches) below which 93% of the block's wires fall; pads
+/// are sized to counter a wire of this length (the thesis pads "to just
+/// counter the maximum wire length delay" of the cell's environment).
+double padded_length_pitches(double gate_count) {
+  const WireLengthDistribution dist(gate_count);
+  double lo = 1.0;
+  double hi = dist.max_length();
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (dist.fraction_longer_than(mid) > 0.07)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double slowest_cycle_ps(const stg::Stg& impl, const circuit::Circuit& circuit,
+                        const TechNode& node, const PenaltyOptions& options,
+                        PadKind pad, double pad_ps) {
+  const pn::PetriNet& net = impl.net;
+  // Transition adjacency through places.
+  std::vector<std::vector<int>> succ(net.transition_count());
+  for (int p = 0; p < net.place_count(); ++p)
+    for (int from : net.place_inputs(p))
+      for (int to : net.place_outputs(p)) succ[from].push_back(to);
+
+  auto edge_delay = [&](int from, int to) {
+    const stg::TransitionLabel& from_label = impl.labels[from];
+    const stg::TransitionLabel& to_label = impl.labels[to];
+    double delay = node.gate_delay_ps;  // firing `to` costs one gate delay
+    const bool crosses_pad =
+        circuit.has_gate(to_label.signal) &&
+        std::find(options.padded_wires.begin(), options.padded_wires.end(),
+                  std::make_pair(from_label.signal, to_label.signal)) !=
+            options.padded_wires.end();
+    if (crosses_pad) {
+      // A current-starved pad (Figure 7.4) delays only the constrained
+      // transition direction; a plain repeater delays both phases of the
+      // four-phase handshake crossing this wire, so the cycle pays twice.
+      delay += pad == PadKind::repeater ? 2.0 * pad_ps : pad_ps;
+    }
+    return delay;
+  };
+
+  // Enumerate simple cycles with bounded DFS and track the slowest.
+  double slowest = 0.0;
+  const int n = net.transition_count();
+  std::vector<bool> on_path(n, false);
+  std::function<void(int, int, double)> dfs = [&](int start, int v,
+                                                  double total) {
+    for (int next : succ[v]) {
+      if (next == start) {
+        slowest = std::max(slowest, total + edge_delay(v, next));
+      } else if (next > start && !on_path[next]) {
+        on_path[next] = true;
+        dfs(start, next, total + edge_delay(v, next));
+        on_path[next] = false;
+      }
+    }
+  };
+  for (int start = 0; start < n; ++start) {
+    on_path[start] = true;
+    dfs(start, start, 0.0);
+    on_path[start] = false;
+  }
+  check(slowest > 0.0, "slowest_cycle_ps: STG has no cycle");
+  return slowest;
+}
+
+double padding_penalty(const stg::Stg& impl, const circuit::Circuit& circuit,
+                       const TechNode& node, const PenaltyOptions& options,
+                       PadKind pad) {
+  const double pad_ps =
+      node.wire_delay_ps(padded_length_pitches(options.gate_count));
+  const double base =
+      slowest_cycle_ps(impl, circuit, node, options, pad, 0.0);
+  const double padded =
+      slowest_cycle_ps(impl, circuit, node, options, pad, pad_ps);
+  return (padded - base) / base;
+}
+
+}  // namespace sitime::tech

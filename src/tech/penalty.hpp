@@ -1,0 +1,42 @@
+// Delay-padding penalty model (Section 7.2, Figure 7.7).
+//
+// Padding delays onto adversary-path wires slows the circuit: the thesis
+// measures the latency increase of the slowest STG cycle after the pads are
+// sized to counter the maximum wire-length delay. Two pad implementations
+// are compared: a current-starved delay (Figure 7.4) that delays only one
+// transition direction, and a plain repeater chain that delays both. A
+// cycle through a padded wire usually carries both a rising and a falling
+// transition, so the repeater pays roughly twice.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "stg/stg.hpp"
+#include "tech/tech.hpp"
+
+namespace sitime::tech {
+
+enum class PadKind { current_starved, repeater };
+
+struct PenaltyOptions {
+  double gate_count = 1.0e6;  // block size defining the max wire length
+  std::vector<std::pair<int, int>> padded_wires;  // (source, sink gate)
+};
+
+/// Latency of the slowest simple cycle of the implementation STG (sum of
+/// per-transition delays: one gate delay per non-input transition, one
+/// environment-gate delay per input transition), with an optional extra
+/// delay charged every time a padded wire is traversed by a transition of
+/// the direction the pad affects.
+double slowest_cycle_ps(const stg::Stg& impl, const circuit::Circuit& circuit,
+                        const TechNode& node, const PenaltyOptions& options,
+                        PadKind pad, double pad_ps);
+
+/// Relative latency penalty of padding sized to counter the maximum wire
+/// delay of the block: (padded - base) / base.
+double padding_penalty(const stg::Stg& impl, const circuit::Circuit& circuit,
+                       const TechNode& node, const PenaltyOptions& options,
+                       PadKind pad);
+
+}  // namespace sitime::tech

@@ -1,0 +1,95 @@
+#include "tech/tech.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.hpp"
+
+namespace sitime::tech {
+
+double TechNode::wire_delay_ps(double pitches) const {
+  const double l = std::max(0.0, pitches);
+  return wire_ps_per_pitch * l + wire_ps_quadratic * (l / 1000.0) * (l / 1000.0);
+}
+
+double TechNode::buffered_wire_delay_ps(double pitches) const {
+  const double half = std::max(0.0, pitches) / 2.0;
+  return 2.0 * wire_delay_ps(half) + buffer_delay_ps;
+}
+
+const std::vector<TechNode>& nodes() {
+  // Calibrated so that gate delays shrink faster than wire delays, the
+  // defining trend of the deep-submicron regime (Section 4.2.3): the
+  // wire/gate delay ratio grows monotonically from 90 nm to 32 nm, so the
+  // direct-wire length at which an adversary path wins keeps shrinking.
+  static const std::vector<TechNode> table = {
+      {"90nm", 42.0, 0.085, 15.0, 15.0},
+      {"65nm", 30.0, 0.095, 20.0, 11.0},
+      {"45nm", 21.0, 0.110, 27.0, 8.0},
+      {"32nm", 15.0, 0.130, 36.0, 5.0},
+  };
+  return table;
+}
+
+const TechNode& node(const std::string& name) {
+  for (const TechNode& n : nodes())
+    if (n.name == name) return n;
+  fail("tech::node: unknown node '" + name + "'");
+}
+
+WireLengthDistribution::WireLengthDistribution(double gate_count)
+    : n_(gate_count) {
+  check(gate_count >= 16.0, "WireLengthDistribution: gate count too small");
+  // Gamma normalization exactly as quoted in Section 7.2 with p = 0.85.
+  const double p = 0.85;
+  const double np1 = std::pow(n_, p - 1.0);
+  const double numerator = 2.0 * n_ * (1.0 - np1);
+  const double inner = (-np1 + 2.0 * std::pow(2.0, 2.0 * p - 2.0) -
+                        std::pow(2.0, p - 1.0)) /
+                           (p * (2.0 * p - 1.0) * (p - 1.0) * (2.0 * p - 3.0)) -
+                       1.0 / (6.0 * p) +
+                       2.0 * std::sqrt(n_) / (2.0 * p - 1.0) - np1;
+  gamma_ = numerator / inner;
+}
+
+double WireLengthDistribution::density(double l) const {
+  const double p = 0.85;
+  const double k = 3.0;
+  const double alpha = 2.0 / 3.0;
+  const double sqrt_n = std::sqrt(n_);
+  if (l < 1.0 || l >= 2.0 * sqrt_n) return 0.0;
+  const double common = alpha * k / 2.0 * gamma_ * std::pow(l, 2.0 * p - 4.0);
+  if (l <= sqrt_n)
+    return common *
+           (l * l * l / 3.0 - 2.0 * sqrt_n * l * l + 2.0 * n_ * l);
+  return alpha * k / 6.0 * gamma_ *
+         std::pow(2.0 * sqrt_n - l, 3.0) * std::pow(l, 2.0 * p - 4.0);
+}
+
+double WireLengthDistribution::integrate(double lo, double hi) const {
+  lo = std::max(lo, 1.0);
+  hi = std::min(hi, max_length());
+  if (hi <= lo) return 0.0;
+  const int steps = 2000;  // even
+  const double h = (hi - lo) / steps;
+  double sum = density(lo) + density(hi);
+  for (int i = 1; i < steps; ++i)
+    sum += density(lo + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  return sum * h / 3.0;
+}
+
+double WireLengthDistribution::total() const {
+  return integrate(1.0, max_length());
+}
+
+double WireLengthDistribution::fraction_longer_than(double l) const {
+  const double all = total();
+  if (all <= 0.0) return 0.0;
+  return std::clamp(integrate(l, max_length()) / all, 0.0, 1.0);
+}
+
+double WireLengthDistribution::max_length() const {
+  return 2.0 * std::sqrt(n_);
+}
+
+}  // namespace sitime::tech

@@ -1,0 +1,65 @@
+// Technology nodes and the stochastic wire-length model of Section 7.2.
+//
+// The thesis evaluates isochronic-fork failure rates with SPICE on the ASU
+// Predictive Technology Model from 90 nm to 32 nm. Offline we keep the
+// exact interconnect-distribution formula the thesis quotes (Davis's
+// i(l) with k = 3, p = 0.85, Gamma normalization) and replace SPICE with a
+// small calibrated delay model per node: a gate delay, a linear+quadratic
+// wire delay in gate pitches, and a buffered-wire model. DESIGN.md records
+// this substitution; the reproduced quantities are the *trends* of
+// Figures 7.5-7.7.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sitime::tech {
+
+/// One process node's delay parameters (calibrated, see DESIGN.md).
+struct TechNode {
+  std::string name;
+  double gate_delay_ps = 0.0;      // intrinsic complex-gate delay
+  double wire_ps_per_pitch = 0.0;  // linear wire delay per gate pitch
+  double wire_ps_quadratic = 0.0;  // RC term: delay += quad * (l/1000)^2
+  double buffer_delay_ps = 0.0;    // delay of an inserted repeater
+
+  /// Unbuffered wire delay for a length of `pitches` gate pitches.
+  double wire_delay_ps(double pitches) const;
+
+  /// Delay of the same wire with one repeater in the middle: two halves
+  /// (quadratic term benefits) plus the buffer delay.
+  double buffered_wire_delay_ps(double pitches) const;
+};
+
+/// The four nodes of Figure 7.5.
+const std::vector<TechNode>& nodes();
+const TechNode& node(const std::string& name);
+
+/// Davis's stochastic interconnect distribution (Section 7.2):
+/// occupation-probability density of wires of length l (in gate pitches) in
+/// a random-logic block of N gates, with k = 3, p = 0.85.
+class WireLengthDistribution {
+ public:
+  explicit WireLengthDistribution(double gate_count);
+
+  /// Density i(l); piecewise over [1, sqrt(N)] and [sqrt(N), 2 sqrt(N)].
+  double density(double l) const;
+
+  /// Integral of the density over [lo, hi] (clamped to the support),
+  /// composite Simpson.
+  double integrate(double lo, double hi) const;
+
+  /// Total wire count estimate (integral over the full support).
+  double total() const;
+
+  /// Probability that a random wire is longer than `l`.
+  double fraction_longer_than(double l) const;
+
+  double max_length() const;
+
+ private:
+  double n_ = 0.0;      // gate count
+  double gamma_ = 0.0;  // the Gamma normalization constant of the formula
+};
+
+}  // namespace sitime::tech

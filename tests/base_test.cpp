@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "base/graph.hpp"
+#include "base/strings.hpp"
+
+namespace sitime::base {
+namespace {
+
+TEST(Strings, SplitDropsEmptyPieces) {
+  EXPECT_EQ(split("a  b\tc"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(""), std::vector<std::string>{});
+  EXPECT_EQ(split("   "), std::vector<std::string>{});
+}
+
+TEST(Strings, SplitCustomSeparators) {
+  EXPECT_EQ(split("a*b*c", "*"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("x + y", "+"), (std::vector<std::string>{"x ", " y"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("  \t "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with(".inputs a b", ".inputs"));
+  EXPECT_FALSE(starts_with(".in", ".inputs"));
+  EXPECT_TRUE(ends_with("wenin'", "'"));
+  EXPECT_FALSE(ends_with("", "'"));
+}
+
+TEST(Error, CheckThrowsWithMessage) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  try {
+    check(false, "broken invariant");
+    FAIL() << "expected throw";
+  } catch (const Error& error) {
+    EXPECT_STREQ(error.what(), "broken invariant");
+  }
+}
+
+TEST(Graph, DijkstraShortestPath) {
+  // 0 ->(1) 1 ->(2) 2, 0 ->(5) 2
+  WeightedGraph graph(3);
+  graph[0] = {{1, 1}, {2, 5}};
+  graph[1] = {{2, 2}};
+  const auto dist = dijkstra(graph, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 3);
+}
+
+TEST(Graph, DijkstraUnreachable) {
+  WeightedGraph graph(3);
+  graph[0] = {{1, 0}};
+  const auto dist = dijkstra(graph, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Graph, DijkstraZeroWeights) {
+  // Token-free paths must count as distance 0 (shortcut place check).
+  WeightedGraph graph(4);
+  graph[0] = {{1, 0}};
+  graph[1] = {{2, 0}};
+  graph[2] = {{3, 1}};
+  const auto dist = dijkstra(graph, 0);
+  EXPECT_EQ(dist[2], 0);
+  EXPECT_EQ(dist[3], 1);
+}
+
+TEST(Graph, TopologicalOrderDetectsCycle) {
+  WeightedGraph graph(2);
+  graph[0] = {{1, 1}};
+  graph[1] = {{0, 1}};
+  EXPECT_TRUE(has_cycle(graph));
+  EXPECT_THROW(topological_order(graph), Error);
+}
+
+TEST(Graph, DagLongestPath) {
+  // Diamond: 0->1->3 (2+1), 0->2->3 (1+5).
+  WeightedGraph graph(4);
+  graph[0] = {{1, 2}, {2, 1}};
+  graph[1] = {{3, 1}};
+  graph[2] = {{3, 5}};
+  const auto dist = dag_longest_paths(graph, 0);
+  EXPECT_EQ(dist[3], 6);
+  EXPECT_EQ(dist[1], 2);
+}
+
+TEST(Graph, WeakComponentsRespectMembership) {
+  // 0-1 connected, 2 isolated member, 3 not a member.
+  WeightedGraph graph(4);
+  graph[0] = {{1, 1}};
+  graph[2] = {{3, 1}};
+  const std::vector<bool> member{true, true, true, false};
+  const auto comp = weak_components(graph, member);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], -1);
+}
+
+TEST(Graph, WeakComponentsIgnoreDirection) {
+  WeightedGraph graph(3);
+  graph[2] = {{0, 1}};
+  graph[1] = {{0, 1}};
+  const auto comp = weak_components(graph, {true, true, true});
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+}
+
+}  // namespace
+}  // namespace sitime::base

@@ -1,0 +1,94 @@
+// Suite-wide checks: every embedded benchmark must be a valid input to the
+// flow (live, safe, free-choice, consistent, CSC-complete) and its circuit
+// must be speed independent; the relaxation must never *add* constraints
+// relative to the adversary-path baseline.
+#include <gtest/gtest.h>
+
+#include "benchdata/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "pn/analysis.hpp"
+#include "sg/state_graph.hpp"
+#include "synth/synthesis.hpp"
+
+namespace sitime {
+namespace {
+
+class BenchmarkSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkSuite, StgIsLiveSafeFreeChoice) {
+  const auto& bench = benchdata::benchmark(GetParam());
+  const stg::Stg stg = benchdata::load_stg(bench);
+  EXPECT_TRUE(pn::is_free_choice(stg.net)) << bench.name;
+  const pn::ReachabilityGraph graph = pn::reachability(stg.net);
+  EXPECT_TRUE(pn::is_safe(stg.net, graph)) << bench.name;
+  EXPECT_TRUE(pn::is_live(stg.net, graph)) << bench.name;
+}
+
+TEST_P(BenchmarkSuite, StgIsConsistent) {
+  const auto& bench = benchdata::benchmark(GetParam());
+  const stg::Stg stg = benchdata::load_stg(bench);
+  EXPECT_NO_THROW(sg::build_global_sg(stg)) << bench.name;
+}
+
+TEST_P(BenchmarkSuite, GatesImplementTheNextStateFunction) {
+  const auto& bench = benchdata::benchmark(GetParam());
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  const sg::GlobalSg global = sg::build_global_sg(stg);
+  for (const circuit::Gate& gate : circuit.gates()) {
+    synth::GateFunctions fn;
+    fn.output = gate.output;
+    fn.up = gate.up;
+    fn.down = gate.down;
+    EXPECT_EQ(synth::verify_gate(fn, stg, global), -1)
+        << bench.name << " gate " << stg.signals.name(gate.output);
+  }
+}
+
+TEST_P(BenchmarkSuite, CircuitIsSpeedIndependent) {
+  const auto& bench = benchdata::benchmark(GetParam());
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  EXPECT_EQ(core::verify_speed_independent(stg, circuit), "") << bench.name;
+}
+
+TEST_P(BenchmarkSuite, FlowReducesOrKeepsConstraintCount) {
+  const auto& bench = benchdata::benchmark(GetParam());
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  const core::FlowResult result =
+      core::derive_timing_constraints(stg, circuit);
+  EXPECT_LE(result.after.size(), result.before.size()) << bench.name;
+  EXPECT_GT(result.before.size(), 0u) << bench.name;
+}
+
+TEST_P(BenchmarkSuite, FlowIsDeterministic) {
+  const auto& bench = benchdata::benchmark(GetParam());
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  const core::FlowResult first =
+      core::derive_timing_constraints(stg, circuit);
+  const core::FlowResult second =
+      core::derive_timing_constraints(stg, circuit);
+  EXPECT_EQ(first.after, second.after) << bench.name;
+  EXPECT_EQ(first.before, second.before) << bench.name;
+}
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& bench : benchdata::all_benchmarks())
+    names.push_back(bench.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkSuite,
+                         ::testing::ValuesIn(benchmark_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace sitime

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "base/error.hpp"
+#include "boolfn/cube.hpp"
+#include "boolfn/eqn.hpp"
+#include "boolfn/qm.hpp"
+
+namespace sitime::boolfn {
+namespace {
+
+std::uint64_t bits(std::initializer_list<int> vars) {
+  std::uint64_t mask = 0;
+  for (int v : vars) mask |= std::uint64_t{1} << v;
+  return mask;
+}
+
+TEST(Cube, LiteralBasics) {
+  const Cube a = Cube::literal(0, true);
+  const Cube b_neg = Cube::literal(1, false);
+  EXPECT_TRUE(a.has_literal(0, true));
+  EXPECT_FALSE(a.has_literal(0, false));
+  EXPECT_TRUE(b_neg.has_literal(1, false));
+  EXPECT_EQ(a.literal_count(), 1);
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(Cube, EvalProductSemantics) {
+  // a * b'
+  Cube cube;
+  cube.pos = bits({0});
+  cube.neg = bits({1});
+  EXPECT_TRUE(cube.eval(bits({0})));        // a=1, b=0
+  EXPECT_FALSE(cube.eval(bits({0, 1})));    // b=1 kills it
+  EXPECT_FALSE(cube.eval(0));               // a=0
+  EXPECT_TRUE(cube.eval(bits({0, 2, 3})));  // other variables irrelevant
+}
+
+TEST(Cube, ConstantTrueCube) {
+  EXPECT_TRUE(Cube::one().eval(0));
+  EXPECT_TRUE(Cube::one().eval(~std::uint64_t{0}));
+  EXPECT_EQ(Cube::one().literal_count(), 0);
+}
+
+TEST(Cube, CoversIsLiteralSubset) {
+  Cube big;  // a
+  big.pos = bits({0});
+  Cube small;  // a * b
+  small.pos = bits({0, 1});
+  EXPECT_TRUE(big.covers(small));
+  EXPECT_FALSE(small.covers(big));
+  EXPECT_TRUE(big.covers(big));
+}
+
+TEST(Cube, WithoutRemovesLiteral) {
+  Cube cube;
+  cube.pos = bits({0, 2});
+  cube.neg = bits({1});
+  const Cube reduced = cube.without(2);
+  EXPECT_FALSE(reduced.has_literal(2, true));
+  EXPECT_TRUE(reduced.has_literal(0, true));
+  EXPECT_TRUE(reduced.has_literal(1, false));
+}
+
+TEST(Cover, EvalIsSum) {
+  Cover cover;
+  cover.cubes.push_back(Cube::literal(0, true));
+  cover.cubes.push_back(Cube::literal(1, false));
+  EXPECT_TRUE(cover.eval(bits({0, 1})));   // first cube
+  EXPECT_TRUE(cover.eval(0));              // second cube (b=0)
+  EXPECT_FALSE(cover.eval(bits({1})));     // a=0, b=1
+  EXPECT_FALSE(Cover::zero().eval(0));
+}
+
+TEST(Cover, ToStringRendersLiterals) {
+  const std::vector<std::string> names{"a", "b", "c"};
+  Cover cover;
+  Cube cube;
+  cube.pos = bits({0});
+  cube.neg = bits({1});
+  cover.cubes.push_back(cube);
+  cover.cubes.push_back(Cube::literal(2, true));
+  EXPECT_EQ(to_string(cover, names), "a*b' + c");
+  EXPECT_EQ(to_string(Cover::zero(), names), "0");
+}
+
+TEST(Qm, PrimeImplicantsXorHasNoMerges) {
+  // XOR on-set {01, 10} cannot merge; primes are the minterms themselves.
+  const auto primes = prime_implicants(2, {1, 2}, {});
+  ASSERT_EQ(primes.size(), 2u);
+  for (const Implicant& p : primes) EXPECT_EQ(p.care, 3u);
+}
+
+TEST(Qm, PrimeImplicantsFullCube) {
+  // All four minterms merge into the universal implicant.
+  const auto primes = prime_implicants(2, {0, 1, 2, 3}, {});
+  ASSERT_EQ(primes.size(), 1u);
+  EXPECT_EQ(primes[0].care, 0u);
+}
+
+TEST(Qm, DontCaresEnlargePrimes) {
+  // f(on) = {3}, dc = {1, 2}: prime cover can be a single literal.
+  const auto cover = irredundant_prime_cover(2, {3}, {1, 2});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].care & cover[0].value, cover[0].value);
+  EXPECT_LE(std::popcount(cover[0].care), 1);
+}
+
+TEST(Qm, IrredundantCoverCoversExactlyOnSet) {
+  // Classic 3-variable function: on = {0,1,2,5,6,7}.
+  const std::vector<std::uint32_t> on{0, 1, 2, 5, 6, 7};
+  const auto cover = irredundant_prime_cover(3, on, {});
+  auto eval = [&cover](std::uint32_t m) {
+    for (const Implicant& imp : cover)
+      if (imp.covers_minterm(m)) return true;
+    return false;
+  };
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    const bool expected =
+        std::find(on.begin(), on.end(), m) != on.end();
+    EXPECT_EQ(eval(m), expected) << "minterm " << m;
+  }
+}
+
+TEST(Qm, CoverIsIrredundant) {
+  const std::vector<std::uint32_t> on{0, 1, 2, 5, 6, 7};
+  const auto cover = irredundant_prime_cover(3, on, {});
+  // Removing any cube must uncover some on-minterm.
+  for (std::size_t skip = 0; skip < cover.size(); ++skip) {
+    bool all_covered = true;
+    for (std::uint32_t m : on) {
+      bool covered = false;
+      for (std::size_t i = 0; i < cover.size(); ++i)
+        if (i != skip && cover[i].covers_minterm(m)) covered = true;
+      if (!covered) all_covered = false;
+    }
+    EXPECT_FALSE(all_covered) << "cube " << skip << " is redundant";
+  }
+}
+
+TEST(Qm, MinimizeToCoverMapsVariables) {
+  // Local variables 0,1 map to global signals 5,9; f = local0 AND NOT local1.
+  const auto cover = minimize_to_cover(2, {1}, {}, {5, 9});
+  ASSERT_EQ(cover.cubes.size(), 1u);
+  EXPECT_TRUE(cover.cubes[0].has_literal(5, true));
+  EXPECT_TRUE(cover.cubes[0].has_literal(9, false));
+}
+
+TEST(Qm, ComplementCoverIsExactComplement) {
+  // f = a*b + c over signals {0,1,2}.
+  Cover cover;
+  Cube ab;
+  ab.pos = bits({0, 1});
+  cover.cubes.push_back(ab);
+  cover.cubes.push_back(Cube::literal(2, true));
+  const Cover complement = complement_cover(cover);
+  for (std::uint64_t v = 0; v < 8; ++v)
+    EXPECT_NE(cover.eval(v), complement.eval(v)) << "assignment " << v;
+}
+
+TEST(Qm, ComplementOfMajorityIsMinorityOfComplements) {
+  // C-element next-state: f = ab + ac + bc; complement = a'b' + a'c' + b'c'.
+  Cover cover;
+  for (auto [x, y] : {std::pair{0, 1}, {0, 2}, {1, 2}}) {
+    Cube cube;
+    cube.pos = bits({x, y});
+    cover.cubes.push_back(cube);
+  }
+  const Cover complement = complement_cover(cover);
+  EXPECT_EQ(complement.cubes.size(), 3u);
+  for (std::uint64_t v = 0; v < 8; ++v)
+    EXPECT_NE(cover.eval(v), complement.eval(v));
+}
+
+TEST(Qm, RedundantLiteralDetected) {
+  // f = a*b + b (the cube a*b's literal a is redundant; in fact the whole
+  // cube is). Thesis Figure 5.12 uses this to guard relaxation safety.
+  Cover cover;
+  Cube ab;
+  ab.pos = bits({0, 1});
+  cover.cubes.push_back(ab);
+  cover.cubes.push_back(Cube::literal(1, true));
+  EXPECT_TRUE(has_redundant_literal(cover));
+}
+
+TEST(Qm, IrredundantPrimeCoverHasNoRedundantLiteral) {
+  Cover cover;
+  Cube ab;
+  ab.pos = bits({0, 1});
+  Cube ac;
+  ac.pos = bits({0});
+  ac.neg = bits({2});
+  cover.cubes.push_back(ab);
+  cover.cubes.push_back(ac);
+  EXPECT_FALSE(has_redundant_literal(cover));
+}
+
+TEST(Eqn, ParsesThesisStyleEquations) {
+  const std::vector<std::string> names{"i4", "precharged", "prnot"};
+  auto resolve = [&names](const std::string& name) {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == name) return static_cast<int>(i);
+    return -1;
+  };
+  const auto equations = parse_eqn(
+      "prnot = i4*precharged + i4*prnot + precharged*prnot;", resolve);
+  ASSERT_EQ(equations.size(), 1u);
+  EXPECT_EQ(equations[0].output, 2);
+  EXPECT_EQ(equations[0].cover.cubes.size(), 3u);
+  // Majority: true iff at least two of the three signals are 1.
+  EXPECT_TRUE(equations[0].cover.eval(bits({0, 1})));
+  EXPECT_FALSE(equations[0].cover.eval(bits({0})));
+}
+
+TEST(Eqn, ParsesNegationsAndMultipleLines) {
+  const std::vector<std::string> names{"precharged", "wenin", "i0"};
+  auto resolve = [&names](const std::string& name) {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == name) return static_cast<int>(i);
+    return -1;
+  };
+  const auto equations =
+      parse_eqn("# comment\ni0 = precharged + wenin';\n", resolve);
+  ASSERT_EQ(equations.size(), 1u);
+  EXPECT_TRUE(equations[0].cover.eval(bits({0})));
+  EXPECT_TRUE(equations[0].cover.eval(0));          // wenin = 0
+  EXPECT_FALSE(equations[0].cover.eval(bits({1})));  // wenin = 1, precharged=0
+}
+
+TEST(Eqn, RejectsBracketsAndUnknownNames) {
+  auto resolve = [](const std::string& name) {
+    return name == "a" ? 0 : -1;
+  };
+  EXPECT_THROW(parse_eqn("a = (a);", resolve), Error);
+  EXPECT_THROW(parse_eqn("a = b;", resolve), Error);
+  EXPECT_THROW(parse_eqn("a = a*a';", resolve), Error);
+  EXPECT_THROW(parse_eqn("a = a", resolve), Error);  // missing ';'
+}
+
+TEST(Eqn, WriteRoundTrips) {
+  const std::vector<std::string> names{"a", "b", "o"};
+  auto resolve = [&names](const std::string& name) {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == name) return static_cast<int>(i);
+    return -1;
+  };
+  const std::string text = "o = a*b' + o;\n";
+  const auto equations = parse_eqn(text, resolve);
+  EXPECT_EQ(write_eqn(equations, names), text);
+}
+
+}  // namespace
+}  // namespace sitime::boolfn

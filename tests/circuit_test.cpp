@@ -1,0 +1,159 @@
+// Netlist, adversary-path, and padding tests (src/circuit).
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "benchdata/benchmarks.hpp"
+#include "circuit/adversary.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/padding.hpp"
+#include "core/flow.hpp"
+
+namespace sitime::circuit {
+namespace {
+
+stg::SignalTable three_signals() {
+  stg::SignalTable table;
+  table.add("a", stg::SignalKind::input);
+  table.add("b", stg::SignalKind::input);
+  table.add("o", stg::SignalKind::output);
+  return table;
+}
+
+TEST(Circuit, FromEquationsBuildsGatesAndFanins) {
+  const stg::SignalTable table = three_signals();
+  const Circuit circuit = Circuit::from_equations(&table, "o = a*b' + o*a;");
+  ASSERT_TRUE(circuit.has_gate(2));
+  const Gate& gate = circuit.gate_for(2);
+  EXPECT_EQ(gate.fanins, (std::vector<int>{0, 1}));  // o itself excluded
+  // down = complement of (a*b' + o*a) = a' + b*o'.
+  EXPECT_TRUE(gate.down.eval(0));                       // a=0
+  EXPECT_FALSE(gate.down.eval(0b001));                  // a=1,b=0
+  EXPECT_TRUE(gate.down.eval(0b011));                   // a=1,b=1,o=0
+}
+
+TEST(Circuit, FromEquationsRejectsMissingGate) {
+  stg::SignalTable table;
+  table.add("a", stg::SignalKind::input);
+  table.add("x", stg::SignalKind::output);
+  table.add("y", stg::SignalKind::output);
+  EXPECT_THROW(Circuit::from_equations(&table, "x = a;"), Error);
+}
+
+TEST(Circuit, WiresAndFanout) {
+  stg::SignalTable table;
+  table.add("a", stg::SignalKind::input);
+  table.add("x", stg::SignalKind::output);
+  table.add("y", stg::SignalKind::output);
+  const Circuit circuit =
+      Circuit::from_equations(&table, "x = a;\ny = a*x;");
+  EXPECT_EQ(circuit.fanout(0), 2);  // a feeds x and y
+  EXPECT_EQ(circuit.fanout(1), 1);  // x feeds y
+  EXPECT_EQ(circuit.wires().size(), 3u);
+}
+
+TEST(Circuit, LocalSignalMask) {
+  const stg::SignalTable table = three_signals();
+  const Circuit circuit = Circuit::from_equations(&table, "o = a*b';");
+  const auto mask = circuit.local_signal_mask(2);
+  EXPECT_EQ(mask, (std::vector<bool>{true, true, true}));
+}
+
+TEST(Circuit, EqnRoundTrip) {
+  const stg::SignalTable table = three_signals();
+  const std::string eqn = "o = a*b' + a*o;\n";
+  const Circuit circuit = Circuit::from_equations(&table, eqn);
+  EXPECT_EQ(circuit.to_eqn(), eqn);
+}
+
+class ImecAdversary : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    stg_ = new stg::Stg(benchdata::load_stg(
+        benchdata::benchmark("imec-ram-read-sbuf")));
+    analysis_ = new AdversaryAnalysis(stg_);
+  }
+  static void TearDownTestSuite() {
+    delete analysis_;
+    delete stg_;
+    analysis_ = nullptr;
+    stg_ = nullptr;
+  }
+  static stg::TransitionLabel label(const std::string& text) {
+    stg::TransitionLabel parsed;
+    check(stg::parse_label(text, stg_->signals, parsed),
+          "bad label " + text);
+    return parsed;
+  }
+  static stg::Stg* stg_;
+  static AdversaryAnalysis* analysis_;
+};
+
+stg::Stg* ImecAdversary::stg_ = nullptr;
+AdversaryAnalysis* ImecAdversary::analysis_ = nullptr;
+
+TEST_F(ImecAdversary, DirectCausationWeighsZero) {
+  // wenin- directly precedes i0+ in the STG: no intermediate gates.
+  EXPECT_EQ(analysis_->weight(label("wenin-"), label("i0+")), 0);
+}
+
+TEST_F(ImecAdversary, InternalChainCountsGates) {
+  // wenin- => wsld+ => precharged+: one intermediate internal transition.
+  EXPECT_EQ(analysis_->weight(label("wenin-"), label("precharged+")),
+            kEnvironmentWeight);  // precharged is a primary input: guarded
+  // csc0+ => wsld- => wsldin- ... => map0+: map0 is internal, so the weight
+  // counts the intermediate internal transitions of the slowest chain.
+  const int w = analysis_->weight(label("csc0+"), label("map0+"));
+  EXPECT_GE(w, 1);
+  EXPECT_GE(kEnvironmentWeight, w);
+}
+
+TEST_F(ImecAdversary, InputTargetIsEnvironmentGuarded) {
+  EXPECT_EQ(analysis_->weight(label("req+"), label("prnotin+")),
+            kEnvironmentWeight);
+}
+
+TEST_F(ImecAdversary, PathsCrossMarkedPlaces) {
+  // The chain req+ -> i4+ -> prnot+ -> prnotin+ crosses the initially
+  // marked place <i4+,prnot+> and must still be enumerated.
+  const auto paths = analysis_->paths(label("req+"), label("prnotin+"));
+  ASSERT_FALSE(paths.empty());
+  bool found = false;
+  for (const auto& path : paths)
+    if (path.size() == 4) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ImecAdversary, PathsAreSimple) {
+  for (const auto& path :
+       analysis_->paths(label("wenin-"), label("i0+"), 64)) {
+    std::set<int> seen(path.begin(), path.end());
+    EXPECT_EQ(seen.size(), path.size());
+  }
+}
+
+TEST(Padding, StrongConstraintsGetWirePads) {
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const Circuit circuit = benchdata::load_circuit(bench, stg);
+  const core::FlowResult flow = core::derive_timing_constraints(stg, circuit);
+  const AdversaryAnalysis adversary(&stg);
+  std::vector<DelayConstraint> constraints;
+  for (const auto& [c, w] : flow.after)
+    constraints.push_back(DelayConstraint{c.gate, c.before, c.after, w});
+  const auto plan = plan_padding(adversary, circuit, constraints);
+  for (const auto& decision : plan) {
+    // A pad must never sit on a fast (direct) side of some constraint.
+    if (decision.kind == PaddingKind::wire) {
+      for (const DelayConstraint& c : constraints)
+        EXPECT_FALSE(c.before.signal == decision.source &&
+                     c.gate == decision.sink)
+            << decision.text;
+    }
+  }
+  // Environment-guarded constraints receive no padding.
+  for (const auto& decision : plan)
+    EXPECT_LT(decision.constraint.weight, kEnvironmentWeight);
+}
+
+}  // namespace
+}  // namespace sitime::circuit

@@ -1,0 +1,343 @@
+// Unit tests for the core contribution: arc classification (Section 5.3.1),
+// the four-case hazard criterion on the exact examples of Figures 5.17-5.20,
+// and the Expand loop on small fixtures.
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "circuit/circuit.hpp"
+#include "core/expand.hpp"
+#include "core/hazard_check.hpp"
+#include "core/local_stg.hpp"
+#include "sg/state_graph.hpp"
+
+namespace sitime::core {
+namespace {
+
+using boolfn::Cover;
+using boolfn::Cube;
+using stg::ArcKind;
+using stg::MgStg;
+using stg::SignalKind;
+using stg::SignalTable;
+using stg::TransitionLabel;
+
+Cube cube(std::initializer_list<std::pair<int, bool>> literals) {
+  Cube c;
+  for (auto [var, phase] : literals) {
+    const Cube lit = Cube::literal(var, phase);
+    c.pos |= lit.pos;
+    c.neg |= lit.neg;
+  }
+  return c;
+}
+
+/// Two-input gate fixture shared by the case tests: signals x, y (inputs)
+/// and o; ring x+ => y+ => o+ => x- => y- => o- => (x+ with token) unless
+/// the test builds its own arcs.
+struct GateFixture {
+  SignalTable table;
+  int x, y, o;
+  int xp, yp, op, xm, ym, om;
+  MgStg mg;
+  circuit::Gate gate;
+
+  GateFixture() : mg(nullptr_init()) {
+    xp = mg.add_transition(TransitionLabel{x, true, 1});
+    yp = mg.add_transition(TransitionLabel{y, true, 1});
+    op = mg.add_transition(TransitionLabel{o, true, 1});
+    xm = mg.add_transition(TransitionLabel{x, false, 1});
+    ym = mg.add_transition(TransitionLabel{y, false, 1});
+    om = mg.add_transition(TransitionLabel{o, false, 1});
+    mg.initial_values = {0, 0, 0};
+    gate.output = o;
+    gate.fanins = {x, y};
+  }
+
+ private:
+  MgStg nullptr_init() {
+    x = table.add("x", SignalKind::input);
+    y = table.add("y", SignalKind::input);
+    o = table.add("o", SignalKind::output);
+    return MgStg(&table);
+  }
+};
+
+TEST(ArcClassification, FourTypes) {
+  GateFixture f;
+  f.mg.insert_arc(f.xp, f.op, 0);  // type 1
+  f.mg.insert_arc(f.op, f.ym, 0);  // type 2
+  f.mg.insert_arc(f.yp, f.ym, 0);  // type 3
+  f.mg.insert_arc(f.xp, f.yp, 0);  // type 4
+  EXPECT_EQ(classify_arc(f.mg, f.mg.arcs()[0], f.o),
+            ArcType::input_to_output);
+  EXPECT_EQ(classify_arc(f.mg, f.mg.arcs()[1], f.o),
+            ArcType::output_to_input);
+  EXPECT_EQ(classify_arc(f.mg, f.mg.arcs()[2], f.o), ArcType::same_signal);
+  EXPECT_EQ(classify_arc(f.mg, f.mg.arcs()[3], f.o), ArcType::input_to_input);
+}
+
+TEST(ArcClassification, RelaxableArcsSkipsGuaranteedAndRestriction) {
+  GateFixture f;
+  f.mg.insert_arc(f.xp, f.yp, 0);
+  f.mg.insert_arc(f.xm, f.ym, 0, ArcKind::guaranteed);
+  f.mg.insert_arc(f.yp, f.xm, 0, ArcKind::restriction);
+  const auto arcs = relaxable_arcs(f.mg, f.o);
+  ASSERT_EQ(arcs.size(), 1u);
+  EXPECT_EQ(f.mg.arcs()[arcs[0]].from, f.xp);
+}
+
+/// Figure 5.17 (case 1): AND gate o = x*y on the ring
+/// x+ => y+ => o+ => x- => o- => y- => x+(token). Relaxing x+ => y+ merely
+/// adds the interleaving where y+ arrives first (state 010, where the
+/// pull-up is still false): timing conformance holds.
+TEST(HazardCheck, Case1AndGateConforms) {
+  GateFixture f;
+  f.gate.up.cubes = {cube({{f.x, true}, {f.y, true}})};
+  f.gate.down.cubes = {cube({{f.x, false}}), cube({{f.y, false}})};
+  f.mg.insert_arc(f.xp, f.yp, 0);
+  f.mg.insert_arc(f.yp, f.op, 0);
+  f.mg.insert_arc(f.op, f.xm, 0);
+  f.mg.insert_arc(f.xm, f.om, 0);
+  f.mg.insert_arc(f.om, f.ym, 0);
+  f.mg.insert_arc(f.ym, f.xp, 1);
+
+  const sg::StateGraph base = sg::build_state_graph(f.mg);
+  ASSERT_TRUE(timing_conformant(base, f.mg, f.gate));
+
+  const PrerequisiteMap epre = prerequisites(f.mg, f.o);
+  MgStg trial = f.mg;
+  trial.relax(f.xp, f.yp);
+  const sg::StateGraph graph = sg::build_state_graph(trial);
+  const CheckResult result =
+      check_relaxation(graph, trial, f.gate, f.xp, epre);
+  EXPECT_EQ(result.kind, RelaxationCase::conforms);
+  EXPECT_TRUE(result.er_conformant);
+}
+
+/// Figure 5.19 (case 3): gate with f-up = y + x*o (so either y+ or, while
+/// the output holds, x can sustain it) on the ring
+/// x+ => y+ => o+ => y- => x- => o- => x+(token), with the (unreduced)
+/// direct prerequisite arc x+ => o+ kept as drawn in the figure. Relaxing
+/// x+ => y+ exposes state 010 in QR(o-) where f-up = y is true; the only
+/// unfired prerequisite is x+, firing it enters ER(o+): OR-causality.
+TEST(HazardCheck, Case3OrCausality) {
+  GateFixture f;
+  f.gate.up.cubes = {cube({{f.y, true}}),
+                     cube({{f.x, true}, {f.o, true}})};
+  f.gate.down.cubes = {cube({{f.y, false}, {f.x, false}}),
+                       cube({{f.y, false}, {f.o, false}})};
+  f.mg.insert_arc(f.xp, f.yp, 0);
+  f.mg.insert_arc(f.xp, f.op, 0);  // prerequisite arc from the figure
+  f.mg.insert_arc(f.yp, f.op, 0);
+  f.mg.insert_arc(f.op, f.ym, 0);
+  f.mg.insert_arc(f.ym, f.xm, 0);
+  f.mg.insert_arc(f.xm, f.om, 0);
+  f.mg.insert_arc(f.om, f.xp, 1);
+
+  const sg::StateGraph base = sg::build_state_graph(f.mg);
+  ASSERT_TRUE(timing_conformant(base, f.mg, f.gate));
+
+  const PrerequisiteMap epre = prerequisites(f.mg, f.o);
+  MgStg trial = f.mg;
+  trial.relax(f.xp, f.yp);
+  const sg::StateGraph graph = sg::build_state_graph(trial);
+  const CheckResult result =
+      check_relaxation(graph, trial, f.gate, f.xp, epre);
+  EXPECT_EQ(result.kind, RelaxationCase::or_causality_input);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_TRUE(result.violations[0].output_rising);
+}
+
+/// Figure 5.16(b)/(d): AND gate o = x*y on the ring
+/// x+ => y+ => o+ => x- => o- => y- => x+(token). Relaxing y- => x+ lets
+/// the circuit reach state xyo = 110 inside QR(o-) where f-up = x*y is
+/// true: the gate would fire o+ prematurely without waiting for y+, so the
+/// ordering must be kept as a timing constraint (the thesis's non-
+/// conformant diagram (d)).
+TEST(HazardCheck, Figure516RelaxationIsNotAccepted) {
+  GateFixture f;
+  f.gate.up.cubes = {cube({{f.x, true}, {f.y, true}})};
+  f.gate.down.cubes = {cube({{f.x, false}}), cube({{f.y, false}})};
+  f.mg.insert_arc(f.xp, f.yp, 0);
+  f.mg.insert_arc(f.yp, f.op, 0);
+  f.mg.insert_arc(f.op, f.xm, 0);
+  f.mg.insert_arc(f.xm, f.om, 0);
+  f.mg.insert_arc(f.om, f.ym, 0);
+  f.mg.insert_arc(f.ym, f.xp, 1);
+
+  // The base STG is conformant (the gate is speed independent).
+  const sg::StateGraph base = sg::build_state_graph(f.mg);
+  EXPECT_TRUE(timing_conformant(base, f.mg, f.gate));
+
+  const PrerequisiteMap epre = prerequisites(f.mg, f.o);
+  MgStg trial = f.mg;
+  trial.relax(f.ym, f.xp);
+  const sg::StateGraph graph = sg::build_state_graph(trial);
+  const CheckResult result =
+      check_relaxation(graph, trial, f.gate, f.ym, epre);
+  // Premature enabling is detected; whichever case the classifier lands on,
+  // the relaxation must not be accepted as conformant.
+  EXPECT_NE(result.kind, RelaxationCase::conforms);
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_TRUE(result.violations[0].output_rising);
+}
+
+/// Figure 5.18 (case 2): gate o with up = z*y + x*w where w stays 0, so the
+/// x*w clause can never fire the gate; the STG orders z+ => x+ => y+ => o+.
+/// After relaxing x+ => y+, the gate is enabled in a state where x+ has not
+/// arrived -- but every *prerequisite* (z+, y+) has fired, so this is not a
+/// glitch: case 2.
+TEST(HazardCheck, Case2SpuriousPrerequisite) {
+  SignalTable table;
+  const int w = table.add("w", SignalKind::input);
+  const int x = table.add("x", SignalKind::input);
+  const int y = table.add("y", SignalKind::input);
+  const int z = table.add("z", SignalKind::input);
+  const int o = table.add("o", SignalKind::output);
+  MgStg mg(&table);
+  const int zp = mg.add_transition(TransitionLabel{z, true, 1});
+  const int xp = mg.add_transition(TransitionLabel{x, true, 1});
+  const int yp = mg.add_transition(TransitionLabel{y, true, 1});
+  const int op = mg.add_transition(TransitionLabel{o, true, 1});
+  const int zm = mg.add_transition(TransitionLabel{z, false, 1});
+  const int xm = mg.add_transition(TransitionLabel{x, false, 1});
+  const int ym = mg.add_transition(TransitionLabel{y, false, 1});
+  const int om = mg.add_transition(TransitionLabel{o, false, 1});
+  mg.insert_arc(zp, xp, 0);
+  mg.insert_arc(xp, yp, 0);
+  mg.insert_arc(yp, op, 0);
+  // Reset tail: o- answers z- (the first literal of z*y to fall), then the
+  // remaining inputs recover.
+  mg.insert_arc(op, zm, 0);
+  mg.insert_arc(zm, om, 0);
+  mg.insert_arc(om, xm, 0);
+  mg.insert_arc(xm, ym, 0);
+  mg.insert_arc(ym, zp, 1);
+  mg.initial_values = {0, 0, 0, 0, 0};
+
+  circuit::Gate gate;
+  gate.output = o;
+  gate.fanins = {w, x, y, z};
+  gate.up.cubes = {cube({{z, true}, {y, true}}),
+                   cube({{x, true}, {w, true}})};
+  gate.down.cubes = {cube({{z, false}, {w, false}}),
+                     cube({{y, false}, {w, false}})};
+  // w never transitions in this segment; it holds 0 in every state.
+  mg.initial_values[w] = 0;
+
+  const sg::StateGraph base = sg::build_state_graph(mg);
+  ASSERT_TRUE(timing_conformant(base, mg, gate));
+
+  const PrerequisiteMap epre = prerequisites(mg, o);
+  MgStg trial = mg;
+  trial.relax(xp, yp);
+  const sg::StateGraph graph = sg::build_state_graph(trial);
+  const CheckResult result = check_relaxation(graph, trial, gate, xp, epre);
+  EXPECT_EQ(result.kind, RelaxationCase::spurious_prereq);
+  (void)om;
+}
+
+TEST(HazardCheck, PrerequisitesComeFromPredecessors) {
+  GateFixture f;
+  f.mg.insert_arc(f.xp, f.op, 0);
+  f.mg.insert_arc(f.yp, f.op, 0);
+  f.mg.insert_arc(f.op, f.xm, 0);
+  f.mg.insert_arc(f.op, f.ym, 0);
+  f.mg.insert_arc(f.xm, f.om, 0);
+  f.mg.insert_arc(f.ym, f.om, 0);
+  f.mg.insert_arc(f.om, f.xp, 1);
+  f.mg.insert_arc(f.om, f.yp, 1);
+  const PrerequisiteMap epre = prerequisites(f.mg, f.o);
+  ASSERT_EQ(epre.size(), 2u);
+  EXPECT_EQ(epre.at(f.op), (std::vector<int>{f.xp, f.yp}));
+  EXPECT_EQ(epre.at(f.om), (std::vector<int>{f.xm, f.ym}));
+}
+
+TEST(HazardCheck, TransitionFiredUsesValues) {
+  GateFixture f;
+  f.mg.insert_arc(f.xp, f.op, 0);
+  f.mg.insert_arc(f.op, f.xm, 0);
+  f.mg.insert_arc(f.xm, f.om, 0);
+  f.mg.insert_arc(f.om, f.xp, 1);
+  // Give the otherwise unused y transitions a private marked ring so every
+  // alive transition has input arcs.
+  f.mg.insert_arc(f.yp, f.ym, 0);
+  f.mg.insert_arc(f.ym, f.yp, 1);
+  f.mg.initial_values = {0, 0, 0};
+  const sg::StateGraph graph = sg::build_state_graph(f.mg);
+  // Initially x = 0: x+ has not fired, x- "has" (post-value 0).
+  EXPECT_FALSE(transition_fired(graph, f.mg, 0, f.xp));
+  EXPECT_TRUE(transition_fired(graph, f.mg, 0, f.xm));
+  const int after_xp = graph.successor(0, f.xp);
+  ASSERT_NE(after_xp, -1);
+  EXPECT_TRUE(transition_fired(graph, f.mg, after_xp, f.xp));
+}
+
+/// End-to-end Expand on the Figure 5.16 AND gate: the hazardous ordering
+/// y- before x+ must come out as a timing constraint and the loop must
+/// terminate.
+TEST(Expand, EmitsConstraintForFigure516) {
+  GateFixture f;
+  f.gate.up.cubes = {cube({{f.x, true}, {f.y, true}})};
+  f.gate.down.cubes = {cube({{f.x, false}}), cube({{f.y, false}})};
+  f.mg.insert_arc(f.xp, f.yp, 0);
+  f.mg.insert_arc(f.yp, f.op, 0);
+  f.mg.insert_arc(f.op, f.xm, 0);
+  f.mg.insert_arc(f.xm, f.om, 0);
+  f.mg.insert_arc(f.om, f.ym, 0);
+  f.mg.insert_arc(f.ym, f.xp, 1);
+
+  Expander expander(nullptr);
+  ConstraintSet rt;
+  expander.expand(f.mg, f.gate, rt);
+  const TimingConstraint expected{f.o, TransitionLabel{f.y, false, 1},
+                                  TransitionLabel{f.x, true, 1}};
+  ASSERT_TRUE(rt.count(expected));
+}
+
+/// End-to-end Expand on the AND-gate ring: of its two type-4 orderings,
+/// x+ => y+ relaxes away (case 1, Figure 5.16(c)) while the wrap-around
+/// y- => x+ must stay as a constraint (Figure 5.16(d)) -- exactly one
+/// constraint remains.
+TEST(Expand, RelaxesForwardOrderingKeepsBackwardOne) {
+  GateFixture f;
+  f.gate.up.cubes = {cube({{f.x, true}, {f.y, true}})};
+  f.gate.down.cubes = {cube({{f.x, false}}), cube({{f.y, false}})};
+  f.mg.insert_arc(f.xp, f.yp, 0);
+  f.mg.insert_arc(f.yp, f.op, 0);
+  f.mg.insert_arc(f.op, f.xm, 0);
+  f.mg.insert_arc(f.xm, f.om, 0);
+  f.mg.insert_arc(f.om, f.ym, 0);
+  f.mg.insert_arc(f.ym, f.xp, 1);
+
+  Expander expander(nullptr);
+  ConstraintSet rt;
+  expander.expand(f.mg, f.gate, rt);
+  ASSERT_EQ(rt.size(), 1u);
+  const TimingConstraint& constraint = rt.begin()->first;
+  EXPECT_EQ(constraint.before, (TransitionLabel{f.y, false, 1}));
+  EXPECT_EQ(constraint.after, (TransitionLabel{f.x, true, 1}));
+}
+
+TEST(Constraint, ToStringFormat) {
+  SignalTable table;
+  table.add("precharged", SignalKind::input);
+  table.add("wenin", SignalKind::input);
+  table.add("i0", SignalKind::internal);
+  const TimingConstraint constraint{2, TransitionLabel{0, true, 1},
+                                    TransitionLabel{1, true, 1}};
+  EXPECT_EQ(to_string(constraint, table), "i0: precharged+ < wenin+");
+}
+
+TEST(Constraint, LevelCounting) {
+  ConstraintSet set;
+  set[{0, TransitionLabel{0, true, 1}, TransitionLabel{1, true, 1}}] = 1;
+  set[{0, TransitionLabel{0, false, 1}, TransitionLabel{1, true, 1}}] = 2;
+  set[{1, TransitionLabel{0, true, 1}, TransitionLabel{1, false, 1}}] = 1000;
+  EXPECT_EQ(count_up_to_level(set, 1), 1);
+  EXPECT_EQ(count_up_to_level(set, 2), 2);
+  EXPECT_EQ(count_up_to_level(set, 999), 2);
+}
+
+}  // namespace
+}  // namespace sitime::core

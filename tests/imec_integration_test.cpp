@@ -1,0 +1,125 @@
+// Ground-truth integration test against Section 7.3.1 of the thesis.
+//
+// The thesis prints the exact Check_hazard output for imec-ram-read-sbuf:
+// 19 adversary-path constraints before relaxation and 12 relative timing
+// constraints after. Both the STG and the gate equations are embedded
+// verbatim, so this flow must reproduce both lists constraint-for-
+// constraint — including the arcs whose partner transition changes
+// direction during relaxation (e.g. "i0: wenin- < precharged+" becoming
+// "i0: wenin- < precharged-").
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "benchdata/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "sg/state_graph.hpp"
+
+namespace sitime {
+namespace {
+
+std::set<std::string> constraint_texts(const core::ConstraintSet& set,
+                                       const stg::SignalTable& signals) {
+  std::set<std::string> texts;
+  for (const auto& [constraint, weight] : set) {
+    (void)weight;
+    texts.insert(core::to_string(constraint, signals));
+  }
+  return texts;
+}
+
+class ImecFlow : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+    stg_ = new stg::Stg(benchdata::load_stg(bench));
+    circuit_ = new circuit::Circuit(benchdata::load_circuit(bench, *stg_));
+    result_ = new core::FlowResult(
+        core::derive_timing_constraints(*stg_, *circuit_));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete circuit_;
+    delete stg_;
+    result_ = nullptr;
+    circuit_ = nullptr;
+    stg_ = nullptr;
+  }
+  static stg::Stg* stg_;
+  static circuit::Circuit* circuit_;
+  static core::FlowResult* result_;
+};
+
+stg::Stg* ImecFlow::stg_ = nullptr;
+circuit::Circuit* ImecFlow::circuit_ = nullptr;
+core::FlowResult* ImecFlow::result_ = nullptr;
+
+TEST_F(ImecFlow, GlobalStateCountMatchesTable72) {
+  EXPECT_EQ(result_->state_count, 112);
+}
+
+TEST_F(ImecFlow, InterfaceCountsMatchTable72) {
+  EXPECT_EQ(result_->input_count, 5);
+  EXPECT_EQ(result_->output_count, 5);
+  EXPECT_EQ(result_->gate_count, 11);
+}
+
+TEST_F(ImecFlow, CircuitIsSpeedIndependent) {
+  EXPECT_EQ(core::verify_speed_independent(*stg_, *circuit_), "");
+}
+
+TEST_F(ImecFlow, BeforeListMatchesThesisToolOutput) {
+  const std::set<std::string> expected{
+      "ack: map0- < i0+",        "wsen: wsldin+ < i2-",
+      "prnot: precharged- < i4-", "wen: req+ < prnotin+",
+      "wen: prnotin- < req+",    "wsld: wenin+ < csc0-",
+      "wsld: csc0- < wenin-",    "csc0: wsldin- < i8+",
+      "map0: csc0+ < wsldin-",   "map0: wsldin+ < csc0+",
+      "i0: precharged+ < wenin+", "i0: wenin- < precharged+",
+      "i2: map0+ < csc0-",       "i2: csc0+ < map0+",
+      "i2: csc0- < map0-",       "i4: wenin+ < req-",
+      "i4: req- < wenin-",       "i8: req+ < prnotin+",
+      "i8: prnotin+ < req-"};
+  EXPECT_EQ(constraint_texts(result_->before, stg_->signals), expected);
+}
+
+TEST_F(ImecFlow, AfterListMatchesThesisToolOutput) {
+  const std::set<std::string> expected{
+      "ack: map0- < i0+",        "wsen: wsldin+ < i2-",
+      "wen: prnotin- < req+",    "wsld: wenin+ < csc0-",
+      "csc0: wsldin- < i8-",     "map0: wsldin+ < csc0+",
+      "i0: precharged+ < wenin+", "i0: wenin- < precharged-",
+      "i2: map0+ < csc0-",       "i2: csc0+ < map0-",
+      "i4: wenin+ < req-",       "i8: req+ < prnotin+"};
+  EXPECT_EQ(constraint_texts(result_->after, stg_->signals), expected);
+}
+
+TEST_F(ImecFlow, ReductionRatioAroundFortyPercent) {
+  EXPECT_EQ(result_->before.size(), 19u);
+  EXPECT_EQ(result_->after.size(), 12u);
+  const double ratio = static_cast<double>(result_->after.size()) /
+                       static_cast<double>(result_->before.size());
+  EXPECT_NEAR(ratio, 0.632, 0.001);
+}
+
+TEST_F(ImecFlow, ReportFormatMatchesCheckHazard) {
+  const std::string report = core::format_report(*result_, stg_->signals);
+  EXPECT_NE(report.find("The timing constraints in the original "
+                        "specification are:"),
+            std::string::npos);
+  EXPECT_NE(report.find("The timing constraints for this circuit to work "
+                        "correctly are:"),
+            std::string::npos);
+  EXPECT_NE(report.find("The running time for this program is"),
+            std::string::npos);
+  EXPECT_NE(report.find("i0: wenin- < precharged-"), std::string::npos);
+}
+
+TEST_F(ImecFlow, RuntimeIsPolynomial) {
+  // The thesis reports 0.4 s on a 2.4 GHz PC; anything near that scale.
+  EXPECT_LT(result_->seconds, 5.0);
+}
+
+}  // namespace
+}  // namespace sitime

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "pn/analysis.hpp"
+#include "pn/hack.hpp"
+#include "pn/petri_net.hpp"
+
+namespace sitime::pn {
+namespace {
+
+/// The PN of thesis Figure 3.1: p1 -> t1 -> {p2, p3}, p2 -> t2 -> p4,
+/// p3 -> t3 -> p5, {p4, p5} -> t4, with a token in p1.
+PetriNet figure_3_1() {
+  PetriNet net;
+  const int p1 = net.add_place("p1", 1);
+  const int p2 = net.add_place("p2");
+  const int p3 = net.add_place("p3");
+  const int p4 = net.add_place("p4");
+  const int p5 = net.add_place("p5");
+  const int t1 = net.add_transition("t1");
+  const int t2 = net.add_transition("t2");
+  const int t3 = net.add_transition("t3");
+  const int t4 = net.add_transition("t4");
+  net.add_place_to_transition(p1, t1);
+  net.add_transition_to_place(t1, p2);
+  net.add_transition_to_place(t1, p3);
+  net.add_place_to_transition(p2, t2);
+  net.add_transition_to_place(t2, p4);
+  net.add_place_to_transition(p3, t3);
+  net.add_transition_to_place(t3, p5);
+  net.add_place_to_transition(p4, t4);
+  net.add_place_to_transition(p5, t4);
+  net.add_transition_to_place(t4, p1);  // close the cycle (Figure 3.1)
+  return net;
+}
+
+TEST(PetriNet, EnablingAndFiring) {
+  PetriNet net = figure_3_1();
+  const Marking m0 = net.initial_marking();
+  EXPECT_TRUE(net.enabled(0, m0));
+  EXPECT_FALSE(net.enabled(1, m0));
+  const Marking m1 = net.fire(0, m0);
+  EXPECT_EQ(m1, (Marking{0, 1, 1, 0, 0}));
+  EXPECT_TRUE(net.enabled(1, m1));
+  EXPECT_TRUE(net.enabled(2, m1));
+  EXPECT_THROW(net.fire(3, m1), Error);
+}
+
+TEST(PetriNet, MarkingSetOfFigure31) {
+  // The thesis lists exactly five reachable markings.
+  PetriNet net = figure_3_1();
+  const ReachabilityGraph graph = reachability(net);
+  EXPECT_EQ(graph.markings.size(), 5u);
+  EXPECT_TRUE(graph.index.count(Marking{1, 0, 0, 0, 0}));
+  EXPECT_TRUE(graph.index.count(Marking{0, 1, 1, 0, 0}));
+  EXPECT_TRUE(graph.index.count(Marking{0, 0, 1, 1, 0}));
+  EXPECT_TRUE(graph.index.count(Marking{0, 1, 0, 0, 1}));
+  EXPECT_TRUE(graph.index.count(Marking{0, 0, 0, 1, 1}));
+}
+
+TEST(PetriNet, ConcurrentTransitions) {
+  PetriNet net = figure_3_1();
+  const ReachabilityGraph graph = reachability(net);
+  EXPECT_TRUE(concurrent(net, graph, 1, 2));   // t2 and t3
+  EXPECT_FALSE(in_conflict(net, graph, 1, 2));
+}
+
+/// Left net of Figure 3.2: t3 is dead (needs both choice outputs of p1).
+TEST(Analysis, DeadTransitionMakesNetNotLive) {
+  PetriNet net;
+  const int p1 = net.add_place("p1", 1);
+  const int p2 = net.add_place("p2");
+  const int p3 = net.add_place("p3");
+  const int t1 = net.add_transition("t1");
+  const int t2 = net.add_transition("t2");
+  const int t3 = net.add_transition("t3");
+  const int t4 = net.add_transition("t4");
+  net.add_place_to_transition(p1, t1);
+  net.add_place_to_transition(p1, t2);
+  net.add_transition_to_place(t1, p2);
+  net.add_transition_to_place(t2, p3);
+  net.add_place_to_transition(p2, t3);
+  net.add_place_to_transition(p3, t3);
+  net.add_transition_to_place(t3, p1);
+  // t4 recovers tokens so t1/t2 stay live; t3 never fires.
+  net.add_place_to_transition(p2, t4);
+  net.add_transition_to_place(t4, p1);
+  net.add_place_to_transition(p3, t4);
+  const ReachabilityGraph graph = reachability(net);
+  EXPECT_FALSE(is_live(net, graph));
+  EXPECT_FALSE(is_free_choice(net));  // p1 is a non-free choice place
+}
+
+/// Middle net of Figure 3.2: places can hold two tokens -> unsafe (but the
+/// net stays bounded: the two tokens circulate).
+TEST(Analysis, UnsafeNetDetected) {
+  PetriNet net;
+  const int p1 = net.add_place("p1", 1);
+  const int p2 = net.add_place("p2", 1);
+  const int t1 = net.add_transition("t1");
+  const int t2 = net.add_transition("t2");
+  net.add_place_to_transition(p1, t1);
+  net.add_transition_to_place(t1, p2);  // fire t1: p2 holds 2 tokens
+  net.add_place_to_transition(p2, t2);
+  net.add_transition_to_place(t2, p1);
+  const ReachabilityGraph graph = reachability(net);
+  EXPECT_FALSE(is_safe(net, graph));
+  EXPECT_TRUE(is_live(net, graph));
+}
+
+TEST(Analysis, MarkedGraphPredicate) {
+  PetriNet net = figure_3_1();
+  EXPECT_TRUE(is_marked_graph(net));
+  // Add a choice place.
+  const int p = net.add_place("choice", 0);
+  net.add_place_to_transition(p, 0);
+  net.add_place_to_transition(p, 1);
+  EXPECT_FALSE(is_marked_graph(net));
+}
+
+TEST(Analysis, ReachabilityDetectsUnboundedNets) {
+  PetriNet net;
+  const int p = net.add_place("p", 1);
+  const int t = net.add_transition("t");
+  net.add_place_to_transition(p, t);
+  net.add_transition_to_place(t, p);
+  const int q = net.add_place("q");
+  net.add_transition_to_place(t, q);  // q grows without bound
+  const int u = net.add_transition("u");
+  net.add_place_to_transition(q, u);
+  net.add_transition_to_place(u, q);
+  net.add_transition_to_place(u, q);
+  EXPECT_THROW(reachability(net), Error);
+}
+
+/// The live and safe free-choice net of Figure 5.2 with its three MG
+/// components.
+PetriNet figure_5_2() {
+  PetriNet net;
+  const int p1 = net.add_place("p1", 1);
+  const int p2 = net.add_place("p2");
+  const int p3 = net.add_place("p3");
+  const int p4 = net.add_place("p4");
+  const int p5 = net.add_place("p5");
+  const int p6 = net.add_place("p6");
+  const int t1 = net.add_transition("t1");
+  const int t2 = net.add_transition("t2");
+  const int t4 = net.add_transition("t4");
+  const int t5 = net.add_transition("t5");
+  const int t6 = net.add_transition("t6");
+  const int t7 = net.add_transition("t7");
+  const int t8 = net.add_transition("t8");
+  const int t9 = net.add_transition("t9");
+  // p1 is the free-choice place between t1 and t2.
+  net.add_place_to_transition(p1, t1);
+  net.add_place_to_transition(p1, t2);
+  net.add_transition_to_place(t1, p2);
+  net.add_place_to_transition(p2, t6);
+  net.add_transition_to_place(t2, p3);
+  // p3 forks into t4 and t5? In Figure 5.2, t2 leads to p3; p3 is a choice
+  // place between t4 and t5 (both single-input -> free choice).
+  net.add_place_to_transition(p3, t4);
+  net.add_place_to_transition(p3, t5);
+  net.add_transition_to_place(t4, p4);
+  net.add_transition_to_place(t5, p5);
+  net.add_place_to_transition(p4, t7);
+  net.add_place_to_transition(p5, t8);
+  net.add_transition_to_place(t7, p6);
+  net.add_transition_to_place(t8, p6);
+  net.add_place_to_transition(p6, t9);
+  // t6 and t9 close the loop back to p1.
+  net.add_transition_to_place(t6, p1);
+  net.add_transition_to_place(t9, p1);
+  return net;
+}
+
+TEST(Hack, Figure52DecomposesIntoThreeComponents) {
+  PetriNet net = figure_5_2();
+  EXPECT_TRUE(is_free_choice(net));
+  const auto components = mg_components(net);
+  ASSERT_EQ(components.size(), 3u);
+  // Component (b): t1 -> t6.
+  // Components (c) and (d): t2 -> t4 -> t7 -> t9 and t2 -> t5 -> t8 -> t9.
+  std::vector<std::vector<std::string>> names;
+  for (const auto& component : components) {
+    std::vector<std::string> these;
+    for (int t : component.transitions)
+      these.push_back(net.transition_name(t));
+    names.push_back(these);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      std::vector<std::string>{"t1", "t6"}),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      std::vector<std::string>{"t2", "t4", "t7", "t9"}),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      std::vector<std::string>{"t2", "t5", "t8", "t9"}),
+            names.end());
+}
+
+TEST(Hack, MarkedGraphYieldsItselfAsSingleComponent) {
+  PetriNet net = figure_3_1();
+  const auto components = mg_components(net);
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0].transitions.size(), 4u);
+  EXPECT_EQ(components[0].places.size(), 5u);
+}
+
+TEST(Hack, RejectsNonFreeChoice) {
+  PetriNet net;
+  const int p1 = net.add_place("p1", 1);
+  const int p2 = net.add_place("p2", 1);
+  const int t1 = net.add_transition("t1");
+  const int t2 = net.add_transition("t2");
+  net.add_place_to_transition(p1, t1);
+  net.add_place_to_transition(p1, t2);
+  net.add_place_to_transition(p2, t2);  // t2 has two inputs: not free choice
+  net.add_transition_to_place(t1, p1);
+  net.add_transition_to_place(t2, p1);
+  net.add_transition_to_place(t2, p2);
+  EXPECT_THROW(mg_components(net), Error);
+}
+
+}  // namespace
+}  // namespace sitime::pn

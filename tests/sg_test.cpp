@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "sg/regions.hpp"
+#include "sg/state_graph.hpp"
+#include "stg/astg.hpp"
+
+namespace sitime::sg {
+namespace {
+
+using stg::SignalKind;
+using stg::SignalTable;
+using stg::TransitionLabel;
+
+/// An STG in the style of thesis Figure 3.4 (two concurrent branches after
+/// a+, multiple occurrences of a, a sequential tail): a+ forks into
+/// {b+ -> b-} and {d+ -> c+}; both join at a-; then a+/2 -> d- -> a-/2 ->
+/// c- closes the cycle. The two branches give 3 x 3 interleaving positions,
+/// so the SG has 1 + 9 + 4 = 14 states.
+stg::Stg figure_3_4() {
+  stg::Stg stg;
+  const int a = stg.signals.add("a", SignalKind::input);
+  const int b = stg.signals.add("b", SignalKind::input);
+  const int c = stg.signals.add("c", SignalKind::input);
+  const int d = stg.signals.add("d", SignalKind::input);
+  const int ap = stg.add_transition(TransitionLabel{a, true, 1});
+  const int bp = stg.add_transition(TransitionLabel{b, true, 1});
+  const int bm = stg.add_transition(TransitionLabel{b, false, 1});
+  const int dp = stg.add_transition(TransitionLabel{d, true, 1});
+  const int cp = stg.add_transition(TransitionLabel{c, true, 1});
+  const int am = stg.add_transition(TransitionLabel{a, false, 1});
+  const int ap2 = stg.add_transition(TransitionLabel{a, true, 2});
+  const int dm = stg.add_transition(TransitionLabel{d, false, 1});
+  const int am2 = stg.add_transition(TransitionLabel{a, false, 2});
+  const int cm = stg.add_transition(TransitionLabel{c, false, 1});
+  stg.connect(ap, bp);
+  stg.connect(ap, dp);
+  stg.connect(bp, bm);
+  stg.connect(dp, cp);
+  stg.connect(cp, am);
+  stg.connect(bm, am);
+  stg.connect(am, ap2);
+  stg.connect(cp, ap2);
+  stg.connect(ap2, dm);
+  stg.connect(dm, am2);
+  stg.connect(am2, cm);
+  stg.connect(cm, ap, 1);
+  return stg;
+}
+
+TEST(GlobalSg, InterleavingStateCount) {
+  const stg::Stg stg = figure_3_4();
+  const GlobalSg sg = build_global_sg(stg);
+  EXPECT_EQ(sg.state_count(), 14);
+}
+
+TEST(GlobalSg, InitialValuesInferred) {
+  const stg::Stg stg = figure_3_4();
+  const GlobalSg sg = build_global_sg(stg);
+  const auto values = initial_values(stg, sg);
+  // Initial state of Figure 3.4 is 0000.
+  EXPECT_EQ(values, (std::vector<int>{0, 0, 0, 0}));
+}
+
+TEST(GlobalSg, CodesFollowFirings) {
+  const stg::Stg stg = figure_3_4();
+  const GlobalSg sg = build_global_sg(stg);
+  // Fire a+ from the initial state: code becomes a=1.
+  const int a_plus = stg.find_transition(TransitionLabel{0, true, 1});
+  int successor = -1;
+  for (const auto& [t, next] : sg.reach.edges[0])
+    if (t == a_plus) successor = next;
+  ASSERT_NE(successor, -1);
+  EXPECT_TRUE(sg.value(successor, 0));
+  EXPECT_FALSE(sg.value(successor, 1));
+}
+
+TEST(GlobalSg, InconsistentStgRejected) {
+  // x rises twice with no fall in between.
+  stg::Stg stg;
+  const int x = stg.signals.add("x", SignalKind::input);
+  const int xp = stg.add_transition(TransitionLabel{x, true, 1});
+  const int xp2 = stg.add_transition(TransitionLabel{x, true, 2});
+  stg.connect(xp, xp2);
+  stg.connect(xp2, xp, 1);
+  EXPECT_THROW(build_global_sg(stg), Error);
+}
+
+/// Local-SG fixture: the two-input AND-gate STG of Figure 5.16(b):
+/// b- => a+ => b+ => o+ => a- => o- => (b- with token).
+stg::MgStg and_gate_stg(SignalTable& table) {
+  table = SignalTable();
+  const int a = table.add("a", SignalKind::input);
+  const int b = table.add("b", SignalKind::input);
+  const int o = table.add("o", SignalKind::output);
+  stg::MgStg mg(&table);
+  const int bm = mg.add_transition(TransitionLabel{b, false, 1});
+  const int ap = mg.add_transition(TransitionLabel{a, true, 1});
+  const int bp = mg.add_transition(TransitionLabel{b, true, 1});
+  const int op = mg.add_transition(TransitionLabel{o, true, 1});
+  const int am = mg.add_transition(TransitionLabel{a, false, 1});
+  const int om = mg.add_transition(TransitionLabel{o, false, 1});
+  mg.insert_arc(bm, ap, 0);
+  mg.insert_arc(ap, bp, 0);
+  mg.insert_arc(bp, op, 0);
+  mg.insert_arc(op, am, 0);
+  mg.insert_arc(am, om, 0);
+  mg.insert_arc(om, bm, 1);
+  mg.initial_values = {0, 1, 0};  // figure: start before b- with b high
+  return mg;
+}
+
+TEST(LocalSg, BuildsConsistentStateGraph) {
+  SignalTable table;
+  const stg::MgStg mg = and_gate_stg(table);
+  const StateGraph graph = build_state_graph(mg);
+  EXPECT_EQ(graph.state_count(), 6);  // one marking per phase of the ring
+  // Initial code: b = 1.
+  EXPECT_FALSE(graph.value(0, 0));
+  EXPECT_TRUE(graph.value(0, 1));
+  EXPECT_FALSE(graph.value(0, 2));
+}
+
+TEST(LocalSg, SuccessorLookup) {
+  SignalTable table;
+  const stg::MgStg mg = and_gate_stg(table);
+  const StateGraph graph = build_state_graph(mg);
+  const int bm = 0;  // first added transition
+  const int succ = graph.successor(0, bm);
+  ASSERT_NE(succ, -1);
+  EXPECT_FALSE(graph.value(succ, 1));
+  EXPECT_EQ(graph.successor(0, 3 /* o+ */), -1);
+}
+
+TEST(LocalSg, InconsistentInitialValuesRejected) {
+  SignalTable table;
+  stg::MgStg mg = and_gate_stg(table);
+  mg.initial_values = {0, 0, 0};  // b- enabled but b already 0
+  EXPECT_THROW(build_state_graph(mg), Error);
+}
+
+TEST(LocalSg, MissingInitialValueRejected) {
+  SignalTable table;
+  stg::MgStg mg = and_gate_stg(table);
+  mg.initial_values = {0, 1, -1};
+  EXPECT_THROW(build_state_graph(mg), Error);
+}
+
+TEST(Regions, ExcitationAndQuiescentRegions) {
+  SignalTable table;
+  const stg::MgStg mg = and_gate_stg(table);
+  const StateGraph graph = build_state_graph(mg);
+  const RegionSet regions = compute_regions(graph, mg, table.find("o"));
+  // Exactly one state has o+ excited (after b+), one has o- excited.
+  int er_plus = 0;
+  int er_minus = 0;
+  int qr_plus = 0;
+  int qr_minus = 0;
+  for (int s = 0; s < graph.state_count(); ++s) {
+    if (regions.in_er(s, true)) ++er_plus;
+    if (regions.in_er(s, false)) ++er_minus;
+    if (regions.in_qr(s, true)) ++qr_plus;
+    if (regions.in_qr(s, false)) ++qr_minus;
+  }
+  EXPECT_EQ(er_plus, 1);
+  EXPECT_EQ(er_minus, 1);
+  EXPECT_EQ(qr_plus, 1);   // the state between o+ and a- ... o stable high
+  EXPECT_EQ(qr_minus, 3);  // o stable low elsewhere
+  EXPECT_EQ(regions.er_count[1], 1);
+  EXPECT_EQ(regions.qr_count[0], 1);  // the three low states are connected
+}
+
+TEST(Regions, FollowingErFindsNextExcitation) {
+  SignalTable table;
+  const stg::MgStg mg = and_gate_stg(table);
+  const StateGraph graph = build_state_graph(mg);
+  const int o = table.find("o");
+  const RegionSet regions = compute_regions(graph, mg, o);
+  // From the initial state (o quiescent low), the next ER is ER(o+).
+  int transition = -1;
+  const int component = following_er(graph, mg, regions, 0, true, &transition);
+  EXPECT_EQ(component, 0);
+  ASSERT_NE(transition, -1);
+  EXPECT_EQ(mg.label(transition).signal, o);
+  EXPECT_TRUE(mg.label(transition).rising);
+}
+
+TEST(Regions, StatesPartitionPerDirection) {
+  SignalTable table;
+  const stg::MgStg mg = and_gate_stg(table);
+  const StateGraph graph = build_state_graph(mg);
+  const RegionSet regions = compute_regions(graph, mg, table.find("o"));
+  for (int s = 0; s < graph.state_count(); ++s) {
+    const int memberships = (regions.in_er(s, true) ? 1 : 0) +
+                            (regions.in_er(s, false) ? 1 : 0) +
+                            (regions.in_qr(s, true) ? 1 : 0) +
+                            (regions.in_qr(s, false) ? 1 : 0);
+    EXPECT_EQ(memberships, 1) << "state " << s;
+  }
+}
+
+}  // namespace
+}  // namespace sitime::sg

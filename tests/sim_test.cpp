@@ -1,0 +1,138 @@
+// Event-driven simulator and Monte-Carlo tests (src/sim), including the
+// property the whole reproduction rests on: delays satisfying the derived
+// constraints never produce hazards, and violating a derived constraint
+// does (parameterized across benchmarks and seeds).
+#include <gtest/gtest.h>
+
+#include "benchdata/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "sim/montecarlo.hpp"
+#include "sim/simulator.hpp"
+
+namespace sitime::sim {
+namespace {
+
+TEST(Simulator, ZeroWireDelaysAreHazardFree) {
+  // The isochronic fork (zero wire delays) is exactly what SI guarantees.
+  for (const auto& bench : benchdata::all_benchmarks()) {
+    const stg::Stg stg = benchdata::load_stg(bench);
+    const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+    DelayModel delays;
+    for (const circuit::Gate& gate : circuit.gates())
+      delays.gate[gate.output] = 1.0;
+    const SimResult result = simulate(stg, circuit, delays);
+    EXPECT_EQ(result.hazard_count, 0) << bench.name;
+    EXPECT_GT(result.transitions, 10) << bench.name;
+  }
+}
+
+TEST(Simulator, UniformWireDelaysAreHazardFree) {
+  // Equal delays on every fork branch also satisfy the isochronic fork.
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  DelayModel delays;
+  for (const circuit::Wire& wire : circuit.wires())
+    delays.wire[{wire.source, wire.sink_gate}] = 0.5;
+  const SimResult result = simulate(stg, circuit, delays);
+  EXPECT_EQ(result.hazard_count, 0);
+}
+
+TEST(Simulator, ProgressesThroughManyCycles) {
+  const auto& bench = benchdata::benchmark("fifo");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  DelayModel delays;
+  SimOptions options;
+  options.max_transitions = 480;
+  const SimResult result = simulate(stg, circuit, delays, options);
+  EXPECT_EQ(result.transitions, 480);  // ran to the limit, no deadlock
+  EXPECT_EQ(result.hazard_count, 0);
+}
+
+TEST(Simulator, DetectsInjectedForkSkew) {
+  // Give the fork branch guarding one derived constraint a huge delay while
+  // its adversary path stays fast: the monitor must flag hazards.
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  const core::FlowResult flow = core::derive_timing_constraints(stg, circuit);
+  const circuit::AdversaryAnalysis adversary(&stg);
+  // Find an internally-guarded constraint to break.
+  for (const auto& [constraint, weight] : flow.after) {
+    if (weight >= circuit::kEnvironmentWeight) continue;
+    DelayModel delays;
+    for (const circuit::Wire& wire : circuit.wires())
+      delays.wire[{wire.source, wire.sink_gate}] = 0.1;
+    violate_constraint(delays, constraint, adversary, 8.0);
+    const SimResult result = simulate(stg, circuit, delays);
+    EXPECT_GT(result.hazard_count, 0)
+        << core::to_string(constraint, stg.signals);
+    return;
+  }
+  GTEST_SKIP() << "no internally guarded constraint";
+}
+
+TEST(MonteCarlo, RandomDelaysAreDeterministicPerSeed) {
+  const auto& bench = benchdata::benchmark("fifo");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  McOptions options;
+  const DelayModel d1 = random_delays(circuit, 42, options);
+  const DelayModel d2 = random_delays(circuit, 42, options);
+  EXPECT_EQ(d1.wire, d2.wire);
+  const DelayModel d3 = random_delays(circuit, 43, options);
+  EXPECT_NE(d1.wire, d3.wire);
+}
+
+TEST(MonteCarlo, EnforcementOnlyReducesWireDelays) {
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  const core::FlowResult flow = core::derive_timing_constraints(stg, circuit);
+  const circuit::AdversaryAnalysis adversary(&stg);
+  McOptions options;
+  const DelayModel before = random_delays(circuit, 5, options);
+  DelayModel after = before;
+  enforce_constraints(after, flow.after, adversary, options);
+  for (const auto& [wire, delay] : after.wire) {
+    ASSERT_TRUE(before.wire.count(wire));
+    EXPECT_LE(delay, before.wire.at(wire) + 1e-12);
+  }
+}
+
+/// The sufficiency property, swept across benchmarks: every sampled delay
+/// assignment satisfying the derived constraints is hazard-free.
+class Sufficiency : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Sufficiency, ConstraintsImplyHazardFreedom) {
+  const auto& bench = benchdata::benchmark(GetParam());
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  const core::FlowResult flow = core::derive_timing_constraints(stg, circuit);
+  McOptions options;
+  options.runs = 60;
+  options.seed = 11;
+  const McResult result =
+      run_montecarlo(stg, circuit, &flow.after, options);
+  EXPECT_EQ(result.hazardous_runs, 0) << bench.name;
+}
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& bench : benchdata::all_benchmarks())
+    names.push_back(bench.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, Sufficiency,
+                         ::testing::ValuesIn(benchmark_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace sitime::sim

@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "stg/astg.hpp"
+#include "stg/marked_graph.hpp"
+#include "stg/signal.hpp"
+#include "stg/stg.hpp"
+
+namespace sitime::stg {
+namespace {
+
+TEST(Signal, TableBasics) {
+  SignalTable table;
+  const int a = table.add("a", SignalKind::input);
+  const int x = table.add("x", SignalKind::output);
+  const int r = table.add("r", SignalKind::internal);
+  EXPECT_EQ(table.count(), 3);
+  EXPECT_TRUE(table.is_input(a));
+  EXPECT_FALSE(table.is_input(x));
+  EXPECT_EQ(table.find("r"), r);
+  EXPECT_EQ(table.find("missing"), -1);
+  EXPECT_EQ(table.non_input_signals(), (std::vector<int>{x, r}));
+  EXPECT_THROW(table.add("a", SignalKind::input), Error);
+}
+
+TEST(Signal, LabelParsing) {
+  SignalTable table;
+  table.add("csc0", SignalKind::internal);
+  table.add("req", SignalKind::input);
+  TransitionLabel label;
+  ASSERT_TRUE(parse_label("csc0-/2", table, label));
+  EXPECT_EQ(label.signal, 0);
+  EXPECT_FALSE(label.rising);
+  EXPECT_EQ(label.occurrence, 2);
+  ASSERT_TRUE(parse_label("req+", table, label));
+  EXPECT_TRUE(label.rising);
+  EXPECT_EQ(label.occurrence, 1);
+  EXPECT_FALSE(parse_label("p0", table, label));
+  EXPECT_FALSE(parse_label("unknown+", table, label));
+  EXPECT_FALSE(parse_label("req", table, label));
+  EXPECT_FALSE(parse_label("req+/x", table, label));
+}
+
+TEST(Signal, LabelTextRoundTrip) {
+  SignalTable table;
+  table.add("ack", SignalKind::output);
+  const TransitionLabel label{0, false, 2};
+  EXPECT_EQ(label_text(label, table), "ack-/2");
+  TransitionLabel parsed;
+  ASSERT_TRUE(parse_label("ack-/2", table, parsed));
+  EXPECT_EQ(parsed, label);
+}
+
+const char* const kToyAstg = R"(.model toy
+.inputs a b
+.outputs x
+.graph
+a+ x+
+b+ x+
+x+ a- b-
+a- a+
+b- b+
+a+ b+
+.marking { <a-,a+> <b-,b+> }
+.end
+)";
+
+TEST(Astg, ParsesTransitionsArcsAndMarking) {
+  const Stg stg = parse_astg(kToyAstg);
+  EXPECT_EQ(stg.model_name, "toy");
+  EXPECT_EQ(stg.signals.count(), 3);
+  EXPECT_EQ(stg.net.transition_count(), 5);  // a+ a- b+ b- x+
+  const int a_plus = stg.find_transition(TransitionLabel{0, true, 1});
+  ASSERT_NE(a_plus, -1);
+  // Two marked implicit places.
+  int tokens = 0;
+  for (int t : stg.net.initial_marking()) tokens += t;
+  EXPECT_EQ(tokens, 2);
+}
+
+TEST(Astg, RoundTripPreservesStructure) {
+  const Stg stg = parse_astg(kToyAstg);
+  const Stg again = parse_astg(write_astg(stg));
+  EXPECT_EQ(again.net.transition_count(), stg.net.transition_count());
+  EXPECT_EQ(again.net.place_count(), stg.net.place_count());
+  int tokens = 0;
+  for (int t : again.net.initial_marking()) tokens += t;
+  EXPECT_EQ(tokens, 2);
+}
+
+TEST(Astg, ExplicitPlacesAndChoice) {
+  const char* const text = R"(.model choice
+.inputs d
+.outputs y z
+.graph
+p0 y+ z+
+y+ d+
+z+ d+
+d+ p1
+p1 y- z-
+y- d-
+z- d-
+d- p0
+.marking { p0 }
+.end
+)";
+  const Stg stg = parse_astg(text);
+  const int p0 = stg.net.find_place("p0");
+  ASSERT_NE(p0, -1);
+  EXPECT_EQ(stg.net.place_outputs(p0).size(), 2u);
+  EXPECT_EQ(stg.net.initial_marking()[p0], 1);
+}
+
+TEST(Astg, RejectsMalformedInput) {
+  EXPECT_THROW(parse_astg(".model m\n.graph\n.marking {}\n.end\n"), Error);
+  EXPECT_THROW(parse_astg(".model m\n.inputs a\n.dummy t\n.graph\na+ a-\n"
+                          "a- a+\n.marking { <a-,a+> }\n.end\n"),
+               Error);
+  EXPECT_THROW(
+      parse_astg(".model m\n.inputs a\n.graph\na+ a-\na- a+\n"
+                 ".marking { <a+,a-/3> }\n.end\n"),
+      Error);
+}
+
+/// Builds the SR-latch local STG of Figure 5.4 in arc-list form:
+/// signals a, b (inputs of gate o) and o.
+/// Cycle: a- => o+ => b+ => b- => a- ... with the thesis's arcs.
+MgStg sr_latch_local_stg(SignalTable& table) {
+  table = SignalTable();
+  const int a = table.add("a", SignalKind::input);
+  const int b = table.add("b", SignalKind::input);
+  const int o = table.add("o", SignalKind::output);
+  MgStg mg(&table);
+  const int a_min = mg.add_transition(TransitionLabel{a, false, 1});
+  const int a_plus = mg.add_transition(TransitionLabel{a, true, 1});
+  const int b_plus = mg.add_transition(TransitionLabel{b, true, 1});
+  const int b_min = mg.add_transition(TransitionLabel{b, false, 1});
+  const int b_plus2 = mg.add_transition(TransitionLabel{b, true, 2});
+  const int b_min2 = mg.add_transition(TransitionLabel{b, false, 2});
+  const int o_plus = mg.add_transition(TransitionLabel{o, true, 1});
+  const int o_min = mg.add_transition(TransitionLabel{o, false, 1});
+  // Type (1): a- => o+, a+ => o-, b-/2 => o-.
+  mg.insert_arc(a_min, o_plus, 0);
+  mg.insert_arc(a_plus, o_min, 0);
+  mg.insert_arc(b_min2, o_min, 0);
+  // Type (2): o- => b+, o+ => b+/2.
+  mg.insert_arc(o_min, b_plus, 0);
+  mg.insert_arc(o_plus, b_plus2, 0);
+  // Type (3): b+ => b-, b+/2 => b-/2.
+  mg.insert_arc(b_plus, b_min, 0);
+  mg.insert_arc(b_plus2, b_min2, 0);
+  // Type (4): b- => a-, b+/2 => a+. Every cycle of this local STG passes
+  // through a-, so marking a-'s two input places makes the net live.
+  mg.insert_arc(b_min, a_min, 1);
+  mg.insert_arc(b_plus2, a_plus, 0);
+  mg.insert_arc(o_min, a_min, 1);
+  mg.initial_values[a] = 1;
+  mg.initial_values[b] = 0;
+  mg.initial_values[o] = 0;
+  return mg;
+}
+
+TEST(MarkedGraph, SrLatchStructureIsLive) {
+  SignalTable table;
+  const MgStg mg = sr_latch_local_stg(table);
+  EXPECT_TRUE(mg.live());
+  EXPECT_NO_THROW(mg.validate());
+}
+
+TEST(MarkedGraph, InsertMergesParallelArcsKeepingMinTokens) {
+  SignalTable table;
+  table.add("a", SignalKind::input);
+  table.add("b", SignalKind::input);
+  MgStg mg(&table);
+  const int u = mg.add_transition(TransitionLabel{0, true, 1});
+  const int v = mg.add_transition(TransitionLabel{1, true, 1});
+  mg.insert_arc(u, v, 2);
+  mg.insert_arc(u, v, 1);
+  EXPECT_EQ(mg.arcs().size(), 1u);
+  EXPECT_EQ(mg.arc_tokens(u, v), 1);
+  mg.insert_arc(u, v, 3, ArcKind::restriction);
+  EXPECT_EQ(mg.arc_tokens(u, v), 1);
+  EXPECT_EQ(mg.arc_kind(u, v), ArcKind::restriction);
+}
+
+TEST(MarkedGraph, SelfLoopRules) {
+  SignalTable table;
+  table.add("a", SignalKind::input);
+  MgStg mg(&table);
+  const int u = mg.add_transition(TransitionLabel{0, true, 1});
+  mg.insert_arc(u, u, 1);  // loop-only: silently dropped
+  EXPECT_TRUE(mg.arcs().empty());
+  EXPECT_THROW(mg.insert_arc(u, u, 0), Error);  // dead self-loop
+}
+
+/// Figure 5.14(a): x+ -> y+ -> x- -> y- ring (p2, p3, p5 with a token), a
+/// direct place p4 = <x+, x-> and the loop place p1 = <y-, x+> marked.
+/// p4 is a shortcut place (path x+, y+, x- carries no tokens).
+TEST(MarkedGraph, ShortcutPlaceDetectedAndRemoved) {
+  SignalTable table;
+  const int x = table.add("x", SignalKind::input);
+  const int y = table.add("y", SignalKind::input);
+  MgStg mg(&table);
+  const int xp = mg.add_transition(TransitionLabel{x, true, 1});
+  const int yp = mg.add_transition(TransitionLabel{y, true, 1});
+  const int xm = mg.add_transition(TransitionLabel{x, false, 1});
+  const int ym = mg.add_transition(TransitionLabel{y, false, 1});
+  mg.insert_arc(xp, yp, 0);   // p2
+  mg.insert_arc(yp, xm, 0);   // p3
+  mg.insert_arc(xm, ym, 0);   // p5
+  mg.insert_arc(ym, xp, 1);   // p1 (marked)
+  mg.insert_arc(xp, xm, 0);   // p4: shortcut
+  const int p4 = mg.find_arc(xp, xm);
+  ASSERT_NE(p4, -1);
+  EXPECT_TRUE(mg.arc_redundant(p4));
+  mg.eliminate_redundant_arcs();
+  EXPECT_EQ(mg.find_arc(xp, xm), -1);
+  EXPECT_NE(mg.find_arc(xp, yp), -1);  // the rest stays
+}
+
+/// Figure 5.14(b): <b-, b+> is NOT a shortcut place: the only path from b-
+/// to b+ carries two tokens while the place carries none... (the thesis
+/// counts 2 > 0). We reproduce the token arithmetic with a simplified ring.
+TEST(MarkedGraph, NonShortcutPlaceKept) {
+  SignalTable table;
+  const int b = table.add("b", SignalKind::input);
+  const int c = table.add("c", SignalKind::input);
+  MgStg mg(&table);
+  const int bm = mg.add_transition(TransitionLabel{b, false, 1});
+  const int cp = mg.add_transition(TransitionLabel{c, true, 1});
+  const int bp = mg.add_transition(TransitionLabel{b, true, 1});
+  const int cm = mg.add_transition(TransitionLabel{c, false, 1});
+  mg.insert_arc(bm, cp, 1);  // path with tokens
+  mg.insert_arc(cp, bp, 1);
+  mg.insert_arc(bp, cm, 0);
+  mg.insert_arc(cm, bm, 0);
+  mg.insert_arc(bm, bp, 0);  // candidate: path b- -> c+ -> b+ has 2 tokens
+  const int candidate = mg.find_arc(bm, bp);
+  EXPECT_FALSE(mg.arc_redundant(candidate));
+  mg.eliminate_redundant_arcs();
+  EXPECT_NE(mg.find_arc(bm, bp), -1);
+}
+
+TEST(MarkedGraph, RestrictionArcsAreNeverRemoved) {
+  SignalTable table;
+  const int x = table.add("x", SignalKind::input);
+  const int y = table.add("y", SignalKind::input);
+  MgStg mg(&table);
+  const int xp = mg.add_transition(TransitionLabel{x, true, 1});
+  const int yp = mg.add_transition(TransitionLabel{y, true, 1});
+  const int xm = mg.add_transition(TransitionLabel{x, false, 1});
+  mg.insert_arc(xp, yp, 0);
+  mg.insert_arc(yp, xm, 0);
+  mg.insert_arc(xm, xp, 1);
+  mg.insert_arc(xp, xm, 0, ArcKind::restriction);  // redundant but protected
+  mg.eliminate_redundant_arcs();
+  EXPECT_NE(mg.find_arc(xp, xm), -1);
+}
+
+/// Figure 5.13: relaxing b+ => a- in the a+/b+/o+/a-/b-/o- hexagon adds
+/// o+ => a- and b+ => o-, of which o+ => a- is redundant... in the figure
+/// the arc b+ => b- => o- chain makes b+ => o- redundant. We check that
+/// relaxation plus the sweep leaves no redundant arcs and keeps liveness
+/// and the orderings of both events against third parties.
+TEST(MarkedGraph, RelaxationMakesEventsConcurrentAndKeepsLiveness) {
+  SignalTable table;
+  const int a = table.add("a", SignalKind::input);
+  const int b = table.add("b", SignalKind::input);
+  const int o = table.add("o", SignalKind::output);
+  MgStg mg(&table);
+  const int ap = mg.add_transition(TransitionLabel{a, true, 1});
+  const int bp = mg.add_transition(TransitionLabel{b, true, 1});
+  const int op = mg.add_transition(TransitionLabel{o, true, 1});
+  const int am = mg.add_transition(TransitionLabel{a, false, 1});
+  const int bm = mg.add_transition(TransitionLabel{b, false, 1});
+  const int om = mg.add_transition(TransitionLabel{o, false, 1});
+  mg.insert_arc(ap, bp, 0);
+  mg.insert_arc(bp, op, 0);
+  mg.insert_arc(op, am, 0);
+  mg.insert_arc(am, bm, 0);
+  mg.insert_arc(bm, om, 0);
+  mg.insert_arc(om, ap, 1);
+  mg.insert_arc(bp, am, 0);  // the arc to relax (redundant here? no: direct)
+  mg.eliminate_redundant_arcs();
+  // b+ => a- is redundant already (path b+ -> o+ -> a- has 0 tokens), so
+  // re-add a genuinely ordering arc pair: relax b+ => o+ instead.
+  EXPECT_EQ(mg.find_arc(bp, am), -1);
+  EXPECT_TRUE(mg.structurally_before(bp, op));
+  mg.relax(bp, op);
+  EXPECT_TRUE(mg.live());
+  EXPECT_NO_THROW(mg.validate());
+  // Now b+ and o+ are concurrent; predecessors of b+ still precede o+.
+  EXPECT_TRUE(mg.structurally_concurrent(bp, op));
+  EXPECT_TRUE(mg.structurally_before(ap, op));
+  // Successor ordering preserved: b+ still precedes a- (via inserted arc).
+  EXPECT_TRUE(mg.structurally_before(bp, am));
+}
+
+TEST(MarkedGraph, RelaxationTokenRules) {
+  // Relaxing an arc with a token marks the replacement arcs (Algorithm 2
+  // lines 13-15 generalized to token sums).
+  SignalTable table;
+  const int a = table.add("a", SignalKind::input);
+  const int b = table.add("b", SignalKind::input);
+  const int c = table.add("c", SignalKind::input);
+  MgStg mg(&table);
+  const int ap = mg.add_transition(TransitionLabel{a, true, 1});
+  const int bp = mg.add_transition(TransitionLabel{b, true, 1});
+  const int cp = mg.add_transition(TransitionLabel{c, true, 1});
+  const int am = mg.add_transition(TransitionLabel{a, false, 1});
+  const int bm = mg.add_transition(TransitionLabel{b, false, 1});
+  const int cm = mg.add_transition(TransitionLabel{c, false, 1});
+  mg.insert_arc(ap, bp, 1);  // marked arc to relax
+  mg.insert_arc(bp, cp, 0);
+  mg.insert_arc(cp, am, 0);
+  mg.insert_arc(am, bm, 0);
+  mg.insert_arc(bm, cm, 0);
+  mg.insert_arc(cm, ap, 0);
+  mg.relax(ap, bp);
+  EXPECT_TRUE(mg.live());
+  // a+'s successor arc a+ => c+ must carry the token the relaxed arc had
+  // (token rule: tok(b+ => c+) + tok(a+ => b+) = 0 + 1).
+  ASSERT_NE(mg.find_arc(ap, cp), -1);
+  EXPECT_EQ(mg.arc_tokens(ap, cp), 1);
+  // Predecessor arc c- => b+ likewise carries 0 + 1.
+  ASSERT_NE(mg.find_arc(cm, bp), -1);
+  EXPECT_EQ(mg.arc_tokens(cm, bp), 1);
+}
+
+TEST(MarkedGraph, ProjectionSplicesHiddenTransitions) {
+  // Figure 5.3: projecting away t between x* and y* connects them directly
+  // and accumulates tokens.
+  SignalTable table;
+  const int x = table.add("x", SignalKind::input);
+  const int t = table.add("t", SignalKind::internal);
+  const int y = table.add("y", SignalKind::input);
+  MgStg mg(&table);
+  const int xp = mg.add_transition(TransitionLabel{x, true, 1});
+  const int tp = mg.add_transition(TransitionLabel{t, true, 1});
+  const int yp = mg.add_transition(TransitionLabel{y, true, 1});
+  mg.insert_arc(xp, tp, 1);
+  mg.insert_arc(tp, yp, 0);
+  mg.insert_arc(yp, xp, 0);
+  std::vector<bool> keep(table.count(), true);
+  keep[t] = false;
+  mg.project(keep);
+  EXPECT_FALSE(mg.alive(tp));
+  ASSERT_NE(mg.find_arc(xp, yp), -1);
+  EXPECT_EQ(mg.arc_tokens(xp, yp), 1);
+  EXPECT_TRUE(mg.live());
+}
+
+TEST(MarkedGraph, ProjectionEliminatesRedundantArcs) {
+  // x+ -> t+ -> y+ plus direct x+ -> y+: after hiding t, the two parallel
+  // paths merge into one arc.
+  SignalTable table;
+  const int x = table.add("x", SignalKind::input);
+  const int t = table.add("t", SignalKind::internal);
+  const int y = table.add("y", SignalKind::input);
+  MgStg mg(&table);
+  const int xp = mg.add_transition(TransitionLabel{x, true, 1});
+  const int tp = mg.add_transition(TransitionLabel{t, true, 1});
+  const int yp = mg.add_transition(TransitionLabel{y, true, 1});
+  mg.insert_arc(xp, tp, 0);
+  mg.insert_arc(tp, yp, 0);
+  mg.insert_arc(xp, yp, 0);
+  mg.insert_arc(yp, xp, 1);
+  std::vector<bool> keep(table.count(), true);
+  keep[t] = false;
+  mg.project(keep);
+  EXPECT_EQ(mg.arcs().size(), 2u);  // x+ => y+ and y+ => x+
+  EXPECT_TRUE(mg.live());
+}
+
+TEST(MarkedGraph, StructuralOrderIgnoresTokenArcs) {
+  SignalTable table;
+  table.add("a", SignalKind::input);
+  table.add("b", SignalKind::input);
+  MgStg mg(&table);
+  const int u = mg.add_transition(TransitionLabel{0, true, 1});
+  const int v = mg.add_transition(TransitionLabel{1, true, 1});
+  mg.insert_arc(u, v, 0);
+  mg.insert_arc(v, u, 1);
+  EXPECT_TRUE(mg.structurally_before(u, v));
+  EXPECT_FALSE(mg.structurally_before(v, u));
+  EXPECT_FALSE(mg.structurally_concurrent(u, v));
+}
+
+}  // namespace
+}  // namespace sitime::stg

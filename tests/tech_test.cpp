@@ -1,0 +1,142 @@
+// Technology-model tests (src/tech): the Davis distribution quoted in
+// Section 7.2 and the calibrated error/penalty trends of Figures 7.5-7.7.
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+#include "benchdata/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "circuit/padding.hpp"
+#include "tech/error_model.hpp"
+#include "tech/penalty.hpp"
+#include "tech/tech.hpp"
+
+namespace sitime::tech {
+namespace {
+
+TEST(WireLength, DensityIsNonNegativeAndSupported) {
+  const WireLengthDistribution dist(1e6);
+  EXPECT_EQ(dist.density(0.5), 0.0);
+  EXPECT_EQ(dist.density(dist.max_length() + 1), 0.0);
+  for (double l : {1.0, 10.0, 100.0, 1000.0, 1999.0})
+    EXPECT_GE(dist.density(l), 0.0) << l;
+}
+
+TEST(WireLength, FractionIsMonotoneDecreasing) {
+  const WireLengthDistribution dist(1e6);
+  double previous = 1.0;
+  for (double l : {1.0, 20.0, 100.0, 400.0, 1200.0, 1900.0}) {
+    const double fraction = dist.fraction_longer_than(l);
+    EXPECT_LE(fraction, previous + 1e-12) << l;
+    EXPECT_GE(fraction, 0.0);
+    previous = fraction;
+  }
+  EXPECT_NEAR(dist.fraction_longer_than(1.0), 1.0, 1e-6);
+  EXPECT_NEAR(dist.fraction_longer_than(dist.max_length()), 0.0, 1e-9);
+}
+
+TEST(WireLength, LargerBlocksHaveLongerTails) {
+  const WireLengthDistribution small(0.5e6);
+  const WireLengthDistribution large(4e6);
+  EXPECT_GT(large.fraction_longer_than(800.0),
+            small.fraction_longer_than(800.0));
+}
+
+TEST(TechNodes, FourNodesWithDeepSubmicronTrend) {
+  const auto& table = nodes();
+  ASSERT_EQ(table.size(), 4u);
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    // Gates get faster; the wire/gate ratio worsens.
+    EXPECT_LT(table[i].gate_delay_ps, table[i - 1].gate_delay_ps);
+    EXPECT_GT(table[i].wire_ps_per_pitch / table[i].gate_delay_ps,
+              table[i - 1].wire_ps_per_pitch / table[i - 1].gate_delay_ps);
+  }
+  EXPECT_EQ(node("90nm").name, "90nm");
+  EXPECT_THROW(node("22nm"), Error);
+}
+
+TEST(ErrorModel, CrossoverShrinksWithNode) {
+  double previous = 1e9;
+  for (const TechNode& n : nodes()) {
+    const double length = error_length_pitches(n, 2);
+    EXPECT_LT(length, previous) << n.name;
+    previous = length;
+  }
+}
+
+TEST(ErrorModel, LongerAdversaryPathsAreSafer) {
+  const TechNode& n = node("90nm");
+  EXPECT_LT(gate_error_rate(n, 1e6, 1), 1.0);
+  EXPECT_GT(gate_error_rate(n, 1e6, 1), gate_error_rate(n, 1e6, 2));
+  EXPECT_GT(gate_error_rate(n, 1e6, 2), gate_error_rate(n, 1e6, 4));
+}
+
+TEST(ErrorModel, Figure75Trends) {
+  const std::vector<int> levels{1, 2, 2, 3};
+  double previous = 0.0;
+  for (const TechNode& n : nodes()) {
+    const double unbuf = circuit_error_rate(n, 1e6, levels);
+    ErrorModelOptions buffered;
+    buffered.buffered_direct_wire = true;
+    const double buf1 = circuit_error_rate(n, 1e6, levels, buffered);
+    EXPECT_GT(unbuf, previous) << n.name;   // grows as the node shrinks
+    EXPECT_GT(buf1, unbuf) << n.name;       // buffer insertion hurts
+    EXPECT_LT(unbuf, 0.5) << n.name;        // stays a rate, not certainty
+    previous = unbuf;
+  }
+}
+
+TEST(ErrorModel, Figure76GrowsWithScale) {
+  const std::vector<int> levels{1, 2};
+  const TechNode& n = node("90nm");
+  double previous = 0.0;
+  for (double gates : {0.5e6, 1e6, 2e6, 4e6}) {
+    const double rate = circuit_error_rate(n, gates, levels);
+    EXPECT_GT(rate, previous) << gates;
+    previous = rate;
+  }
+}
+
+TEST(Penalty, Figure77Shape) {
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  // Pad exactly what the Section 5.7 planner pads (as the bench does).
+  const core::FlowResult flow =
+      core::derive_timing_constraints(stg, circuit);
+  const circuit::AdversaryAnalysis adversary(&stg);
+  std::vector<circuit::DelayConstraint> constraints;
+  for (const auto& [c, w] : flow.after)
+    constraints.push_back(
+        circuit::DelayConstraint{c.gate, c.before, c.after, w});
+  PenaltyOptions options;
+  for (const auto& decision :
+       circuit::plan_padding(adversary, circuit, constraints))
+    if (decision.kind == circuit::PaddingKind::wire)
+      options.padded_wires.emplace_back(decision.source, decision.sink);
+  ASSERT_FALSE(options.padded_wires.empty());
+  double previous_starved = 0.0;
+  for (const TechNode& n : nodes()) {
+    const double starved = padding_penalty(stg, circuit, n, options,
+                                           PadKind::current_starved);
+    const double repeater =
+        padding_penalty(stg, circuit, n, options, PadKind::repeater);
+    EXPECT_GT(starved, 0.0) << n.name;
+    EXPECT_NEAR(repeater, 2.0 * starved, 0.35 * starved) << n.name;
+    EXPECT_GT(starved, previous_starved) << n.name;  // worse at small nodes
+    previous_starved = starved;
+  }
+}
+
+TEST(Penalty, NoPadsNoPenalty) {
+  const auto& bench = benchdata::benchmark("fifo");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  PenaltyOptions options;  // no padded wires
+  EXPECT_DOUBLE_EQ(
+      padding_penalty(stg, circuit, node("90nm"), options,
+                      PadKind::repeater),
+      0.0);
+}
+
+}  // namespace
+}  // namespace sitime::tech

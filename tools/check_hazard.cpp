@@ -1,0 +1,74 @@
+// check_hazard — the thesis tool's command-line interface (Section 7.3.1).
+//
+// Usage:
+//   check_hazard STG.g [EQN.eqn]
+//
+// Reads an implementation STG in the astg format and, optionally, a
+// restricted-EQN netlist. Without a netlist the circuit is synthesized from
+// the STG's state graph (one atomic complex gate per non-input signal).
+// Prints the adversary-path conditions before relaxation and the relative
+// timing constraints after, in the format of the thesis tool:
+//
+//   The timing constraints in the original specification are: ...
+//   The timing constraints for this circuit to work correctly are: ...
+//   The running time for this program is ... seconds
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "base/error.hpp"
+#include "circuit/circuit.hpp"
+#include "core/flow.hpp"
+#include "sg/state_graph.hpp"
+#include "stg/astg.hpp"
+#include "synth/synthesis.hpp"
+
+namespace {
+
+std::string read_file(const char* path) {
+  std::ifstream stream(path);
+  if (!stream) sitime::fail(std::string("cannot open '") + path + "'");
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sitime;
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: check_hazard STG.g [EQN.eqn]\n");
+    return 2;
+  }
+  try {
+    const stg::Stg stg = stg::parse_astg(read_file(argv[1]));
+    circuit::Circuit circuit = [&] {
+      if (argc == 3)
+        return circuit::Circuit::from_equations(&stg.signals,
+                                                read_file(argv[2]));
+      const sg::GlobalSg global = sg::build_global_sg(stg);
+      return circuit::Circuit::from_synthesis(&stg.signals,
+                                              synth::synthesize(stg, global));
+    }();
+    if (argc == 2)
+      std::fprintf(stderr, "synthesized netlist:\n%s\n",
+                   circuit.to_eqn().c_str());
+    const std::string not_si = core::verify_speed_independent(stg, circuit);
+    if (!not_si.empty()) {
+      std::fprintf(stderr,
+                   "error: the circuit is not speed independent (gate '%s' "
+                   "violates timing conformance under the isochronic fork)\n",
+                   not_si.c_str());
+      return 1;
+    }
+    const core::FlowResult result =
+        core::derive_timing_constraints(stg, circuit);
+    std::printf("%s", core::format_report(result, stg.signals).c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
