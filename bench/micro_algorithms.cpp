@@ -9,6 +9,7 @@
 #include "core/flow.hpp"
 #include "core/local_stg.hpp"
 #include "pn/hack.hpp"
+#include "sg/sg_cache.hpp"
 #include "sg/state_graph.hpp"
 
 namespace {
@@ -60,19 +61,43 @@ void BM_LocalStgProjection(benchmark::State& state) {
 BENCHMARK(BM_LocalStgProjection);
 
 void BM_RelaxationStep(benchmark::State& state) {
+  // One trial of the Expand inner loop: try a relaxation, then roll it
+  // back (the common rejected-trial path, via the snapshot/undo API).
   const stg::MgStg component = imec_component();
   const circuit::Gate& gate =
       imec_circuit().gate_for(imec_stg().signals.find("i0"));
-  const stg::MgStg local = core::local_stg(component, gate);
+  stg::MgStg local = core::local_stg(component, gate);
   const auto arcs = core::relaxable_arcs(local, gate.output);
+  const int from = local.arcs()[arcs.front()].from;
+  const int to = local.arcs()[arcs.front()].to;
   for (auto _ : state) {
-    stg::MgStg trial = local;
-    trial.relax(local.arcs()[arcs.front()].from,
-                local.arcs()[arcs.front()].to);
-    benchmark::DoNotOptimize(trial.arcs().size());
+    stg::MgStg::ArcSnapshot snapshot = local.arc_snapshot();
+    local.relax(from, to);
+    benchmark::DoNotOptimize(local.arcs().size());
+    local.restore_arcs(std::move(snapshot));
   }
 }
 BENCHMARK(BM_RelaxationStep);
+
+void BM_RelaxationTrialWithSg(benchmark::State& state) {
+  // The full trial: relax, (re)build the trial's state graph through the
+  // SG cache, undo. After the first iteration the cache serves the graph.
+  const stg::MgStg component = imec_component();
+  const circuit::Gate& gate =
+      imec_circuit().gate_for(imec_stg().signals.find("i0"));
+  stg::MgStg local = core::local_stg(component, gate);
+  const auto arcs = core::relaxable_arcs(local, gate.output);
+  const int from = local.arcs()[arcs.front()].from;
+  const int to = local.arcs()[arcs.front()].to;
+  sg::SgCache cache;
+  for (auto _ : state) {
+    stg::MgStg::ArcSnapshot snapshot = local.arc_snapshot();
+    local.relax(from, to);
+    benchmark::DoNotOptimize(cache.get_or_build(local)->state_count());
+    local.restore_arcs(std::move(snapshot));
+  }
+}
+BENCHMARK(BM_RelaxationTrialWithSg);
 
 void BM_LocalStateGraph(benchmark::State& state) {
   const stg::MgStg component = imec_component();

@@ -46,7 +46,7 @@ namespace {
 int find_er_violation(const sg::StateGraph& graph, const stg::MgStg& mg,
                       const circuit::Gate& gate, bool* rising_out) {
   for (int s = 0; s < graph.state_count(); ++s) {
-    for (const auto& [t, succ] : graph.out[s]) {
+    for (const auto& [t, succ] : graph.out(s)) {
       (void)succ;
       const stg::TransitionLabel& label = mg.label(t);
       if (label.signal != gate.output) continue;
@@ -75,6 +75,11 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
     *options_.trace += std::string(2 * depth, ' ') + "[" +
                        local.signals().name(gate.output) + "] " + line + "\n";
   };
+  // Prerequisite sets come from the STG *before* each relaxation. Only an
+  // accepted relaxation changes the arc table they derive from (rejection
+  // restores it, and set_arc_kind touches no ordering), so they are
+  // computed once here and recomputed on acceptance instead of per trial.
+  PrerequisiteMap epre = prerequisites(local, gate.output);
   while (true) {
     const std::vector<int> candidates = relaxable_arcs(local, gate.output);
     if (candidates.empty()) return;
@@ -86,13 +91,13 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
     const int y = arc.to;
     const int weight = weight_of(local, arc);
 
-    // Prerequisite sets come from the STG *before* this relaxation.
-    const PrerequisiteMap epre = prerequisites(local, gate.output);
-
-    stg::MgStg trial = local;
-    trial.relax(x, y);
-    const sg::StateGraph graph = sg::build_state_graph(trial);
-    CheckResult result = check_relaxation(graph, trial, gate, x, epre);
+    // Trial in place: snapshot the arc table, relax, restore on rejection.
+    // `local` plays the legacy `trial` role until the case is decided.
+    stg::MgStg::ArcSnapshot pre_relax = local.arc_snapshot();
+    local.relax(x, y);
+    const std::shared_ptr<const sg::StateGraph> graph =
+        cache_.get_or_build(local);
+    CheckResult result = check_relaxation(*graph, local, gate, x, epre);
 
     // The thesis analyses one premature output transition per relaxation;
     // when one relaxation hits several at once, fall back to the (sound)
@@ -111,8 +116,10 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
     // when the OR-causality decomposition's preconditions do not hold
     // (e.g. a single-clause pull function cannot race against itself) --
     // matching the constraints the thesis tool reports for such arcs.
-    auto emit_constraint = [this, &rt, &local, &gate, &trace, x, y,
-                            weight]() {
+    // Restores the pre-relaxation arcs before marking the arc guaranteed.
+    auto emit_constraint = [this, &rt, &local, &gate, &trace, &pre_relax, x,
+                            y, weight]() {
+      local.restore_arcs(std::move(pre_relax));
       trace("  constraint " + local.transition_text(x) + " < " +
             local.transition_text(y));
       rt.emplace(
@@ -123,7 +130,8 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
 
     switch (result.kind) {
       case RelaxationCase::conforms: {
-        local = std::move(trial);
+        // Keep the relaxed STG; the prerequisite sets must follow it.
+        epre = prerequisites(local, gate.output);
         break;
       }
       case RelaxationCase::spurious_prereq: {
@@ -137,7 +145,7 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
           // Conformance failed only inside an excitation region.
           bool rising = false;
           problem.output_transition =
-              find_er_violation(graph, trial, gate, &rising);
+              find_er_violation(*graph, local, gate, &rising);
           problem.output_rising = rising;
           check(problem.output_transition != -1,
                 "expand: case-2 classification without a violation");
@@ -145,31 +153,36 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
         const auto it = epre.find(problem.output_transition);
         if (it != epre.end()) problem.prerequisites = it->second;
 
-        stg::MgStg concurrent = trial;
-        if (concurrent.has_arc(x, problem.output_transition) &&
-            concurrent.arc_kind(x, problem.output_transition) ==
+        stg::MgStg::ArcSnapshot pre_concurrent = local.arc_snapshot();
+        if (local.has_arc(x, problem.output_transition) &&
+            local.arc_kind(x, problem.output_transition) ==
                 stg::ArcKind::normal)
-          concurrent.relax(x, problem.output_transition);
-        const sg::StateGraph graph2 = sg::build_state_graph(concurrent);
-        if (timing_conformant(graph2, concurrent, gate)) {
+          local.relax(x, problem.output_transition);
+        const std::shared_ptr<const sg::StateGraph> graph2 =
+            cache_.get_or_build(local);
+        if (timing_conformant(*graph2, local, gate)) {
           trace("  made " + local.transition_text(x) +
                 " concurrent with the output; accepted");
-          local = std::move(concurrent);
+          epre = prerequisites(local, gate.output);
           break;
         }
         trace("  OR-causality after making " + local.transition_text(x) +
               " concurrent with the output; decomposing");
         // OR-causality in case 2: candidate clauses are judged on the SG
         // before the arc modification; the STG with x* concurrent is the
-        // one decomposed (Figures 6.1 and 6.5).
+        // one decomposed (Figures 6.1 and 6.5). Both STGs are needed at
+        // once here, so the pre-concurrent trial is materialized from its
+        // snapshot.
         try {
+          stg::MgStg trial = local;
+          trial.restore_arcs(std::move(pre_concurrent));
           const std::vector<CandidateClause> clauses = find_candidate_clauses(
-              trial, graph, concurrent, gate, problem);
-          const auto init = initial_restrictions(concurrent, clauses);
+              trial, *graph, local, gate, problem);
+          const auto init = initial_restrictions(local, clauses);
           const auto entries = or_causality_decomposition(clauses, init);
           trace("  " + std::to_string(entries.size()) + " subSTGs");
           for (stg::MgStg& sub :
-               build_substgs(concurrent, gate, problem, clauses, entries,
+               build_substgs(local, gate, problem, clauses, entries,
                              /*relax_non_clause_prereqs=*/false))
             expand_inner(std::move(sub), gate, rt, depth + 1);
           return;
@@ -188,13 +201,13 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
         problem.prerequisites = it->second;
         try {
           const std::vector<CandidateClause> clauses =
-              find_candidate_clauses(trial, graph, trial, gate, problem);
-          const auto init = initial_restrictions(trial, clauses);
+              find_candidate_clauses(local, *graph, local, gate, problem);
+          const auto init = initial_restrictions(local, clauses);
           const auto entries = or_causality_decomposition(clauses, init);
           trace("  OR-causality (case 3): " + std::to_string(entries.size()) +
                 " subSTGs");
           for (stg::MgStg& sub :
-               build_substgs(trial, gate, problem, clauses, entries,
+               build_substgs(local, gate, problem, clauses, entries,
                              /*relax_non_clause_prereqs=*/true))
             expand_inner(std::move(sub), gate, rt, depth + 1);
           return;

@@ -18,6 +18,7 @@
 #include "core/constraint.hpp"
 #include "core/hazard_check.hpp"
 #include "core/or_causality.hpp"
+#include "sg/sg_cache.hpp"
 
 namespace sitime::core {
 
@@ -50,6 +51,9 @@ class Expander {
   /// Relaxation attempts performed so far (across expand() calls).
   int steps() const { return steps_; }
 
+  /// State-graph cache statistics (across expand() calls).
+  const sg::SgCache& sg_cache() const { return cache_; }
+
  private:
   void expand_inner(stg::MgStg local, const circuit::Gate& gate,
                     ConstraintSet& rt, int depth);
@@ -59,6 +63,7 @@ class Expander {
   const circuit::AdversaryAnalysis* adversary_;
   ExpandOptions options_;
   int steps_ = 0;
+  sg::SgCache cache_;
 };
 
 }  // namespace sitime::core

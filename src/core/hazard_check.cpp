@@ -1,7 +1,6 @@
 #include "core/hazard_check.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "base/error.hpp"
 
@@ -23,13 +22,22 @@ bool transition_fired(const sg::StateGraph& graph, const stg::MgStg& mg,
 namespace {
 
 /// Collects the violating states grouped by (direction, following ER
-/// component) so each group carries one output transition.
+/// component) so each group carries one output transition. Episodes are
+/// gathered into a flat vector and grouped by one stable sort over the
+/// (rising, component) key — states stay in ascending order within each
+/// group and groups come out in the order the legacy std::map produced
+/// (falling before rising, then by component id).
 std::vector<Violation> find_violations(const sg::StateGraph& graph,
                                        const stg::MgStg& mg,
                                        const circuit::Gate& gate,
                                        const sg::RegionSet& regions) {
-  // Key: (output_rising, er_component).
-  std::map<std::pair<bool, int>, Violation> grouped;
+  struct Episode {
+    bool rising;
+    int er_component;
+    int output_transition;
+    int state;
+  };
+  std::vector<Episode> episodes;
   for (int s = 0; s < graph.state_count(); ++s) {
     // Premature fall: quiescent high but pull-down true.
     if (regions.in_qr(s, true) && gate.down.eval(graph.codes[s])) {
@@ -37,11 +45,7 @@ std::vector<Violation> find_violations(const sg::StateGraph& graph,
       const int er = sg::following_er(graph, mg, regions, s, false, &t_o);
       check(er != -1, "find_violations: QR(o+) state with no following "
                       "ER(o-)");
-      auto& violation = grouped[{false, er}];
-      violation.output_rising = false;
-      violation.er_component = er;
-      violation.output_transition = t_o;
-      violation.states.push_back(s);
+      episodes.push_back(Episode{false, er, t_o, s});
     }
     // Premature rise: quiescent low but pull-up true.
     if (regions.in_qr(s, false) && gate.up.eval(graph.codes[s])) {
@@ -49,18 +53,27 @@ std::vector<Violation> find_violations(const sg::StateGraph& graph,
       const int er = sg::following_er(graph, mg, regions, s, true, &t_o);
       check(er != -1, "find_violations: QR(o-) state with no following "
                       "ER(o+)");
-      auto& violation = grouped[{true, er}];
-      violation.output_rising = true;
-      violation.er_component = er;
-      violation.output_transition = t_o;
-      violation.states.push_back(s);
+      episodes.push_back(Episode{true, er, t_o, s});
     }
   }
+  std::stable_sort(episodes.begin(), episodes.end(),
+                   [](const Episode& a, const Episode& b) {
+                     return std::pair(a.rising, a.er_component) <
+                            std::pair(b.rising, b.er_component);
+                   });
   std::vector<Violation> result;
-  result.reserve(grouped.size());
-  for (auto& [key, violation] : grouped) {
-    (void)key;
-    result.push_back(std::move(violation));
+  for (const Episode& episode : episodes) {
+    if (result.empty() ||
+        result.back().output_rising != episode.rising ||
+        result.back().er_component != episode.er_component) {
+      Violation violation;
+      violation.output_rising = episode.rising;
+      violation.er_component = episode.er_component;
+      result.push_back(std::move(violation));
+    }
+    // Last writer wins, as with the legacy map-backed accumulation.
+    result.back().output_transition = episode.output_transition;
+    result.back().states.push_back(episode.state);
   }
   return result;
 }

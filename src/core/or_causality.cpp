@@ -44,7 +44,7 @@ std::vector<CandidateClause> find_candidate_clauses(
     for (int s = 0; s < clause_graph.state_count() && !can_win; ++s) {
       if (regions.qr[qr_dir][s] == -1) continue;
       if (cover.eval(clause_graph.codes[s])) continue;
-      for (const auto& [t, succ] : clause_graph.out[s]) {
+      for (const auto& [t, succ] : clause_graph.out(s)) {
         (void)t;
         if (regions.qr[qr_dir][succ] == -1) continue;
         if (cover.eval(clause_graph.codes[succ]) &&

@@ -1,86 +1,138 @@
 #include "pn/analysis.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "base/error.hpp"
 
 namespace sitime::pn {
 
+int ReachabilityGraph::successor(int s, int transition) const {
+  const auto row = edges(s);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), transition,
+      [](const std::pair<int, int>& edge, int t) { return edge.first < t; });
+  if (it != row.end() && it->first == transition) return it->second;
+  return -1;
+}
+
 ReachabilityGraph reachability(const PetriNet& net, int state_limit,
                                int token_limit) {
   ReachabilityGraph graph;
-  const Marking& m0 = net.initial_marking();
-  graph.markings.push_back(m0);
-  graph.index[m0] = 0;
-  graph.edges.emplace_back();
-  std::queue<int> frontier;
-  frontier.push(0);
-  while (!frontier.empty()) {
-    const int state = frontier.front();
-    frontier.pop();
-    const Marking current = graph.markings[state];
-    for (int t : net.enabled_transitions(current)) {
-      Marking next = net.fire(t, current);
-      for (int tokens : next)
-        check(tokens <= token_limit,
-              "reachability: place exceeded token limit (unbounded net?)");
-      auto [it, inserted] =
-          graph.index.emplace(std::move(next), static_cast<int>(
-                                                   graph.markings.size()));
-      if (inserted) {
-        graph.markings.push_back(it->first);
-        graph.edges.emplace_back();
-        check(static_cast<int>(graph.markings.size()) <= state_limit,
+  const int transitions = net.transition_count();
+  // Headroom: one firing may add up to `max_mult` tokens to a place before
+  // the limit check runs, so those transient counts must stay encodable.
+  int max_mult = 1;
+  for (int t = 0; t < transitions; ++t) {
+    const auto& outs = net.transition_outputs(t);
+    for (int place : outs)
+      max_mult = std::max(
+          max_mult,
+          static_cast<int>(std::count(outs.begin(), outs.end(), place)));
+  }
+  graph.states.reset(net.place_count(), token_limit + max_mult);
+  for (int tokens : net.initial_marking())
+    check(tokens <= token_limit,
+          "reachability: place exceeded token limit (unbounded net?)");
+  graph.states.insert(net.initial_marking());
+
+  base::FireTable fire(graph.states, transitions);
+  for (int t = 0; t < transitions; ++t) {
+    for (int place : net.transition_inputs(t)) fire.add_input(t, place);
+    for (int place : net.transition_outputs(t)) fire.add_output(t, place);
+  }
+  fire.seal();
+
+  // The BFS frontier is the state-id sequence itself: ids are assigned in
+  // discovery order and processed FIFO, so expanding state `s` appends its
+  // edges after every edge of states 0..s-1 — the edge list is CSR-ordered
+  // for free. Rows sort by transition id because `t` ascends.
+  const int words = graph.states.words_per_marking();
+  std::vector<std::uint64_t> current(words);
+  std::vector<std::uint64_t> next(words);
+  for (int state = 0; state < graph.state_count(); ++state) {
+    graph.edge_offsets.push_back(static_cast<int>(graph.edge_data.size()));
+    // Copy out of the arena: insert_packed below may reallocate it.
+    const std::uint64_t* packed = graph.states.packed(state);
+    std::copy(packed, packed + words, current.begin());
+    for (int t = 0; t < transitions; ++t) {
+      if (!fire.enabled(t, current.data())) continue;
+      fire.fire(t, current.data(), next.data());
+      check(fire.max_output_tokens(t, next.data()) <= token_limit,
+            "reachability: place exceeded token limit (unbounded net?)");
+      const auto [succ, inserted] = graph.states.insert_packed(next.data());
+      if (inserted)
+        check(graph.state_count() <= state_limit,
               "reachability: state limit exceeded");
-        frontier.push(it->second);
-      }
-      graph.edges[state].emplace_back(t, it->second);
+      graph.edge_data.emplace_back(t, succ);
     }
   }
+  graph.edge_offsets.push_back(static_cast<int>(graph.edge_data.size()));
   return graph;
 }
 
 bool is_safe(const PetriNet& net, const ReachabilityGraph& graph) {
   (void)net;
-  for (const Marking& marking : graph.markings)
+  Marking marking;
+  for (int s = 0; s < graph.state_count(); ++s) {
+    graph.states.decode(s, marking);
     for (int tokens : marking)
       if (tokens > 1) return false;
+  }
   return true;
 }
 
 bool is_live(const PetriNet& net, const ReachabilityGraph& graph) {
   // A transition t is live when from every reachable marking some marking
   // enabling t is reachable. Compute, per state, the set of transitions
-  // reachable-enabled via backward propagation over the edge relation.
-  const int states = static_cast<int>(graph.markings.size());
+  // reachable-enabled via backward propagation over the edge relation,
+  // with 64-transition bitset blocks so each propagation step is a word-wide
+  // OR instead of a per-transition loop.
+  const int states = graph.state_count();
   const int transitions = net.transition_count();
-  // can_enable[s] = bitset of transitions enabled somewhere reachable from s.
-  std::vector<std::vector<bool>> can_enable(
-      states, std::vector<bool>(transitions, false));
+  const int words = (transitions + 63) / 64;
+  if (states == 0) return transitions == 0;
+  // can_enable[s * words + w]: block w of the transitions enabled somewhere
+  // reachable from s.
+  std::vector<std::uint64_t> can_enable(
+      static_cast<std::size_t>(states) * words, 0);
   for (int s = 0; s < states; ++s)
-    for (const auto& [t, succ] : graph.edges[s]) {
+    for (const auto& [t, succ] : graph.edges(s)) {
       (void)succ;
-      can_enable[s][t] = true;
+      can_enable[static_cast<std::size_t>(s) * words + t / 64] |=
+          std::uint64_t{1} << (t % 64);
     }
   bool changed = true;
   while (changed) {
     changed = false;
-    for (int s = 0; s < states; ++s) {
-      for (const auto& [t, succ] : graph.edges[s]) {
+    // Sweep states high-to-low: BFS ids mostly point forward, so one
+    // reverse sweep propagates most of the fixpoint.
+    for (int s = states - 1; s >= 0; --s) {
+      std::uint64_t* row = can_enable.data() + static_cast<std::size_t>(s) * words;
+      for (const auto& [t, succ] : graph.edges(s)) {
         (void)t;
-        for (int u = 0; u < transitions; ++u) {
-          if (can_enable[succ][u] && !can_enable[s][u]) {
-            can_enable[s][u] = true;
+        const std::uint64_t* succ_row =
+            can_enable.data() + static_cast<std::size_t>(succ) * words;
+        for (int w = 0; w < words; ++w) {
+          const std::uint64_t merged = row[w] | succ_row[w];
+          if (merged != row[w]) {
+            row[w] = merged;
             changed = true;
           }
         }
       }
     }
   }
-  for (int s = 0; s < states; ++s)
-    for (int u = 0; u < transitions; ++u)
-      if (!can_enable[s][u]) return false;
+  for (int s = 0; s < states; ++s) {
+    const std::uint64_t* row =
+        can_enable.data() + static_cast<std::size_t>(s) * words;
+    for (int w = 0; w < words; ++w) {
+      const int block_bits = std::min(64, transitions - 64 * w);
+      const std::uint64_t full = block_bits == 64
+                                     ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << block_bits) - 1;
+      if ((row[w] & full) != full) return false;
+    }
+  }
   return true;
 }
 
@@ -105,7 +157,9 @@ bool is_marked_graph(const PetriNet& net) {
 bool in_conflict(const PetriNet& net, const ReachabilityGraph& graph, int t1,
                  int t2) {
   if (t1 == t2) return false;
-  for (const Marking& marking : graph.markings) {
+  Marking marking;
+  for (int s = 0; s < graph.state_count(); ++s) {
+    graph.states.decode(s, marking);
     if (!net.enabled(t1, marking) || !net.enabled(t2, marking)) continue;
     const Marking after1 = net.fire(t1, marking);
     const Marking after2 = net.fire(t2, marking);
@@ -118,7 +172,9 @@ bool concurrent(const PetriNet& net, const ReachabilityGraph& graph, int t1,
                 int t2) {
   if (t1 == t2) return false;
   bool both_enabled_somewhere = false;
-  for (const Marking& marking : graph.markings) {
+  Marking marking;
+  for (int s = 0; s < graph.state_count(); ++s) {
+    graph.states.decode(s, marking);
     if (!net.enabled(t1, marking) || !net.enabled(t2, marking)) continue;
     both_enabled_somewhere = true;
     const Marking after1 = net.fire(t1, marking);

@@ -3,18 +3,45 @@
 // conflict/concurrency of transitions.
 #pragma once
 
-#include <map>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "base/marking_set.hpp"
 #include "pn/petri_net.hpp"
 
 namespace sitime::pn {
 
 /// Explicit reachability graph of a Petri net.
+///
+/// Markings live packed inside a base::MarkingSet (state id = dense index,
+/// state 0 = the initial marking); the successor relation is stored as
+/// CSR-style flat adjacency. Within one state the (transition, successor)
+/// pairs are sorted by transition id — the BFS fires enabled transitions in
+/// ascending order — so per-state transition lookups can binary search.
 struct ReachabilityGraph {
-  std::vector<Marking> markings;                  // index = state id
-  std::map<Marking, int> index;                   // marking -> state id
-  std::vector<std::vector<std::pair<int, int>>> edges;  // (transition, succ)
+  base::MarkingSet states;                     // packed markings + hash index
+  std::vector<int> edge_offsets;               // CSR row starts, size n+1
+  std::vector<std::pair<int, int>> edge_data;  // (transition, succ)
+
+  int state_count() const { return states.size(); }
+
+  /// Decoded marking of state `s` (tokens per place).
+  Marking marking(int s) const { return states.marking(s); }
+
+  /// State id of `m`, or -1 when unreachable.
+  int find(const Marking& m) const { return states.find(m); }
+  bool contains(const Marking& m) const { return states.contains(m); }
+
+  /// Outgoing (transition, successor) pairs of state `s`, ascending by
+  /// transition id.
+  std::span<const std::pair<int, int>> edges(int s) const {
+    return {edge_data.data() + edge_offsets[s],
+            edge_data.data() + edge_offsets[s + 1]};
+  }
+
+  /// Successor of `s` by `transition` (binary search), or -1.
+  int successor(int s, int transition) const;
 };
 
 /// Exhaustive reachability from the initial marking. Throws when the number

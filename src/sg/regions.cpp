@@ -39,7 +39,7 @@ RegionSet compute_regions(const StateGraph& graph, const stg::MgStg& mg,
 
   base::WeightedGraph adjacency(states);
   for (int s = 0; s < states; ++s)
-    for (const auto& [t, succ] : graph.out[s]) {
+    for (const auto& [t, succ] : graph.out(s)) {
       (void)t;
       adjacency[s].emplace_back(succ, 1);
     }
@@ -81,7 +81,7 @@ int following_er(const StateGraph& graph, const stg::MgStg& mg,
     if (regions.er[d][s] != -1) {
       if (out_transition != nullptr) {
         *out_transition = -1;
-        for (const auto& [t, succ] : graph.out[s]) {
+        for (const auto& [t, succ] : graph.out(s)) {
           (void)succ;
           if (mg.label(t).signal == regions.signal &&
               mg.label(t).rising == rising) {
@@ -94,7 +94,7 @@ int following_er(const StateGraph& graph, const stg::MgStg& mg,
       }
       return regions.er[d][s];
     }
-    for (const auto& [t, succ] : graph.out[s]) {
+    for (const auto& [t, succ] : graph.out(s)) {
       (void)t;
       if (!visited[succ]) {
         visited[succ] = true;

@@ -1,0 +1,87 @@
+#include "sg/sg_cache.hpp"
+
+#include "base/marking_set.hpp"
+
+namespace sitime::sg {
+
+namespace {
+
+// Entries are small (a key plus a shared_ptr), but the graphs they pin are
+// not; cap the cache and start over rather than grow without bound.
+constexpr int kMaxEntries = 4096;
+
+/// Packs everything the SG depends on: arcs, alive set, the labels of the
+/// alive transitions (codes and consistency checks read them), and initial
+/// values.
+std::vector<std::uint64_t> make_key(const stg::MgStg& mg) {
+  std::vector<std::uint64_t> key;
+  const auto& arcs = mg.arcs();
+  key.reserve(2 * arcs.size() + 3 + mg.transition_count() / 64 +
+              mg.signals().count() / 16);
+  key.push_back((static_cast<std::uint64_t>(mg.transition_count()) << 32) |
+                static_cast<std::uint64_t>(arcs.size()));
+  for (const stg::MgArc& arc : arcs)
+    key.push_back((static_cast<std::uint64_t>(arc.from) << 40) |
+                  (static_cast<std::uint64_t>(arc.to) << 16) |
+                  (static_cast<std::uint64_t>(arc.tokens) & 0xffff));
+  std::uint64_t word = 0;
+  for (int t = 0; t < mg.transition_count(); ++t) {
+    word = (word << 1) | (mg.alive(t) ? 1 : 0);
+    if (t % 64 == 63) {
+      key.push_back(word);
+      word = 0;
+    }
+  }
+  key.push_back(word);
+  word = 0;
+  int packed_labels = 0;
+  for (int t = 0; t < mg.transition_count(); ++t) {
+    if (!mg.alive(t)) continue;
+    const stg::TransitionLabel& label = mg.label(t);
+    word = (word << 8) | (static_cast<std::uint64_t>(label.signal) << 1) |
+           (label.rising ? 1 : 0);
+    if (++packed_labels % 8 == 0) {
+      key.push_back(word);
+      word = 0;
+    }
+  }
+  key.push_back(word);
+  word = 0;
+  for (int s = 0; s < static_cast<int>(mg.initial_values.size()); ++s) {
+    // Two bits per signal: -1 -> 1, 0 -> 2, 1 -> 3.
+    word = (word << 2) | static_cast<std::uint64_t>(mg.initial_values[s] + 2);
+    if (s % 32 == 31) {
+      key.push_back(word);
+      word = 0;
+    }
+  }
+  key.push_back(word);
+  return key;
+}
+
+}  // namespace
+
+std::shared_ptr<const StateGraph> SgCache::get_or_build(const stg::MgStg& mg) {
+  std::vector<std::uint64_t> key = make_key(mg);
+  const std::uint64_t hash = base::MarkingSet::hash_words(
+      key.data(), static_cast<int>(key.size()));
+  std::vector<Entry>& bucket = buckets_[hash];
+  for (const Entry& entry : bucket)
+    if (entry.key == key) {
+      ++hits_;
+      return entry.graph;
+    }
+  ++misses_;
+  auto graph = std::make_shared<const StateGraph>(build_state_graph(mg));
+  if (entries_ >= kMaxEntries) clear();
+  buckets_[hash].push_back(Entry{std::move(key), graph});
+  ++entries_;
+  return graph;
+}
+
+void SgCache::clear() {
+  buckets_.clear();
+  entries_ = 0;
+}
+
+}  // namespace sitime::sg

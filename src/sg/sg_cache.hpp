@@ -1,0 +1,45 @@
+// Memoized state-graph construction keyed by the packed arc-state of an
+// MgStg.
+//
+// The Expand loop (Algorithm 4) builds the SG of a trial STG at every
+// relaxation attempt, and its OR-causality recursion re-derives the same
+// intermediate STGs along different decomposition branches. Two MgStgs with
+// the same arc table (from, to, tokens — kinds do not participate in the
+// token game), the same alive set, and the same initial values have the
+// same SG, so the cache packs exactly that into a word key, hashes it
+// (FNV-1a, shared with base::MarkingSet), and stores the built graphs
+// behind shared_ptr so accepted relaxations keep using the already-built
+// graph after the loop moves on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sg/state_graph.hpp"
+#include "stg/marked_graph.hpp"
+
+namespace sitime::sg {
+
+class SgCache {
+ public:
+  /// The SG of `mg`, built on miss via build_state_graph(mg).
+  std::shared_ptr<const StateGraph> get_or_build(const stg::MgStg& mg);
+
+  int hits() const { return hits_; }
+  int misses() const { return misses_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::vector<std::uint64_t> key;
+    std::shared_ptr<const StateGraph> graph;
+  };
+  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+  int entries_ = 0;
+  int hits_ = 0;
+  int misses_ = 0;
+};
+
+}  // namespace sitime::sg

@@ -9,12 +9,23 @@
 //    of states" column of Table 7.2. Signal values are inferred from the
 //    transition labels by constraint propagation; conflicts mean the STG is
 //    inconsistent.
+//
+// Packed-marking engine: states are keyed by their marking packed into a
+// run of 64-bit words (base::MarkingSet; bit_width(token_limit) bits per
+// place — 3 bits / 21 places per word at the default limit of 6, spilling
+// to wider fields for larger limits), deduplicated by an open-addressing
+// hash table, and stored in one contiguous arena. The successor relation is
+// CSR-style flat adjacency whose per-state rows are sorted by transition id
+// (the BFS fires transitions in ascending id order), so successor() binary
+// searches instead of linear-scanning.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "base/marking_set.hpp"
 #include "pn/analysis.hpp"
 #include "stg/marked_graph.hpp"
 #include "stg/stg.hpp"
@@ -24,18 +35,29 @@ namespace sitime::sg {
 /// Explicit state graph of a marked-graph STG. States are indexed densely;
 /// state 0 is the initial state.
 struct StateGraph {
-  std::vector<std::vector<int>> markings;  // tokens per arc index of the MgStg
-  std::vector<std::uint64_t> codes;        // bit per signal id
-  std::vector<std::vector<std::pair<int, int>>> out;  // (transition, succ)
-  std::map<std::vector<int>, int> index;
+  base::MarkingSet states;                    // packed tokens per MgStg arc
+  std::vector<std::uint64_t> codes;           // bit per signal id
+  std::vector<int> out_offsets;               // CSR row starts, size n+1
+  std::vector<std::pair<int, int>> out_data;  // (transition, succ)
 
-  int state_count() const { return static_cast<int>(markings.size()); }
+  int state_count() const { return states.size(); }
+
+  /// Decoded marking of state `s` (tokens per arc index of the MgStg).
+  std::vector<int> marking(int s) const { return states.marking(s); }
 
   bool value(int state, int signal) const {
     return (codes[state] >> signal) & 1;
   }
 
-  /// Successor of `state` by firing `transition`, or -1 when not enabled.
+  /// Outgoing (transition, successor) pairs of `state`, ascending by
+  /// transition id.
+  std::span<const std::pair<int, int>> out(int state) const {
+    return {out_data.data() + out_offsets[state],
+            out_data.data() + out_offsets[state + 1]};
+  }
+
+  /// Successor of `state` by firing `transition` (binary search over the
+  /// sorted row), or -1 when not enabled.
   int successor(int state, int transition) const;
 
   /// True when some transition on `signal` with direction `rising` is
@@ -57,7 +79,7 @@ struct GlobalSg {
   pn::ReachabilityGraph reach;
   std::vector<std::uint64_t> codes;
 
-  int state_count() const { return static_cast<int>(reach.markings.size()); }
+  int state_count() const { return reach.state_count(); }
   bool value(int state, int signal) const {
     return (codes[state] >> signal) & 1;
   }

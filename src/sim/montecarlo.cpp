@@ -1,7 +1,9 @@
 #include "sim/montecarlo.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <random>
+#include <thread>
 
 #include "base/error.hpp"
 
@@ -92,19 +94,56 @@ McResult run_montecarlo(const stg::Stg& impl, const circuit::Circuit& circuit,
                         const core::ConstraintSet* enforce,
                         const McOptions& options) {
   const circuit::AdversaryAnalysis adversary(&impl);
-  McResult result;
-  for (int run = 0; run < options.runs; ++run) {
-    DelayModel delays =
-        random_delays(circuit, options.seed + static_cast<std::uint32_t>(run),
-                      options);
-    if (enforce != nullptr)
-      enforce_constraints(delays, *enforce, adversary, options);
-    const SimResult sim = simulate(impl, circuit, delays, options.sim);
-    ++result.runs;
-    if (sim.hazard_count > 0) {
-      ++result.hazardous_runs;
-      result.total_hazards += sim.hazard_count;
+
+  // One run is a pure function of (inputs, seed + run): each worker owns an
+  // mt19937 per run, deterministically seeded from the base seed, and the
+  // aggregate only sums integer counters — so the result is bit-identical
+  // for every thread count, including 1.
+  auto run_range = [&](int first, int stride, int limit, McResult& out) {
+    for (int run = first; run < limit; run += stride) {
+      DelayModel delays = random_delays(
+          circuit, options.seed + static_cast<std::uint32_t>(run), options);
+      if (enforce != nullptr)
+        enforce_constraints(delays, *enforce, adversary, options);
+      const SimResult sim = simulate(impl, circuit, delays, options.sim);
+      ++out.runs;
+      if (sim.hazard_count > 0) {
+        ++out.hazardous_runs;
+        out.total_hazards += sim.hazard_count;
+      }
     }
+  };
+
+  int thread_count = options.threads;
+  if (thread_count <= 0)
+    thread_count =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  thread_count = std::max(1, std::min(thread_count, options.runs));
+
+  McResult result;
+  if (thread_count == 1) {
+    run_range(0, 1, options.runs, result);
+    return result;
+  }
+  std::vector<McResult> partial(thread_count);
+  std::vector<std::exception_ptr> errors(thread_count);
+  std::vector<std::thread> workers;
+  workers.reserve(thread_count);
+  for (int t = 0; t < thread_count; ++t)
+    workers.emplace_back([&, t]() {
+      try {
+        run_range(t, thread_count, options.runs, partial[t]);
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+  for (const McResult& part : partial) {
+    result.runs += part.runs;
+    result.hazardous_runs += part.hazardous_runs;
+    result.total_hazards += part.total_hazards;
   }
   return result;
 }

@@ -19,6 +19,10 @@ namespace sitime::sim {
 struct McOptions {
   int runs = 100;
   std::uint32_t seed = 1;
+  /// Worker threads for run_montecarlo; 0 picks hardware_concurrency().
+  /// Every run draws its delays from an mt19937 seeded with seed + run, so
+  /// the aggregate result is bit-identical for any thread count.
+  int threads = 0;
   double max_wire_delay = 8.0;  // uniform [0, max] per wire
   double gate_delay = 1.0;
   /// Environment response time. Section 7.1 classifies constraints whose

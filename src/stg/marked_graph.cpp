@@ -1,6 +1,7 @@
 #include "stg/marked_graph.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <queue>
 
 #include "base/error.hpp"
@@ -170,14 +171,46 @@ bool MgStg::arc_redundant(int arc_index) const {
   const MgArc& arc = arcs_[arc_index];
   if (arc.from == arc.to) return arc.tokens > 0;
   // Shortcut-place test (Figure 5.15): shortest token path from -> to
-  // avoiding this arc, via Dijkstra over token weights.
-  base::WeightedGraph graph(transition_count());
-  for (int i = 0; i < static_cast<int>(arcs_.size()); ++i) {
+  // avoiding this arc. This runs once per arc per elimination sweep, so it
+  // uses a budget-pruned Dijkstra over an intrusive arc index with
+  // thread_local scratch — paths costlier than the arc's own tokens can
+  // never witness redundancy and are cut immediately.
+  const int n = transition_count();
+  const int arc_count = static_cast<int>(arcs_.size());
+  thread_local std::vector<int> head;
+  thread_local std::vector<int> next_arc;
+  thread_local std::vector<std::int64_t> dist;
+  thread_local std::vector<std::pair<std::int64_t, int>> heap;
+  head.assign(n, -1);
+  next_arc.resize(arc_count);
+  for (int i = 0; i < arc_count; ++i) {
     if (i == arc_index) continue;
-    graph[arcs_[i].from].emplace_back(arcs_[i].to, arcs_[i].tokens);
+    next_arc[i] = head[arcs_[i].from];
+    head[arcs_[i].from] = i;
   }
-  const auto dist = base::dijkstra(graph, arc.from);
-  return dist[arc.to] != base::kUnreachable && dist[arc.to] <= arc.tokens;
+  dist.assign(n, -1);
+  heap.clear();
+  const std::int64_t budget = arc.tokens;
+  dist[arc.from] = 0;
+  heap.emplace_back(0, arc.from);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [d, v] = heap.back();
+    heap.pop_back();
+    if (d != dist[v]) continue;
+    if (v == arc.to) return true;  // settled within the budget
+    for (int i = head[v]; i != -1; i = next_arc[i]) {
+      const std::int64_t candidate = d + arcs_[i].tokens;
+      if (candidate > budget) continue;
+      const int to = arcs_[i].to;
+      if (dist[to] == -1 || candidate < dist[to]) {
+        dist[to] = candidate;
+        heap.emplace_back(candidate, to);
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+      }
+    }
+  }
+  return false;
 }
 
 void MgStg::eliminate_redundant_arcs() {

@@ -65,6 +65,14 @@ class MgStg {
   /// Removes the arc from -> to (error when absent).
   void remove_arc(int from, int to);
 
+  // ---- relax/undo ---------------------------------------------------------
+  // The Expand loop tries one relaxation per step and rejects most of them.
+  // Relaxation (and set_arc_kind) mutate only the arc table, so a trial is:
+  // snapshot, relax in place, and restore on rejection — no whole-STG copy.
+  using ArcSnapshot = std::vector<MgArc>;
+  ArcSnapshot arc_snapshot() const { return arcs_; }
+  void restore_arcs(ArcSnapshot snapshot) { arcs_ = std::move(snapshot); }
+
   // ---- inspection ---------------------------------------------------------
   const SignalTable& signals() const { return *signals_; }
   int transition_count() const {

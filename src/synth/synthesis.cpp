@@ -14,7 +14,7 @@ namespace {
 /// True when `signal` has an enabled transition in state `s`.
 bool excited(const stg::Stg& stg, const sg::GlobalSg& sg, int state,
              int signal) {
-  for (const auto& [t, succ] : sg.reach.edges[state]) {
+  for (const auto& [t, succ] : sg.reach.edges(state)) {
     (void)succ;
     if (stg.labels[t].signal == signal) return true;
   }

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "base/error.hpp"
 #include "base/graph.hpp"
+#include "base/marking_set.hpp"
 #include "base/strings.hpp"
 
 namespace sitime::base {
@@ -114,6 +117,122 @@ TEST(Graph, WeakComponentsIgnoreDirection) {
   const auto comp = weak_components(graph, {true, true, true});
   EXPECT_EQ(comp[0], comp[1]);
   EXPECT_EQ(comp[1], comp[2]);
+}
+
+TEST(MarkingSet, PackingGeometryAtTheDefaultTokenLimit) {
+  // token_limit 6 plus one firing of headroom -> 3 bits per place,
+  // 21 places per 64-bit word.
+  MarkingSet set(21, 7);
+  EXPECT_EQ(set.bits_per_place(), 3);
+  EXPECT_EQ(set.places_per_word(), 21);
+  EXPECT_EQ(set.words_per_marking(), 1);
+  // One place more crosses the word boundary.
+  MarkingSet wide(22, 7);
+  EXPECT_EQ(wide.words_per_marking(), 2);
+}
+
+TEST(MarkingSet, InsertDeduplicatesAndDecodes) {
+  MarkingSet set(5, 7);
+  const std::vector<int> a{1, 0, 3, 7, 2};
+  const std::vector<int> b{0, 0, 0, 0, 0};
+  EXPECT_EQ(set.insert(a), (std::pair<int, bool>{0, true}));
+  EXPECT_EQ(set.insert(b), (std::pair<int, bool>{1, true}));
+  EXPECT_EQ(set.insert(a), (std::pair<int, bool>{0, false}));
+  EXPECT_EQ(set.size(), 2);
+  EXPECT_EQ(set.marking(0), a);
+  EXPECT_EQ(set.marking(1), b);
+  EXPECT_EQ(set.find(a), 0);
+  EXPECT_EQ(set.find({1, 1, 1, 1, 1}), -1);
+  EXPECT_EQ(set.tokens(0, 3), 7);
+}
+
+TEST(MarkingSet, TokenSpillWidensTheFields) {
+  // Token counts above 7 no longer fit 3 bits: the packing must spill to
+  // wider fields instead of corrupting neighbours.
+  MarkingSet set(3, 100);
+  EXPECT_EQ(set.bits_per_place(), 7);
+  const std::vector<int> m{100, 0, 99};
+  set.insert(m);
+  EXPECT_EQ(set.marking(0), m);
+  EXPECT_THROW(set.insert({101, 0, 0}), Error);
+  EXPECT_THROW(set.insert({-1, 0, 0}), Error);
+}
+
+TEST(MarkingSet, MoreThanTwentyOnePlacesPerWordBoundary) {
+  // 45 places at 3 bits/place span three words; exercise every boundary
+  // field (20/21/41/42/44) plus a middle one.
+  MarkingSet set(45, 7);
+  ASSERT_EQ(set.words_per_marking(), 3);
+  std::vector<int> m(45, 0);
+  m[0] = 5;
+  m[20] = 7;
+  m[21] = 1;
+  m[30] = 3;
+  m[41] = 6;
+  m[42] = 2;
+  m[44] = 4;
+  const auto [id, inserted] = set.insert(m);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(set.marking(id), m);
+  // A marking differing only in the last field of the last word must not
+  // collide.
+  std::vector<int> n = m;
+  n[44] = 5;
+  EXPECT_NE(set.insert(n).first, id);
+  EXPECT_EQ(set.marking(1), n);
+}
+
+TEST(MarkingSet, SurvivesRehashWithManyStates) {
+  // Push well past the initial capacity so grow() rehashes several times;
+  // ids, dedup, and decode must hold throughout.
+  MarkingSet set(8, 7);
+  std::mt19937 rng(7);
+  std::vector<std::vector<int>> all;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<int> m(8);
+    for (int& v : m) v = static_cast<int>(rng() % 8);
+    const auto [id, inserted] = set.insert(m);
+    if (inserted) {
+      EXPECT_EQ(id, static_cast<int>(all.size()));
+      all.push_back(m);
+    } else {
+      EXPECT_EQ(all[id], m);
+    }
+  }
+  EXPECT_EQ(set.size(), static_cast<int>(all.size()));
+  for (int id = 0; id < set.size(); ++id) {
+    EXPECT_EQ(set.marking(id), all[id]);
+    EXPECT_EQ(set.find(all[id]), id);
+  }
+}
+
+TEST(MarkingSet, ZeroPlaces) {
+  // A net without places has exactly one (empty) marking.
+  MarkingSet set(0, 7);
+  EXPECT_EQ(set.insert({}), (std::pair<int, bool>{0, true}));
+  EXPECT_EQ(set.insert({}), (std::pair<int, bool>{0, false}));
+  EXPECT_EQ(set.marking(0), std::vector<int>{});
+}
+
+TEST(FireTable, PackedFiringMatchesThePlainTokenGame) {
+  // p0 -> t0 -> p1, p1 -> t1 -> p0 (two tokens circulating).
+  MarkingSet set(2, 3);
+  FireTable fire(set, 2);
+  fire.add_input(0, 0);
+  fire.add_output(0, 1);
+  fire.add_input(1, 1);
+  fire.add_output(1, 0);
+  fire.seal();
+  const auto [id, inserted] = set.insert({2, 0});
+  ASSERT_TRUE(inserted);
+  std::vector<std::uint64_t> next(std::max(1, set.words_per_marking()));
+  EXPECT_TRUE(fire.enabled(0, set.packed(id)));
+  EXPECT_FALSE(fire.enabled(1, set.packed(id)));
+  fire.fire(0, set.packed(id), next.data());
+  const auto [succ, fresh] = set.insert_packed(next.data());
+  EXPECT_TRUE(fresh);
+  EXPECT_EQ(set.marking(succ), (std::vector<int>{1, 1}));
+  EXPECT_EQ(fire.max_output_tokens(0, next.data()), 1);
 }
 
 }  // namespace

@@ -52,12 +52,12 @@ TEST(PetriNet, MarkingSetOfFigure31) {
   // The thesis lists exactly five reachable markings.
   PetriNet net = figure_3_1();
   const ReachabilityGraph graph = reachability(net);
-  EXPECT_EQ(graph.markings.size(), 5u);
-  EXPECT_TRUE(graph.index.count(Marking{1, 0, 0, 0, 0}));
-  EXPECT_TRUE(graph.index.count(Marking{0, 1, 1, 0, 0}));
-  EXPECT_TRUE(graph.index.count(Marking{0, 0, 1, 1, 0}));
-  EXPECT_TRUE(graph.index.count(Marking{0, 1, 0, 0, 1}));
-  EXPECT_TRUE(graph.index.count(Marking{0, 0, 0, 1, 1}));
+  EXPECT_EQ(graph.state_count(), 5);
+  EXPECT_TRUE(graph.contains(Marking{1, 0, 0, 0, 0}));
+  EXPECT_TRUE(graph.contains(Marking{0, 1, 1, 0, 0}));
+  EXPECT_TRUE(graph.contains(Marking{0, 0, 1, 1, 0}));
+  EXPECT_TRUE(graph.contains(Marking{0, 1, 0, 0, 1}));
+  EXPECT_TRUE(graph.contains(Marking{0, 0, 0, 1, 1}));
 }
 
 TEST(PetriNet, ConcurrentTransitions) {

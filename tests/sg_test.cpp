@@ -68,7 +68,7 @@ TEST(GlobalSg, CodesFollowFirings) {
   // Fire a+ from the initial state: code becomes a=1.
   const int a_plus = stg.find_transition(TransitionLabel{0, true, 1});
   int successor = -1;
-  for (const auto& [t, next] : sg.reach.edges[0])
+  for (const auto& [t, next] : sg.reach.edges(0))
     if (t == a_plus) successor = next;
   ASSERT_NE(successor, -1);
   EXPECT_TRUE(sg.value(successor, 0));

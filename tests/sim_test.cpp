@@ -101,6 +101,33 @@ TEST(MonteCarlo, EnforcementOnlyReducesWireDelays) {
   }
 }
 
+TEST(MonteCarlo, AggregateIsBitIdenticalAcrossThreadCounts) {
+  // Per-run RNGs are seeded from the base seed and the aggregate only sums
+  // integer counters, so partitioning runs over threads must not change
+  // anything.
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  McOptions options;
+  options.runs = 24;
+  options.seed = 17;
+  options.environment_delay = 2.0;  // let some orderings race
+  McResult reference;
+  for (int threads : {1, 2, 3, 7, 24, 64}) {
+    options.threads = threads;
+    const McResult result = run_montecarlo(stg, circuit, nullptr, options);
+    EXPECT_EQ(result.runs, options.runs) << threads << " threads";
+    if (threads == 1) {
+      reference = result;
+      continue;
+    }
+    EXPECT_EQ(result.hazardous_runs, reference.hazardous_runs)
+        << threads << " threads";
+    EXPECT_EQ(result.total_hazards, reference.total_hazards)
+        << threads << " threads";
+  }
+}
+
 /// The sufficiency property, swept across benchmarks: every sampled delay
 /// assignment satisfying the derived constraints is hazard-free.
 class Sufficiency : public ::testing::TestWithParam<std::string> {};
