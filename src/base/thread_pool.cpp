@@ -1,0 +1,202 @@
+#include "base/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace sitime::base {
+
+namespace {
+
+/// Identifies the pool worker the current thread belongs to (if any), so
+/// nested submits stay on the local deque and pop_task knows which queue to
+/// treat as "own".
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  int index = -1;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  queues_.reserve(threads);
+  for (int t = 0; t < threads; ++t)
+    queues_.push_back(std::make_unique<WorkQueue>());
+  workers_.reserve(threads);
+  for (int t = 0; t < threads; ++t)
+    workers_.emplace_back([this, t]() { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::notify_one() {
+  // Taking the sleep mutex orders the notification after any worker's
+  // "queues are empty" check, closing the lost-wakeup window.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  wake_.notify_one();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const bool local =
+      tls_worker.pool == this && tls_worker.index >= 0;
+  const unsigned which =
+      local ? static_cast<unsigned>(tls_worker.index)
+            : next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                  static_cast<unsigned>(queues_.size());
+  {
+    WorkQueue& queue = *queues_[which];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  notify_one();
+}
+
+bool ThreadPool::pop_task(std::function<void()>& out) {
+  const int count = static_cast<int>(queues_.size());
+  const int self =
+      tls_worker.pool == this ? tls_worker.index : -1;
+  if (self >= 0) {
+    // Own deque, newest first: keeps nested fork-join regions depth-first.
+    WorkQueue& queue = *queues_[self];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (!queue.tasks.empty()) {
+      out = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal oldest-first from the other deques.
+  const int start = self >= 0 ? self + 1 : 0;
+  for (int k = 0; k < count; ++k) {
+    WorkQueue& queue = *queues_[(start + k) % count];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (!queue.tasks.empty()) {
+      out = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  if (!pop_task(task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(int index) {
+  tls_worker = WorkerIdentity{this, index};
+  std::function<void()> task;
+  while (true) {
+    if (pop_task(task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wake_.wait(lock, [this]() {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+void ThreadPool::parallel_for(int begin, int end,
+                              const std::function<void(int)>& fn, int grain,
+                              int max_tasks) {
+  const int total = end - begin;
+  if (total <= 0) return;
+  if (grain < 1) grain = 1;
+  const int chunks = (total + grain - 1) / grain;
+  // The calling thread is one body; helpers come from the pool.
+  int helpers = std::min(worker_count(), chunks - 1);
+  if (max_tasks > 0) helpers = std::min(helpers, max_tasks - 1);
+  std::atomic<int> next{begin};
+  auto body = [&next, &fn, end, grain]() {
+    for (int low = next.fetch_add(grain, std::memory_order_relaxed);
+         low < end; low = next.fetch_add(grain, std::memory_order_relaxed)) {
+      const int high = std::min(end, low + grain);
+      for (int i = low; i < high; ++i) fn(i);
+    }
+  };
+  if (helpers <= 0) {
+    body();
+    return;
+  }
+  TaskGroup group(*this);
+  for (int t = 0; t < helpers; ++t) group.run(body);
+  try {
+    body();
+  } catch (...) {
+    // Stop handing out further chunks, let the helpers drain, and prefer
+    // the caller's exception over any a helper recorded.
+    next.store(end, std::memory_order_relaxed);
+    throw;  // ~TaskGroup waits without throwing
+  }
+  group.wait();
+}
+
+TaskGroup::TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+TaskGroup::~TaskGroup() { wait_impl(); }
+
+void TaskGroup::run(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_.submit([this, task = std::move(task)]() {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Notify under the mutex so a waiter between its predicate check and
+      // its sleep cannot miss the wakeup.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::wait_impl() noexcept {
+  // Help while anything in the pool is runnable; our unfinished tasks are
+  // either queued (we will pick them up) or already running elsewhere.
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (pool_.try_run_one()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this]() {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+void TaskGroup::wait() {
+  wait_impl();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace sitime::base

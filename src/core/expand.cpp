@@ -9,8 +9,14 @@
 namespace sitime::core {
 
 Expander::Expander(const circuit::AdversaryAnalysis* adversary,
-                   ExpandOptions options)
-    : adversary_(adversary), options_(options) {}
+                   ExpandOptions options, sg::SgCache* shared_cache,
+                   std::atomic<int>* shared_steps)
+    : adversary_(adversary),
+      options_(options),
+      shared_steps_(shared_steps),
+      owned_cache_(shared_cache == nullptr ? std::make_unique<sg::SgCache>()
+                                           : nullptr),
+      cache_(shared_cache == nullptr ? owned_cache_.get() : shared_cache) {}
 
 int Expander::weight_of(const stg::MgStg& mg, const stg::MgArc& arc) const {
   if (adversary_ == nullptr) return 0;
@@ -83,7 +89,12 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
   while (true) {
     const std::vector<int> candidates = relaxable_arcs(local, gate.output);
     if (candidates.empty()) return;
-    check(++steps_ <= options_.max_steps, "expand: step limit exceeded");
+    ++steps_;
+    const int budget_used =
+        shared_steps_ == nullptr
+            ? steps_
+            : shared_steps_->fetch_add(1, std::memory_order_relaxed) + 1;
+    check(budget_used <= options_.max_steps, "expand: step limit exceeded");
 
     const int arc_index = pick_arc(local, candidates);
     const stg::MgArc arc = local.arcs()[arc_index];
@@ -96,7 +107,7 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
     stg::MgStg::ArcSnapshot pre_relax = local.arc_snapshot();
     local.relax(x, y);
     const std::shared_ptr<const sg::StateGraph> graph =
-        cache_.get_or_build(local);
+        cache_->get_or_build(local);
     CheckResult result = check_relaxation(*graph, local, gate, x, epre);
 
     // The thesis analyses one premature output transition per relaxation;
@@ -159,7 +170,7 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
                 stg::ArcKind::normal)
           local.relax(x, problem.output_transition);
         const std::shared_ptr<const sg::StateGraph> graph2 =
-            cache_.get_or_build(local);
+            cache_->get_or_build(local);
         if (timing_conformant(*graph2, local, gate)) {
           trace("  made " + local.transition_text(x) +
                 " concurrent with the output; accepted");

@@ -14,6 +14,9 @@
 // by acknowledgement or by a constraint.
 #pragma once
 
+#include <atomic>
+#include <memory>
+
 #include "circuit/adversary.hpp"
 #include "core/constraint.hpp"
 #include "core/hazard_check.hpp"
@@ -40,8 +43,17 @@ class Expander {
  public:
   /// `adversary` supplies arc weights from the implementation STG; it may
   /// be null, in which case every arc weighs 0 (pure input order).
+  /// `shared_cache` lets many Expanders (one per parallel flow job) share
+  /// one concurrent state-graph cache; when null the Expander owns a
+  /// private cache. `shared_steps` likewise makes max_steps a budget over
+  /// every Expander pointing at the same counter (the flow's per-run
+  /// defensive bound); when null the bound is per-Expander. The Expander
+  /// itself holds only per-job state, so the parallel flow creates one per
+  /// (component × gate) job.
   explicit Expander(const circuit::AdversaryAnalysis* adversary,
-                    ExpandOptions options = {});
+                    ExpandOptions options = {},
+                    sg::SgCache* shared_cache = nullptr,
+                    std::atomic<int>* shared_steps = nullptr);
 
   /// Runs Algorithm 4, accumulating constraints (keyed with their adversary
   /// weight) into `rt`.
@@ -51,8 +63,8 @@ class Expander {
   /// Relaxation attempts performed so far (across expand() calls).
   int steps() const { return steps_; }
 
-  /// State-graph cache statistics (across expand() calls).
-  const sg::SgCache& sg_cache() const { return cache_; }
+  /// The state-graph cache in use (owned or shared).
+  const sg::SgCache& sg_cache() const { return *cache_; }
 
  private:
   void expand_inner(stg::MgStg local, const circuit::Gate& gate,
@@ -63,7 +75,9 @@ class Expander {
   const circuit::AdversaryAnalysis* adversary_;
   ExpandOptions options_;
   int steps_ = 0;
-  sg::SgCache cache_;
+  std::atomic<int>* shared_steps_;            // null: bound is per-Expander
+  std::unique_ptr<sg::SgCache> owned_cache_;  // when no shared cache given
+  sg::SgCache* cache_;
 };
 
 }  // namespace sitime::core

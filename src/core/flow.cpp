@@ -1,9 +1,12 @@
 #include "core/flow.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <limits>
 
 #include "base/error.hpp"
 #include "core/local_stg.hpp"
+#include "core/report.hpp"
 #include "pn/hack.hpp"
 #include "sg/state_graph.hpp"
 
@@ -25,15 +28,98 @@ int count_up_to_level(const ConstraintSet& constraints, int max_weight) {
   return count;
 }
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Resolves the FlowOptions::jobs knob: 1 stays serial, 0 means one job per
+/// hardware thread.
+int effective_jobs(int jobs) {
+  if (jobs == 0)
+    return std::max(1u, std::thread::hardware_concurrency());
+  return jobs < 1 ? 1 : jobs;
+}
+
+}  // namespace
+
+FlowDecomposition decompose_flow(const stg::Stg& impl,
+                                 const circuit::Circuit& circuit) {
+  FlowDecomposition decomposition;
+  const sg::GlobalSg global = sg::build_global_sg(impl);
+  decomposition.state_count = global.state_count();
+  decomposition.initial_values = sg::initial_values(impl, global);
+
+  const std::vector<pn::MgComponent> components = pn::mg_components(impl.net);
+  decomposition.component_stgs.reserve(components.size());
+  for (const pn::MgComponent& component : components)
+    decomposition.component_stgs.push_back(
+        mg_from_component(impl, component, decomposition.initial_values));
+
+  const int gates = static_cast<int>(circuit.gates().size());
+  decomposition.jobs.reserve(decomposition.component_stgs.size() * gates);
+  for (int c = 0; c < static_cast<int>(decomposition.component_stgs.size());
+       ++c)
+    for (int g = 0; g < gates; ++g)
+      decomposition.jobs.push_back(
+          FlowJob{static_cast<int>(decomposition.jobs.size()), c, g});
+  return decomposition;
+}
+
+void for_each_local_stg(
+    const FlowDecomposition& decomposition, const circuit::Circuit& circuit,
+    const std::function<bool(const FlowJob&, stg::MgStg)>& visit, int jobs,
+    base::ThreadPool* pool) {
+  jobs = effective_jobs(jobs);
+  const int job_count = static_cast<int>(decomposition.jobs.size());
+  auto run_job = [&](int index) -> bool {
+    const FlowJob& job = decomposition.jobs[index];
+    const circuit::Gate& gate = circuit.gates()[job.gate];
+    return visit(job,
+                 local_stg(decomposition.component_stgs[job.component], gate));
+  };
+  if (jobs == 1 || job_count <= 1) {
+    for (int index = 0; index < job_count; ++index)
+      if (!run_job(index)) return;
+    return;
+  }
+  // The stop point is index-aware: a claimed job below the lowest stopping
+  // index must still run (verify_speed_independent's first-offender answer
+  // depends on it), only strictly later jobs may be skipped.
+  std::atomic<int> stop_index{std::numeric_limits<int>::max()};
+  base::ThreadPool& workers =
+      pool != nullptr ? *pool : base::ThreadPool::shared();
+  workers.parallel_for(
+      0, job_count,
+      [&](int index) {
+        if (index > stop_index.load(std::memory_order_acquire)) return;
+        if (run_job(index)) return;
+        int current = stop_index.load(std::memory_order_relaxed);
+        while (index < current &&
+               !stop_index.compare_exchange_weak(current, index)) {
+        }
+      },
+      /*grain=*/1, /*max_tasks=*/jobs);
+}
+
 FlowResult derive_timing_constraints(const stg::Stg& impl,
                                      const circuit::Circuit& circuit,
-                                     const ExpandOptions& options) {
+                                     const FlowOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   FlowResult result;
+  // A relaxation trace interleaved across concurrent jobs would be useless,
+  // so tracing forces the serial schedule.
+  result.jobs =
+      options.expand.trace != nullptr ? 1 : effective_jobs(options.jobs);
 
-  const sg::GlobalSg global = sg::build_global_sg(impl);
-  result.state_count = global.state_count();
-  const std::vector<int> values = sg::initial_values(impl, global);
+  const FlowDecomposition decomposition = decompose_flow(impl, circuit);
+  result.state_count = decomposition.state_count;
+  result.mg_component_count =
+      static_cast<int>(decomposition.component_stgs.size());
+  result.decompose_seconds = seconds_since(start);
 
   for (int s = 0; s < impl.signals.count(); ++s) {
     if (impl.signals.is_input(s))
@@ -44,69 +130,95 @@ FlowResult derive_timing_constraints(const stg::Stg& impl,
   result.gate_count = static_cast<int>(circuit.gates().size());
 
   const circuit::AdversaryAnalysis adversary(&impl);
-  Expander expander(&adversary, options);
+  sg::SgCache cache;               // shared by every job of this flow
+  std::atomic<int> step_budget{0};  // makes max_steps a per-flow bound
 
-  const std::vector<pn::MgComponent> components = pn::mg_components(impl.net);
-  result.mg_component_count = static_cast<int>(components.size());
-  for (const pn::MgComponent& component : components) {
-    const stg::MgStg component_stg =
-        mg_from_component(impl, component, values);
-    for (const circuit::Gate& gate : circuit.gates()) {
-      stg::MgStg local = local_stg(component_stg, gate);
-      // Baseline: every type-4 arc is an adversary-path condition.
-      for (int index : relaxable_arcs(local, gate.output)) {
-        const stg::MgArc& arc = local.arcs()[index];
-        const TimingConstraint constraint{gate.output, local.label(arc.from),
-                                          local.label(arc.to)};
-        result.before.emplace(
-            constraint,
-            adversary.weight(local.label(arc.from), local.label(arc.to)));
-      }
-      expander.expand(std::move(local), gate, result.after);
-    }
+  // Each job fills its own slot; slots are merged in job order below, so
+  // the constraint sets cannot depend on the schedule.
+  struct JobOutput {
+    ConstraintSet before;
+    ConstraintSet after;
+    int steps = 0;
+  };
+  std::vector<JobOutput> outputs(decomposition.jobs.size());
+  const auto expand_start = std::chrono::steady_clock::now();
+  for_each_local_stg(
+      decomposition, circuit,
+      [&](const FlowJob& job, stg::MgStg local) {
+        JobOutput& out = outputs[job.index];
+        const circuit::Gate& gate = circuit.gates()[job.gate];
+        // Baseline: every type-4 arc is an adversary-path condition.
+        for (int index : relaxable_arcs(local, gate.output)) {
+          const stg::MgArc& arc = local.arcs()[index];
+          out.before.emplace(
+              TimingConstraint{gate.output, local.label(arc.from),
+                               local.label(arc.to)},
+              adversary.weight(local.label(arc.from), local.label(arc.to)));
+        }
+        Expander expander(&adversary, options.expand, &cache, &step_budget);
+        expander.expand(std::move(local), gate, out.after);
+        out.steps = expander.steps();
+        return true;
+      },
+      result.jobs, options.pool);
+  result.expand_seconds = seconds_since(expand_start);
+
+  for (const JobOutput& out : outputs) {
+    // emplace keeps the first weight seen for a duplicate constraint,
+    // matching the serial loop's insertion order job by job.
+    for (const auto& [constraint, weight] : out.before)
+      result.before.emplace(constraint, weight);
+    for (const auto& [constraint, weight] : out.after)
+      result.after.emplace(constraint, weight);
+    result.expand_steps += out.steps;
   }
-  const auto end = std::chrono::steady_clock::now();
-  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.cache_hits = cache.hits();
+  result.cache_misses = cache.misses();
+  result.seconds = seconds_since(start);
   return result;
 }
 
+FlowResult derive_timing_constraints(const stg::Stg& impl,
+                                     const circuit::Circuit& circuit,
+                                     const ExpandOptions& options) {
+  FlowOptions flow_options;
+  flow_options.expand = options;
+  return derive_timing_constraints(impl, circuit, flow_options);
+}
+
 std::string verify_speed_independent(const stg::Stg& impl,
-                                     const circuit::Circuit& circuit) {
-  const sg::GlobalSg global = sg::build_global_sg(impl);
-  const std::vector<int> values = sg::initial_values(impl, global);
-  for (const pn::MgComponent& component : pn::mg_components(impl.net)) {
-    const stg::MgStg component_stg =
-        mg_from_component(impl, component, values);
-    for (const circuit::Gate& gate : circuit.gates()) {
-      const stg::MgStg local = local_stg(component_stg, gate);
-      const sg::StateGraph graph = sg::build_state_graph(local);
-      if (!timing_conformant(graph, local, gate))
-        return impl.signals.name(gate.output);
-    }
-  }
-  return "";
+                                     const circuit::Circuit& circuit,
+                                     int jobs, base::ThreadPool* pool) {
+  const FlowDecomposition decomposition = decompose_flow(impl, circuit);
+  // The smallest offending job index wins, so the answer is stable for any
+  // schedule (and matches the serial early-exit order).
+  std::atomic<int> first_bad{std::numeric_limits<int>::max()};
+  for_each_local_stg(
+      decomposition, circuit,
+      [&](const FlowJob& job, stg::MgStg local) {
+        if (job.index > first_bad.load(std::memory_order_relaxed))
+          return true;  // cannot improve the answer
+        const circuit::Gate& gate = circuit.gates()[job.gate];
+        const sg::StateGraph graph = sg::build_state_graph(local);
+        if (timing_conformant(graph, local, gate)) return true;
+        int current = first_bad.load(std::memory_order_relaxed);
+        while (job.index < current &&
+               !first_bad.compare_exchange_weak(current, job.index)) {
+        }
+        // Serially there is nothing smaller left to find; in parallel,
+        // already-dispatched jobs still complete and may lower the index.
+        return false;
+      },
+      jobs, pool);
+  const int bad = first_bad.load(std::memory_order_relaxed);
+  if (bad == std::numeric_limits<int>::max()) return "";
+  return impl.signals.name(
+      circuit.gates()[decomposition.jobs[bad].gate].output);
 }
 
 std::string format_report(const FlowResult& result,
                           const stg::SignalTable& signals) {
-  std::string out =
-      "The timing constraints in the original specification are:\n\n";
-  for (const auto& [constraint, weight] : result.before) {
-    (void)weight;
-    out += to_string(constraint, signals) + "\n";
-  }
-  out += "\nThe timing constraints for this circuit to work correctly "
-         "are:\n\n";
-  for (const auto& [constraint, weight] : result.after) {
-    (void)weight;
-    out += to_string(constraint, signals) + "\n";
-  }
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer),
-                "\nThe running time for this program is %f seconds\n",
-                result.seconds);
-  out += buffer;
-  return out;
+  return thesis_report_text(make_flow_report("", result, signals));
 }
 
 }  // namespace sitime::core

@@ -1,4 +1,5 @@
-// Top-level flow (Algorithm 5 and the Check_hazard tool of Section 7.3.1).
+// Top-level flow (Algorithm 5 and the Check_hazard tool of Section 7.3.1),
+// orchestrated as a parallel job graph.
 //
 // Inputs: the implementation STG and the gate netlist. The STG is
 // decomposed into MG components (Hack), each component is projected onto
@@ -6,10 +7,19 @@
 // timing constraints. The *before* set — all type-4 arcs of the initial
 // local STGs — equals the adversary-path conditions of Keller et al.
 // (ASYNC'09), the baseline of Table 7.2.
+//
+// Every (MG component × gate) expansion is independent, so the flow treats
+// each as one job: decompose_flow() enumerates the jobs in a stable order,
+// for_each_local_stg() dispatches them (serially or on a base::ThreadPool),
+// and derive_timing_constraints() merges the per-job constraint sets in job
+// order — the result is byte-identical for any worker count or schedule.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "base/thread_pool.hpp"
 #include "circuit/adversary.hpp"
 #include "circuit/circuit.hpp"
 #include "core/expand.hpp"
@@ -25,21 +35,80 @@ struct FlowResult {
   int input_count = 0;
   int output_count = 0;
   int mg_component_count = 0;
-  double seconds = 0.0;
+  // Orchestration statistics (filled by derive_timing_constraints).
+  int jobs = 1;             // worker bound the flow ran with
+  int expand_steps = 0;     // relaxation attempts summed over all jobs
+  int cache_hits = 0;       // shared SgCache statistics
+  int cache_misses = 0;
+  double seconds = 0.0;     // end to end
+  double decompose_seconds = 0.0;  // global SG + MG decomposition
+  double expand_seconds = 0.0;     // the (component × gate) job graph
 };
+
+/// Worker-count and scheduling knobs for the flow.
+struct FlowOptions {
+  ExpandOptions expand;
+  /// Parallel (component × gate) jobs: 1 = serial (default), 0 = one per
+  /// hardware thread, N > 1 = at most N concurrent jobs. The constraint
+  /// sets are identical for every value.
+  int jobs = 1;
+  /// Pool carrying the jobs; null = base::ThreadPool::shared(). Ignored
+  /// when jobs == 1.
+  base::ThreadPool* pool = nullptr;
+};
+
+/// One (MG component × gate) unit of flow work.
+struct FlowJob {
+  int index = -1;      // stable merge position: component * gates + gate
+  int component = -1;  // index into FlowDecomposition::component_stgs
+  int gate = -1;       // index into Circuit::gates()
+};
+
+/// The shared, read-only part of the flow every job starts from.
+struct FlowDecomposition {
+  int state_count = 0;                      // global SG size
+  std::vector<int> initial_values;          // from sg::initial_values
+  std::vector<stg::MgStg> component_stgs;   // one per MG component
+  std::vector<FlowJob> jobs;                // component-major, stable order
+};
+
+/// Builds the global SG, checks consistency, and enumerates the MG
+/// components and (component × gate) jobs. Throws on malformed inputs
+/// (inconsistent STG, non-free-choice net).
+FlowDecomposition decompose_flow(const stg::Stg& impl,
+                                 const circuit::Circuit& circuit);
+
+/// Calls visit(job, local_stg) for every job, handing each gate's local STG
+/// (Algorithm 1 projection) by value. Returning false from visit stops the
+/// iteration: serially nothing after that job runs; in parallel only jobs
+/// with a *higher* index than the stopping job may be skipped (every lower
+/// index still runs, so index-ordered answers stay schedule-independent).
+/// jobs <= 1 runs serially in stable job order on the calling thread;
+/// otherwise the jobs run on `pool` (null = the shared pool) with at most
+/// `jobs` of them in flight (0 = one per hardware thread, as in
+/// FlowOptions), and `visit` must be thread-safe.
+void for_each_local_stg(
+    const FlowDecomposition& decomposition, const circuit::Circuit& circuit,
+    const std::function<bool(const FlowJob&, stg::MgStg)>& visit,
+    int jobs = 1, base::ThreadPool* pool = nullptr);
 
 /// Runs the whole flow. Throws on malformed inputs (inconsistent STG,
 /// non-free-choice net, missing gates).
+FlowResult derive_timing_constraints(const stg::Stg& impl,
+                                     const circuit::Circuit& circuit,
+                                     const FlowOptions& options);
 FlowResult derive_timing_constraints(const stg::Stg& impl,
                                      const circuit::Circuit& circuit,
                                      const ExpandOptions& options = {});
 
 /// Checks the precondition of the flow: under the isochronic fork
 /// assumption (i.e. before any relaxation) every gate's local STG is timing
-/// conformant to the gate. Returns the name of the first offending gate, or
-/// an empty string.
+/// conformant to the gate. Returns the name of the first offending gate (in
+/// stable job order, independent of `jobs`), or an empty string.
 std::string verify_speed_independent(const stg::Stg& impl,
-                                     const circuit::Circuit& circuit);
+                                     const circuit::Circuit& circuit,
+                                     int jobs = 1,
+                                     base::ThreadPool* pool = nullptr);
 
 /// Renders the two constraint lists in the format of the thesis tool
 /// Check_hazard (Section 7.3.1).

@@ -1,0 +1,175 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace sitime::core {
+
+namespace {
+
+void append_seconds(std::ostringstream& out, double seconds) {
+  out << std::fixed << std::setprecision(6) << seconds;
+}
+
+void append_constraint_array(std::ostringstream& out,
+                             const std::vector<ReportConstraint>& list,
+                             const std::string& indent) {
+  out << "[";
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << indent << "  {\"gate\": \""
+        << json_escape(list[i].gate) << "\", \"before\": \""
+        << json_escape(list[i].before) << "\", \"after\": \""
+        << json_escape(list[i].after) << "\", \"weight\": "
+        << list[i].weight << "}";
+  }
+  if (!list.empty()) out << "\n" << indent;
+  out << "]";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+FlowReport make_flow_report(std::string design, const FlowResult& result,
+                            const stg::SignalTable& signals) {
+  FlowReport report;
+  report.design = std::move(design);
+  report.state_count = result.state_count;
+  report.gate_count = result.gate_count;
+  report.input_count = result.input_count;
+  report.output_count = result.output_count;
+  report.mg_component_count = result.mg_component_count;
+  report.jobs = result.jobs;
+  report.expand_steps = result.expand_steps;
+  report.cache_hits = result.cache_hits;
+  report.cache_misses = result.cache_misses;
+  report.seconds = result.seconds;
+  report.decompose_seconds = result.decompose_seconds;
+  report.expand_seconds = result.expand_seconds;
+  // Render each constraint once, filling the flat list and the per-gate
+  // grouping (gate-major signal-id order, which is already the
+  // ConstraintSet order because TimingConstraint compares the gate first)
+  // from the same ReportConstraint.
+  std::map<int, GateReport> by_gate;
+  report.before.reserve(result.before.size());
+  for (const auto& [constraint, weight] : result.before) {
+    report.before.push_back(ReportConstraint{
+        signals.name(constraint.gate),
+        stg::label_text(constraint.before, signals),
+        stg::label_text(constraint.after, signals), weight});
+    by_gate[constraint.gate].before.push_back(report.before.back());
+  }
+  report.after.reserve(result.after.size());
+  for (const auto& [constraint, weight] : result.after) {
+    report.after.push_back(ReportConstraint{
+        signals.name(constraint.gate),
+        stg::label_text(constraint.before, signals),
+        stg::label_text(constraint.after, signals), weight});
+    by_gate[constraint.gate].after.push_back(report.after.back());
+  }
+  report.gates.reserve(by_gate.size());
+  for (auto& [gate, entry] : by_gate) {
+    entry.gate = signals.name(gate);
+    report.gates.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::string thesis_report_text(const FlowReport& report) {
+  std::ostringstream out;
+  out << "The timing constraints in the original specification are:\n\n";
+  for (const ReportConstraint& constraint : report.before)
+    out << constraint.text() << "\n";
+  out << "\nThe timing constraints for this circuit to work correctly "
+         "are:\n\n";
+  for (const ReportConstraint& constraint : report.after)
+    out << constraint.text() << "\n";
+  out << "\nThe running time for this program is ";
+  append_seconds(out, report.seconds);
+  out << " seconds\n";
+  return out.str();
+}
+
+std::string to_text(const FlowReport& report) {
+  std::ostringstream out;
+  out << thesis_report_text(report);
+  out << "\nstates: " << report.state_count
+      << "  mg-components: " << report.mg_component_count
+      << "  gates: " << report.gate_count << " (" << report.input_count
+      << " in / " << report.output_count << " out)\n";
+  out << "jobs: " << report.jobs << "  expand-steps: " << report.expand_steps
+      << "  sg-cache: " << report.cache_hits << " hits / "
+      << report.cache_misses << " misses\n";
+  out << "decompose: ";
+  append_seconds(out, report.decompose_seconds);
+  out << " s  expand: ";
+  append_seconds(out, report.expand_seconds);
+  out << " s\n";
+  return out.str();
+}
+
+std::string to_json(const FlowReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"design\": \"" << json_escape(report.design) << "\",\n";
+  out << "  \"states\": " << report.state_count << ",\n";
+  out << "  \"mg_components\": " << report.mg_component_count << ",\n";
+  out << "  \"gates\": " << report.gate_count << ",\n";
+  out << "  \"inputs\": " << report.input_count << ",\n";
+  out << "  \"outputs\": " << report.output_count << ",\n";
+  out << "  \"jobs\": " << report.jobs << ",\n";
+  out << "  \"expand_steps\": " << report.expand_steps << ",\n";
+  out << "  \"sg_cache\": {\"hits\": " << report.cache_hits
+      << ", \"misses\": " << report.cache_misses << "},\n";
+  out << "  \"seconds\": {\"total\": ";
+  append_seconds(out, report.seconds);
+  out << ", \"decompose\": ";
+  append_seconds(out, report.decompose_seconds);
+  out << ", \"expand\": ";
+  append_seconds(out, report.expand_seconds);
+  out << "},\n";
+  out << "  \"constraints\": {\n";
+  out << "    \"before\": ";
+  append_constraint_array(out, report.before, "    ");
+  out << ",\n    \"after\": ";
+  append_constraint_array(out, report.after, "    ");
+  out << "\n  },\n";
+  out << "  \"per_gate\": [";
+  for (std::size_t i = 0; i < report.gates.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {\"gate\": \""
+        << json_escape(report.gates[i].gate) << "\", \"before\": ";
+    append_constraint_array(out, report.gates[i].before, "    ");
+    out << ", \"after\": ";
+    append_constraint_array(out, report.gates[i].after, "    ");
+    out << "}";
+  }
+  if (!report.gates.empty()) out << "\n  ";
+  out << "]\n";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sitime::core

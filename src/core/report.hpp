@@ -1,0 +1,72 @@
+// Structured flow reports: the data the thesis tool printed as free text,
+// modelled so batch drivers and machine consumers can use it directly.
+//
+// make_flow_report() freezes a FlowResult into rendered names and per-gate
+// groupings; to_text() renders the thesis Check_hazard layout plus an
+// orchestration summary, and to_json() emits one self-contained JSON object
+// per design (the batch driver concatenates them into an array).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace sitime::core {
+
+/// One constraint with every name already rendered.
+struct ReportConstraint {
+  std::string gate;    // constrained gate, e.g. "i0"
+  std::string before;  // transition that must arrive first, e.g. "wenin-"
+  std::string after;   // e.g. "precharged-"
+  int weight = 0;      // adversary weight (kEnvironmentWeight+ = via env)
+
+  /// "i0: wenin- < precharged-" — the thesis line format.
+  std::string text() const { return gate + ": " + before + " < " + after; }
+};
+
+/// Both constraint lists of one gate.
+struct GateReport {
+  std::string gate;
+  std::vector<ReportConstraint> before;
+  std::vector<ReportConstraint> after;
+};
+
+struct FlowReport {
+  std::string design;  // display name (file path or benchmark name)
+  int state_count = 0;
+  int gate_count = 0;
+  int input_count = 0;
+  int output_count = 0;
+  int mg_component_count = 0;
+  int jobs = 1;
+  int expand_steps = 0;
+  int cache_hits = 0;
+  int cache_misses = 0;
+  double seconds = 0.0;
+  double decompose_seconds = 0.0;
+  double expand_seconds = 0.0;
+  std::vector<ReportConstraint> before;  // stable ConstraintSet order
+  std::vector<ReportConstraint> after;
+  std::vector<GateReport> gates;  // grouped, ordered by gate signal id
+};
+
+FlowReport make_flow_report(std::string design, const FlowResult& result,
+                            const stg::SignalTable& signals);
+
+/// Exactly the thesis Check_hazard text (the two constraint lists and the
+/// running-time line) — format_report renders through this too, so the
+/// legacy and batch outputs cannot drift apart.
+std::string thesis_report_text(const FlowReport& report);
+
+/// thesis_report_text plus a state/job/cache summary block.
+std::string to_text(const FlowReport& report);
+
+/// One JSON object; stable key order, no external dependencies.
+std::string to_json(const FlowReport& report);
+
+/// JSON string escaping (quotes, backslashes, control characters); exposed
+/// for callers assembling JSON around flow reports.
+std::string json_escape(const std::string& text);
+
+}  // namespace sitime::core

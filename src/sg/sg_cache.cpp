@@ -7,8 +7,8 @@ namespace sitime::sg {
 namespace {
 
 // Entries are small (a key plus a shared_ptr), but the graphs they pin are
-// not; cap the cache and start over rather than grow without bound.
-constexpr int kMaxEntries = 4096;
+// not; cap each shard and start it over rather than grow without bound.
+constexpr int kMaxEntriesPerShard = 256;
 
 /// Packs everything the SG depends on: arcs, alive set, the labels of the
 /// alive transitions (codes and consistency checks read them), and initial
@@ -65,23 +65,52 @@ std::shared_ptr<const StateGraph> SgCache::get_or_build(const stg::MgStg& mg) {
   std::vector<std::uint64_t> key = make_key(mg);
   const std::uint64_t hash = base::MarkingSet::hash_words(
       key.data(), static_cast<int>(key.size()));
-  std::vector<Entry>& bucket = buckets_[hash];
-  for (const Entry& entry : bucket)
-    if (entry.key == key) {
-      ++hits_;
-      return entry.graph;
-    }
-  ++misses_;
+  // High bits pick the shard so the in-shard bucket index (low bits) stays
+  // uniform within each shard.
+  Shard& shard = shards_[(hash >> 48) % kShardCount];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.buckets.find(hash);
+    if (it != shard.buckets.end())
+      for (const Entry& entry : it->second)
+        if (entry.key == key) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return entry.graph;
+        }
+  }
+  // Miss: build outside the lock (construction dominates), then insert
+  // unless a racing builder beat us to it — adopt its graph in that case so
+  // one canonical graph per key circulates.
+  misses_.fetch_add(1, std::memory_order_relaxed);
   auto graph = std::make_shared<const StateGraph>(build_state_graph(mg));
-  if (entries_ >= kMaxEntries) clear();
-  buckets_[hash].push_back(Entry{std::move(key), graph});
-  ++entries_;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<Entry>& bucket = shard.buckets[hash];
+  for (const Entry& entry : bucket)
+    if (entry.key == key) return entry.graph;
+  if (shard.entries >= kMaxEntriesPerShard) {
+    shard.buckets.clear();
+    shard.entries = 0;
+  }
+  shard.buckets[hash].push_back(Entry{std::move(key), graph});
+  ++shard.entries;
   return graph;
 }
 
+int SgCache::entries() const {
+  int total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries;
+  }
+  return total;
+}
+
 void SgCache::clear() {
-  buckets_.clear();
-  entries_ = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.buckets.clear();
+    shard.entries = 0;
+  }
 }
 
 }  // namespace sitime::sg

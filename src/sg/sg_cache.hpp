@@ -1,5 +1,5 @@
 // Memoized state-graph construction keyed by the packed arc-state of an
-// MgStg.
+// MgStg, safe for concurrent use.
 //
 // The Expand loop (Algorithm 4) builds the SG of a trial STG at every
 // relaxation attempt, and its OR-causality recursion re-derives the same
@@ -10,10 +10,21 @@
 // (FNV-1a, shared with base::MarkingSet), and stores the built graphs
 // behind shared_ptr so accepted relaxations keep using the already-built
 // graph after the loop moves on.
+//
+// Concurrency: the table is split into kShardCount independently locked
+// shards (selected by high key-hash bits, decorrelated from the in-shard
+// bucket index). Lookups hold only their shard's mutex; graph construction
+// on a miss runs outside any lock, so two workers racing on the same key
+// may both build — the loser discards its copy and adopts the winner's, so
+// every caller observes one canonical graph per key. hits()/misses() are
+// monotonic atomics; hits + misses always equals the number of
+// get_or_build calls.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -24,11 +35,13 @@ namespace sitime::sg {
 
 class SgCache {
  public:
-  /// The SG of `mg`, built on miss via build_state_graph(mg).
+  /// The SG of `mg`, built on miss via build_state_graph(mg). Thread-safe.
   std::shared_ptr<const StateGraph> get_or_build(const stg::MgStg& mg);
 
-  int hits() const { return hits_; }
-  int misses() const { return misses_; }
+  int hits() const { return hits_.load(std::memory_order_relaxed); }
+  int misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Cached graphs currently held (across all shards).
+  int entries() const;
   void clear();
 
  private:
@@ -36,10 +49,16 @@ class SgCache {
     std::vector<std::uint64_t> key;
     std::shared_ptr<const StateGraph> graph;
   };
-  std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
-  int entries_ = 0;
-  int hits_ = 0;
-  int misses_ = 0;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<Entry>> buckets;
+    int entries = 0;
+  };
+  static constexpr int kShardCount = 16;
+
+  Shard shards_[kShardCount];
+  std::atomic<int> hits_{0};
+  std::atomic<int> misses_{0};
 };
 
 }  // namespace sitime::sg

@@ -1,11 +1,12 @@
 #include "sim/montecarlo.hpp"
 
 #include <algorithm>
-#include <exception>
+#include <atomic>
 #include <random>
 #include <thread>
 
 #include "base/error.hpp"
+#include "base/thread_pool.hpp"
 
 namespace sitime::sim {
 
@@ -95,23 +96,16 @@ McResult run_montecarlo(const stg::Stg& impl, const circuit::Circuit& circuit,
                         const McOptions& options) {
   const circuit::AdversaryAnalysis adversary(&impl);
 
-  // One run is a pure function of (inputs, seed + run): each worker owns an
-  // mt19937 per run, deterministically seeded from the base seed, and the
-  // aggregate only sums integer counters — so the result is bit-identical
-  // for every thread count, including 1.
-  auto run_range = [&](int first, int stride, int limit, McResult& out) {
-    for (int run = first; run < limit; run += stride) {
-      DelayModel delays = random_delays(
-          circuit, options.seed + static_cast<std::uint32_t>(run), options);
-      if (enforce != nullptr)
-        enforce_constraints(delays, *enforce, adversary, options);
-      const SimResult sim = simulate(impl, circuit, delays, options.sim);
-      ++out.runs;
-      if (sim.hazard_count > 0) {
-        ++out.hazardous_runs;
-        out.total_hazards += sim.hazard_count;
-      }
-    }
+  // One run is a pure function of (inputs, seed + run): every run owns an
+  // mt19937 deterministically seeded from the base seed, and the aggregate
+  // only sums integer counters — so the result is bit-identical for every
+  // thread count, including 1, whatever the pool's schedule.
+  auto hazards_of_run = [&](int run) -> int {
+    DelayModel delays = random_delays(
+        circuit, options.seed + static_cast<std::uint32_t>(run), options);
+    if (enforce != nullptr)
+      enforce_constraints(delays, *enforce, adversary, options);
+    return simulate(impl, circuit, delays, options.sim).hazard_count;
   };
 
   int thread_count = options.threads;
@@ -122,29 +116,33 @@ McResult run_montecarlo(const stg::Stg& impl, const circuit::Circuit& circuit,
 
   McResult result;
   if (thread_count == 1) {
-    run_range(0, 1, options.runs, result);
+    result.runs = options.runs;
+    for (int run = 0; run < options.runs; ++run) {
+      const int hazards = hazards_of_run(run);
+      if (hazards > 0) {
+        ++result.hazardous_runs;
+        result.total_hazards += hazards;
+      }
+    }
     return result;
   }
-  std::vector<McResult> partial(thread_count);
-  std::vector<std::exception_ptr> errors(thread_count);
-  std::vector<std::thread> workers;
-  workers.reserve(thread_count);
-  for (int t = 0; t < thread_count; ++t)
-    workers.emplace_back([&, t]() {
-      try {
-        run_range(t, thread_count, options.runs, partial[t]);
-      } catch (...) {
-        errors[t] = std::current_exception();
-      }
-    });
-  for (std::thread& worker : workers) worker.join();
-  for (const std::exception_ptr& error : errors)
-    if (error) std::rethrow_exception(error);
-  for (const McResult& part : partial) {
-    result.runs += part.runs;
-    result.hazardous_runs += part.hazardous_runs;
-    result.total_hazards += part.total_hazards;
-  }
+  std::atomic<int> hazardous_runs{0};
+  std::atomic<int> total_hazards{0};
+  base::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : base::ThreadPool::shared();
+  pool.parallel_for(
+      0, options.runs,
+      [&](int run) {
+        const int hazards = hazards_of_run(run);
+        if (hazards > 0) {
+          hazardous_runs.fetch_add(1, std::memory_order_relaxed);
+          total_hazards.fetch_add(hazards, std::memory_order_relaxed);
+        }
+      },
+      /*grain=*/1, /*max_tasks=*/thread_count);
+  result.runs = options.runs;
+  result.hazardous_runs = hazardous_runs.load(std::memory_order_relaxed);
+  result.total_hazards = total_hazards.load(std::memory_order_relaxed);
   return result;
 }
 

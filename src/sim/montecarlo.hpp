@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "base/thread_pool.hpp"
 #include "circuit/adversary.hpp"
 #include "core/constraint.hpp"
 #include "sim/simulator.hpp"
@@ -19,10 +20,13 @@ namespace sitime::sim {
 struct McOptions {
   int runs = 100;
   std::uint32_t seed = 1;
-  /// Worker threads for run_montecarlo; 0 picks hardware_concurrency().
-  /// Every run draws its delays from an mt19937 seeded with seed + run, so
-  /// the aggregate result is bit-identical for any thread count.
+  /// Upper bound on concurrent runs; 0 picks hardware_concurrency(), 1 runs
+  /// serially on the calling thread. Every run draws its delays from an
+  /// mt19937 seeded with seed + run and the aggregate only sums integer
+  /// counters, so the result is bit-identical for any thread count.
   int threads = 0;
+  /// Pool carrying the runs; null = base::ThreadPool::shared().
+  base::ThreadPool* pool = nullptr;
   double max_wire_delay = 8.0;  // uniform [0, max] per wire
   double gate_delay = 1.0;
   /// Environment response time. Section 7.1 classifies constraints whose

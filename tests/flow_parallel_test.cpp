@@ -1,0 +1,178 @@
+// The parallel flow orchestrator: whatever the worker count or schedule,
+// derive_timing_constraints must produce byte-identical constraint sets
+// (the merge is in stable job order and every job is a pure function of
+// its index), and verify_speed_independent must name the same first
+// offender. Also covers the structured FlowReport serializers the batch
+// driver prints.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.hpp"
+#include "benchdata/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+
+namespace sitime {
+namespace {
+
+class ParallelFlow : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelFlow, ConstraintSetsAreIdenticalForAnyJobCount) {
+  const auto& bench = benchdata::benchmark(GetParam());
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+
+  const core::FlowResult serial =
+      core::derive_timing_constraints(stg, circuit);
+
+  base::ThreadPool pool(4);
+  for (int jobs : {2, 8}) {
+    core::FlowOptions options;
+    options.jobs = jobs;
+    options.pool = &pool;
+    const core::FlowResult parallel =
+        core::derive_timing_constraints(stg, circuit, options);
+    EXPECT_EQ(parallel.before, serial.before)
+        << bench.name << " with " << jobs << " jobs";
+    EXPECT_EQ(parallel.after, serial.after)
+        << bench.name << " with " << jobs << " jobs";
+    EXPECT_EQ(parallel.state_count, serial.state_count);
+    EXPECT_EQ(parallel.mg_component_count, serial.mg_component_count);
+    EXPECT_EQ(parallel.jobs, jobs);
+    // The rendered constraint lists are byte-identical too.
+    const core::FlowReport a =
+        core::make_flow_report(bench.name, serial, stg.signals);
+    const core::FlowReport b =
+        core::make_flow_report(bench.name, parallel, stg.signals);
+    for (std::size_t i = 0; i < a.before.size(); ++i)
+      ASSERT_EQ(a.before[i].text(), b.before[i].text());
+    for (std::size_t i = 0; i < a.after.size(); ++i)
+      ASSERT_EQ(a.after[i].text(), b.after[i].text());
+  }
+}
+
+TEST_P(ParallelFlow, VerifyMatchesSerialVerdict) {
+  const auto& bench = benchdata::benchmark(GetParam());
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  base::ThreadPool pool(4);
+  EXPECT_EQ(core::verify_speed_independent(stg, circuit),
+            core::verify_speed_independent(stg, circuit, 8, &pool))
+      << bench.name;
+}
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& bench : benchdata::all_benchmarks())
+    names.push_back(bench.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParallelFlow,
+                         ::testing::ValuesIn(benchmark_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(ParallelFlowStats, JobStatisticsAreFilled) {
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  core::FlowOptions options;
+  options.jobs = 4;
+  const core::FlowResult result =
+      core::derive_timing_constraints(stg, circuit, options);
+  EXPECT_GT(result.expand_steps, 0);
+  EXPECT_GT(result.cache_misses, 0);
+  EXPECT_GE(result.seconds, result.expand_seconds);
+}
+
+TEST(ParallelFlowStats, TraceForcesSerialSchedule) {
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  std::string trace;
+  core::FlowOptions options;
+  options.jobs = 8;
+  options.expand.trace = &trace;
+  const core::FlowResult result =
+      core::derive_timing_constraints(stg, circuit, options);
+  EXPECT_EQ(result.jobs, 1);
+  EXPECT_FALSE(trace.empty());
+}
+
+TEST(ForEachLocalStg, SerialEarlyStopVisitsPrefixOnly) {
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  const core::FlowDecomposition decomposition =
+      core::decompose_flow(stg, circuit);
+  ASSERT_GT(decomposition.jobs.size(), 4u);
+  int visits = 0;
+  core::for_each_local_stg(decomposition, circuit,
+                           [&](const core::FlowJob& job, stg::MgStg) {
+                             ++visits;
+                             return job.index < 3;
+                           });
+  EXPECT_EQ(visits, 4);  // jobs 0..3; job 3 returned false
+}
+
+TEST(FlowReport, TextAndJsonCarryTheThesisLists) {
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  const core::FlowResult result =
+      core::derive_timing_constraints(stg, circuit);
+  const core::FlowReport report =
+      core::make_flow_report("imec-ram-read-sbuf", result, stg.signals);
+
+  EXPECT_EQ(report.before.size(), 19u);
+  EXPECT_EQ(report.after.size(), 12u);
+  EXPECT_EQ(report.state_count, 112);
+  EXPECT_FALSE(report.gates.empty());
+
+  const std::string text = core::to_text(report);
+  EXPECT_NE(text.find("The timing constraints in the original "
+                      "specification are:"),
+            std::string::npos);
+  EXPECT_NE(text.find("i0: wenin- < precharged-"), std::string::npos);
+  EXPECT_NE(text.find("sg-cache:"), std::string::npos);
+
+  const std::string json = core::to_json(report);
+  EXPECT_NE(json.find("\"design\": \"imec-ram-read-sbuf\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"states\": 112"), std::string::npos);
+  EXPECT_NE(json.find("\"before\": \"wenin-\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_gate\""), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(FlowReport, JsonEscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(core::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(core::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+}  // namespace
+}  // namespace sitime

@@ -1,0 +1,115 @@
+// base::ThreadPool — the work-stealing pool every parallel layer runs on.
+// The contracts under test: parallel_for hands every index to exactly one
+// body, waiting helps instead of blocking (so nested fork-join regions
+// cannot deadlock, even on a single-worker pool), and exceptions surface on
+// the calling thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "base/thread_pool.hpp"
+
+namespace sitime::base {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kCount = 10000;
+  std::vector<std::atomic<int>> visits(kCount);
+  pool.parallel_for(
+      0, kCount, [&](int i) { visits[i].fetch_add(1); }, /*grain=*/7);
+  for (int i = 0; i < kCount; ++i)
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> sum{0};
+  pool.parallel_for(3, 4, [&](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForRespectsMaxTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  pool.parallel_for(
+      0, 200,
+      [&](int) {
+        const int now = active.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        active.fetch_sub(1);
+      },
+      /*grain=*/1, /*max_tasks=*/2);
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](int i) {
+                                   if (i == 41)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10, [&](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // One worker forces the nested regions to run via help-while-wait.
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](int) {
+    pool.parallel_for(0, 50, [&](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+TEST(ThreadPool, TaskGroupRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  TaskGroup group(pool);
+  for (int t = 0; t < 64; ++t) group.run([&]() { done.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, TaskGroupRethrowsFirstError) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([]() { throw std::logic_error("task failed"); });
+  group.run([]() {});
+  EXPECT_THROW(group.wait(), std::logic_error);
+  // A second wait does not rethrow the consumed error.
+  EXPECT_NO_THROW(group.wait());
+}
+
+TEST(ThreadPool, WorkerCountDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1);
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().worker_count(), 1);
+}
+
+TEST(ThreadPool, ManySmallRegionsInSequence) {
+  // Exercises the sleep/wake path between fork-join regions.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(0, 16, [&](int i) { sum.fetch_add(i); });
+    ASSERT_EQ(sum.load(), 120) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace sitime::base
