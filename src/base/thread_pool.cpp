@@ -168,12 +168,13 @@ void TaskGroup::run(std::function<void()> task) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!error_) error_ = std::current_exception();
     }
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Notify under the mutex so a waiter between its predicate check and
-      // its sleep cannot miss the wakeup.
-      std::lock_guard<std::mutex> lock(mutex_);
+    // The decrement must happen under mutex_: a waiter that observes
+    // pending_==0 re-acquires mutex_ before returning, so holding the lock
+    // across decrement+notify guarantees the waiter cannot destroy this
+    // TaskGroup while we still touch its members.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
       done_.notify_all();
-    }
   });
 }
 
@@ -187,6 +188,10 @@ void TaskGroup::wait_impl() noexcept {
       return pending_.load(std::memory_order_acquire) == 0;
     });
   }
+  // The finishing task decrements pending_ while holding mutex_; taking it
+  // here orders our return (and the caller's destruction of this group)
+  // after that task released the lock, so it never notifies a dead object.
+  std::lock_guard<std::mutex> lock(mutex_);
 }
 
 void TaskGroup::wait() {

@@ -49,10 +49,15 @@ class ThreadPool {
 
   /// Enqueues one task. Called from a worker of this pool the task goes to
   /// that worker's own deque (depth-first nesting); otherwise deques are
-  /// picked round-robin.
+  /// picked round-robin. The task must not throw: tasks run unprotected on
+  /// worker threads (and inside noexcept waits), so an escaping exception
+  /// terminates the process. TaskGroup::run wraps its tasks in a
+  /// try/catch and rethrows from wait() — submit through it when the task
+  /// body can fail.
   void submit(std::function<void()> task);
 
   /// Runs one queued task on the calling thread, if any is available.
+  /// Same no-throw contract as submit().
   bool try_run_one();
 
   /// Calls fn(i) exactly once for every i in [begin, end), distributing

@@ -120,13 +120,14 @@ DesignOutcome process_design(const DesignInput& input,
     flow_options.pool = pool;
     const core::FlowResult result =
         core::derive_timing_constraints(stg, circuit, flow_options);
-    const core::FlowReport report =
-        core::make_flow_report(input.name, result, stg.signals);
-    if (legacy)
+    if (options.json)
+      outcome.json = core::to_json(
+          core::make_flow_report(input.name, result, stg.signals));
+    else if (legacy)
       outcome.text = core::format_report(result, stg.signals);
     else
-      outcome.text = core::to_text(report);
-    outcome.json = core::to_json(report);
+      outcome.text = core::to_text(
+          core::make_flow_report(input.name, result, stg.signals));
     outcome.ok = true;
   } catch (const std::exception& error) {
     outcome.error = error.what();
@@ -148,6 +149,7 @@ int dump_benchmarks(const std::string& directory) {
     const fs::path base = fs::path(directory) / bench.name;
     std::ofstream g(base.string() + ".g");
     g << bench.astg;
+    g.close();  // flush so deferred write errors (full disk) surface here
     if (!g) {
       std::fprintf(stderr, "error: cannot write '%s.g'\n",
                    base.string().c_str());
@@ -156,6 +158,7 @@ int dump_benchmarks(const std::string& directory) {
     if (!bench.eqn.empty()) {
       std::ofstream eqn(base.string() + ".eqn");
       eqn << bench.eqn;
+      eqn.close();
       if (!eqn) {
         std::fprintf(stderr, "error: cannot write '%s.eqn'\n",
                      base.string().c_str());
@@ -214,10 +217,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Legacy form: exactly two positionals, the second an .eqn netlist.
-  const bool legacy_eqn =
-      options.files.size() == 2 && options.files[1].size() > 4 &&
-      options.files[1].compare(options.files[1].size() - 4, 4, ".eqn") == 0;
+  // Legacy form: exactly two positionals where the second is not another
+  // design (.g). The original tool accepted any filename as its netlist
+  // argument, so only a .g suffix routes the pair into batch mode.
+  const auto is_design = [](const std::string& path) {
+    return path.size() >= 2 &&
+           path.compare(path.size() - 2, 2, ".g") == 0;
+  };
+  const bool legacy_eqn = options.files.size() == 2 &&
+                          options.eqn_path.empty() &&
+                          !is_design(options.files[1]);
   if (legacy_eqn) {
     options.eqn_path = options.files[1];
     options.files.pop_back();
@@ -313,6 +322,8 @@ int main(int argc, char** argv) {
         std::printf("== %s ==\n", designs[i].name.c_str());
       if (outcome.ok)
         std::printf("%s", outcome.text.c_str());
+      else if (legacy)  // byte-compatible with the original tool's stderr
+        std::fprintf(stderr, "error: %s\n", outcome.error.c_str());
       else
         std::fprintf(stderr, "error: %s: %s\n", designs[i].name.c_str(),
                      outcome.error.c_str());
