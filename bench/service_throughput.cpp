@@ -1,0 +1,109 @@
+// Service throughput: cold vs warm requests/sec through the resident
+// AnalysisService over the bundled benchmark suite, plus the coalescing
+// behaviour under concurrent identical requests. Emits one JSON document
+// (committed as BENCH_service.json at the repo root).
+//
+// "cold" = every request runs the full flow (cache cleared between
+// requests is approximated by a fresh service per round); "warm" = the
+// suite is resident and every request is a cache hit. The warm/cold ratio
+// is the headline number a server deployment buys from the design cache.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchdata/benchmarks.hpp"
+#include "svc/analysis_service.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+sitime::svc::AnalysisRequest request_for(
+    const sitime::benchdata::Benchmark& bench) {
+  sitime::svc::AnalysisRequest request;
+  request.name = bench.name;
+  request.astg = bench.astg;
+  request.eqn = bench.eqn;
+  return request;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sitime;
+  const auto& suite = benchdata::all_benchmarks();
+  const int warm_rounds = 20;
+
+  // Cold: a fresh service answers the whole suite once (every request is a
+  // miss; this measures parse + decompose + verify + derive + render).
+  svc::AnalysisService service;
+  const auto cold_start = Clock::now();
+  int cold_ok = 0;
+  for (const auto& bench : suite)
+    if (service.analyze(request_for(bench)).ok) ++cold_ok;
+  const double cold_seconds = seconds_since(cold_start);
+
+  // Warm: the same suite again, many rounds, all hits.
+  const auto warm_start = Clock::now();
+  int warm_ok = 0;
+  for (int round = 0; round < warm_rounds; ++round)
+    for (const auto& bench : suite)
+      if (service.analyze(request_for(bench)).cache_hit) ++warm_ok;
+  const double warm_seconds = seconds_since(warm_start);
+
+  const svc::CacheStats sequential = service.stats();
+
+  // Concurrent identical requests: single-flight must keep the flow-run
+  // count at one per design however many clients race.
+  constexpr int kClients = 8;
+  svc::AnalysisService contended;
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c)
+      clients.emplace_back([&contended, &suite] {
+        for (const auto& bench : suite)
+          contended.analyze(request_for(bench));
+      });
+    for (std::thread& client : clients) client.join();
+  }
+  const svc::CacheStats contended_stats = contended.stats();
+
+  const double cold_rps = cold_ok / cold_seconds;
+  const double warm_rps = warm_ok / warm_seconds;
+  std::printf("{\n");
+  std::printf("  \"bench\": \"service_throughput\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"suite_designs\": %zu,\n", suite.size());
+  std::printf("  \"cold\": {\"requests\": %d, \"seconds\": %.6f, "
+              "\"requests_per_sec\": %.1f},\n",
+              cold_ok, cold_seconds, cold_rps);
+  std::printf("  \"warm\": {\"requests\": %d, \"rounds\": %d, "
+              "\"seconds\": %.6f, \"requests_per_sec\": %.1f},\n",
+              warm_ok, warm_rounds, warm_seconds, warm_rps);
+  std::printf("  \"warm_speedup\": %.1f,\n",
+              warm_rps > 0 && cold_rps > 0 ? warm_rps / cold_rps : 0.0);
+  std::printf("  \"sequential_cache\": {\"hits\": %lld, \"misses\": %lld, "
+              "\"hit_rate\": %.4f, \"entries\": %d, \"bytes\": %zu},\n",
+              sequential.hits, sequential.misses,
+              static_cast<double>(sequential.hits) /
+                  static_cast<double>(sequential.hits + sequential.misses),
+              sequential.entries, sequential.bytes);
+  std::printf("  \"concurrent\": {\"clients\": %d, \"requests\": %zu, "
+              "\"flow_runs\": %lld, \"coalesced\": %lld, \"hits\": %lld, "
+              "\"single_flight_held\": %s}\n",
+              kClients, suite.size() * kClients, contended_stats.misses,
+              contended_stats.coalesced, contended_stats.hits,
+              contended_stats.misses ==
+                      static_cast<long long>(suite.size())
+                  ? "true"
+                  : "false");
+  std::printf("}\n");
+  return 0;
+}

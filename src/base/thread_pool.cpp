@@ -15,6 +15,15 @@ struct WorkerIdentity {
 };
 thread_local WorkerIdentity tls_worker;
 
+/// Depth of pool-task execution on this thread (any pool): > 0 while a
+/// task body runs, including tasks picked up by help-while-wait stealing.
+thread_local int tls_task_depth = 0;
+
+struct TaskScope {
+  TaskScope() { ++tls_task_depth; }
+  ~TaskScope() { --tls_task_depth; }
+};
+
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
@@ -98,16 +107,22 @@ bool ThreadPool::pop_task(std::function<void()>& out) {
 bool ThreadPool::try_run_one() {
   std::function<void()> task;
   if (!pop_task(task)) return false;
+  TaskScope scope;
   task();
   return true;
 }
+
+bool ThreadPool::in_task() { return tls_task_depth > 0; }
 
 void ThreadPool::worker_loop(int index) {
   tls_worker = WorkerIdentity{this, index};
   std::function<void()> task;
   while (true) {
     if (pop_task(task)) {
-      task();
+      {
+        TaskScope scope;
+        task();
+      }
       task = nullptr;
       continue;
     }

@@ -60,6 +60,13 @@ class ThreadPool {
   /// Same no-throw contract as submit().
   bool try_run_one();
 
+  /// True while the calling thread is executing a pool task (a worker's
+  /// task or one picked up through try_run_one / a help-while-wait loop,
+  /// for any pool). Long blocking waits are unsafe in that context: the
+  /// frames beneath the task may be the very work the wait depends on —
+  /// see svc::AnalysisService's single-flight bypass.
+  static bool in_task();
+
   /// Calls fn(i) exactly once for every i in [begin, end), distributing
   /// chunks of `grain` indices over the workers *and* the calling thread,
   /// and blocks until all of them finished. `max_tasks > 0` bounds the

@@ -109,17 +109,29 @@ FlowResult derive_timing_constraints(const stg::Stg& impl,
                                      const circuit::Circuit& circuit,
                                      const FlowOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  const FlowDecomposition decomposition = decompose_flow(impl, circuit);
+  const double decompose_seconds = seconds_since(start);
+  FlowResult result =
+      derive_timing_constraints(decomposition, impl, circuit, options);
+  result.decompose_seconds = decompose_seconds;
+  result.seconds += decompose_seconds;
+  return result;
+}
+
+FlowResult derive_timing_constraints(const FlowDecomposition& decomposition,
+                                     const stg::Stg& impl,
+                                     const circuit::Circuit& circuit,
+                                     const FlowOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
   FlowResult result;
   // A relaxation trace interleaved across concurrent jobs would be useless,
   // so tracing forces the serial schedule.
   result.jobs =
       options.expand.trace != nullptr ? 1 : effective_jobs(options.jobs);
 
-  const FlowDecomposition decomposition = decompose_flow(impl, circuit);
   result.state_count = decomposition.state_count;
   result.mg_component_count =
       static_cast<int>(decomposition.component_stgs.size());
-  result.decompose_seconds = seconds_since(start);
 
   for (int s = 0; s < impl.signals.count(); ++s) {
     if (impl.signals.is_input(s))
@@ -130,7 +142,13 @@ FlowResult derive_timing_constraints(const stg::Stg& impl,
   result.gate_count = static_cast<int>(circuit.gates().size());
 
   const circuit::AdversaryAnalysis adversary(&impl);
-  sg::SgCache cache;               // shared by every job of this flow
+  sg::SgCache private_cache;  // per-run fallback when none is supplied
+  // Shared by every job of this flow — and, via options.sg_cache, across
+  // flow runs of a resident service.
+  sg::SgCache& cache =
+      options.sg_cache != nullptr ? *options.sg_cache : private_cache;
+  const long long cache_hits_before = cache.hits();
+  const long long cache_misses_before = cache.misses();
   std::atomic<int> step_budget{0};  // makes max_steps a per-flow bound
 
   // Each job fills its own slot; slots are merged in job order below, so
@@ -172,8 +190,9 @@ FlowResult derive_timing_constraints(const stg::Stg& impl,
       result.after.emplace(constraint, weight);
     result.expand_steps += out.steps;
   }
-  result.cache_hits = cache.hits();
-  result.cache_misses = cache.misses();
+  result.cache_hits = static_cast<int>(cache.hits() - cache_hits_before);
+  result.cache_misses =
+      static_cast<int>(cache.misses() - cache_misses_before);
   result.seconds = seconds_since(start);
   return result;
 }
@@ -189,7 +208,13 @@ FlowResult derive_timing_constraints(const stg::Stg& impl,
 std::string verify_speed_independent(const stg::Stg& impl,
                                      const circuit::Circuit& circuit,
                                      int jobs, base::ThreadPool* pool) {
-  const FlowDecomposition decomposition = decompose_flow(impl, circuit);
+  return verify_speed_independent(decompose_flow(impl, circuit), circuit,
+                                  jobs, pool);
+}
+
+std::string verify_speed_independent(const FlowDecomposition& decomposition,
+                                     const circuit::Circuit& circuit,
+                                     int jobs, base::ThreadPool* pool) {
   // The smallest offending job index wins, so the answer is stable for any
   // schedule (and matches the serial early-exit order).
   std::atomic<int> first_bad{std::numeric_limits<int>::max()};
@@ -212,7 +237,7 @@ std::string verify_speed_independent(const stg::Stg& impl,
       jobs, pool);
   const int bad = first_bad.load(std::memory_order_relaxed);
   if (bad == std::numeric_limits<int>::max()) return "";
-  return impl.signals.name(
+  return circuit.signals().name(
       circuit.gates()[decomposition.jobs[bad].gate].output);
 }
 

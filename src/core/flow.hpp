@@ -55,6 +55,12 @@ struct FlowOptions {
   /// Pool carrying the jobs; null = base::ThreadPool::shared(). Ignored
   /// when jobs == 1.
   base::ThreadPool* pool = nullptr;
+  /// State-graph cache shared across flow runs (a resident service keeps
+  /// one per process so repeated designs skip SG construction); null = a
+  /// private per-run cache. FlowResult::cache_hits/misses report this
+  /// run's delta, which is exact for a private cache and approximate when
+  /// other concurrent runs share the same cache.
+  sg::SgCache* sg_cache = nullptr;
 };
 
 /// One (MG component × gate) unit of flow work.
@@ -101,11 +107,26 @@ FlowResult derive_timing_constraints(const stg::Stg& impl,
                                      const circuit::Circuit& circuit,
                                      const ExpandOptions& options = {});
 
+/// Same flow on a prebuilt decomposition (which must come from
+/// decompose_flow(impl, circuit)): lets one decomposition feed both the
+/// verify and derive phases — and, via a design cache, many requests —
+/// without rebuilding the global SG and MG components each time.
+FlowResult derive_timing_constraints(const FlowDecomposition& decomposition,
+                                     const stg::Stg& impl,
+                                     const circuit::Circuit& circuit,
+                                     const FlowOptions& options);
+
 /// Checks the precondition of the flow: under the isochronic fork
 /// assumption (i.e. before any relaxation) every gate's local STG is timing
 /// conformant to the gate. Returns the name of the first offending gate (in
 /// stable job order, independent of `jobs`), or an empty string.
 std::string verify_speed_independent(const stg::Stg& impl,
+                                     const circuit::Circuit& circuit,
+                                     int jobs = 1,
+                                     base::ThreadPool* pool = nullptr);
+
+/// verify_speed_independent on a prebuilt decomposition (same contract).
+std::string verify_speed_independent(const FlowDecomposition& decomposition,
                                      const circuit::Circuit& circuit,
                                      int jobs = 1,
                                      base::ThreadPool* pool = nullptr);

@@ -13,6 +13,18 @@ void append_seconds(std::ostringstream& out, double seconds) {
   out << std::fixed << std::setprecision(6) << seconds;
 }
 
+void append_compact_constraint_array(
+    std::ostringstream& out, const std::vector<ReportConstraint>& list) {
+  out << "[";
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "{\"gate\":\"" << json_escape(list[i].gate)
+        << "\",\"before\":\"" << json_escape(list[i].before)
+        << "\",\"after\":\"" << json_escape(list[i].after)
+        << "\",\"weight\":" << list[i].weight << "}";
+  }
+  out << "]";
+}
+
 void append_constraint_array(std::ostringstream& out,
                              const std::vector<ReportConstraint>& list,
                              const std::string& indent) {
@@ -135,6 +147,11 @@ std::string to_json(const FlowReport& report) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"design\": \"" << json_escape(report.design) << "\",\n";
+  if (!report.content_hash.empty()) {
+    out << "  \"cache_provenance\": {\"content_hash\": \""
+        << json_escape(report.content_hash) << "\", \"state\": \""
+        << json_escape(report.cache_state) << "\"},\n";
+  }
   out << "  \"states\": " << report.state_count << ",\n";
   out << "  \"mg_components\": " << report.mg_component_count << ",\n";
   out << "  \"gates\": " << report.gate_count << ",\n";
@@ -169,6 +186,39 @@ std::string to_json(const FlowReport& report) {
   if (!report.gates.empty()) out << "\n  ";
   out << "]\n";
   out << "}";
+  return out.str();
+}
+
+std::string to_canonical_json(const FlowReport& report) {
+  std::ostringstream out;
+  out << "{";
+  // The design cache stores one canonical body per *content* and serves it
+  // under every display name, so both name fields are optional here.
+  if (!report.design.empty())
+    out << "\"design\":\"" << json_escape(report.design) << "\",";
+  if (!report.content_hash.empty())
+    out << "\"content_hash\":\"" << json_escape(report.content_hash)
+        << "\",";
+  out << "\"states\":" << report.state_count
+      << ",\"mg_components\":" << report.mg_component_count
+      << ",\"gates\":" << report.gate_count
+      << ",\"inputs\":" << report.input_count
+      << ",\"outputs\":" << report.output_count
+      << ",\"expand_steps\":" << report.expand_steps;
+  out << ",\"constraints\":{\"before\":";
+  append_compact_constraint_array(out, report.before);
+  out << ",\"after\":";
+  append_compact_constraint_array(out, report.after);
+  out << "},\"per_gate\":[";
+  for (std::size_t i = 0; i < report.gates.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "{\"gate\":\""
+        << json_escape(report.gates[i].gate) << "\",\"before\":";
+    append_compact_constraint_array(out, report.gates[i].before);
+    out << ",\"after\":";
+    append_compact_constraint_array(out, report.gates[i].after);
+    out << "}";
+  }
+  out << "]}";
   return out.str();
 }
 

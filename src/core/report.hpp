@@ -34,6 +34,14 @@ struct GateReport {
 
 struct FlowReport {
   std::string design;  // display name (file path or benchmark name)
+  // Design-cache provenance (filled by svc::AnalysisService; empty for
+  // reports rendered straight from a FlowResult). content_hash is the
+  // content-addressed key of the design (canonical STG + netlist + flow
+  // options); cache_state records how this response was produced: "fresh"
+  // (this request ran the flow), "hit" (served from the resident cache) or
+  // "coalesced" (attached to another request's in-flight run).
+  std::string content_hash;
+  std::string cache_state;
   int state_count = 0;
   int gate_count = 0;
   int input_count = 0;
@@ -62,8 +70,18 @@ std::string thesis_report_text(const FlowReport& report);
 /// thesis_report_text plus a state/job/cache summary block.
 std::string to_text(const FlowReport& report);
 
-/// One JSON object; stable key order, no external dependencies.
+/// One JSON object; stable key order, no external dependencies. Includes a
+/// "cache_provenance" object when content_hash is set.
 std::string to_json(const FlowReport& report);
+
+/// The deterministic body of a report as one compact single-line JSON
+/// object: everything a consumer can rely on byte-for-byte — design name,
+/// content hash, interface/state counts and both constraint lists — and
+/// nothing volatile (no wall-clock timings, worker counts, SG-cache
+/// counters or cache_state). Two runs of the same design produce identical
+/// canonical JSON whatever the schedule, worker count, or cache state; the
+/// design cache stores exactly this rendering and serves it verbatim.
+std::string to_canonical_json(const FlowReport& report);
 
 /// JSON string escaping (quotes, backslashes, control characters); exposed
 /// for callers assembling JSON around flow reports.

@@ -38,8 +38,12 @@ class SgCache {
   /// The SG of `mg`, built on miss via build_state_graph(mg). Thread-safe.
   std::shared_ptr<const StateGraph> get_or_build(const stg::MgStg& mg);
 
-  int hits() const { return hits_.load(std::memory_order_relaxed); }
-  int misses() const { return misses_.load(std::memory_order_relaxed); }
+  // 64-bit: a resident service (svc::AnalysisService) keeps one cache for
+  // the process lifetime, where 32-bit counters would wrap under traffic.
+  long long hits() const { return hits_.load(std::memory_order_relaxed); }
+  long long misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
   /// Cached graphs currently held (across all shards).
   int entries() const;
   void clear();
@@ -57,8 +61,8 @@ class SgCache {
   static constexpr int kShardCount = 16;
 
   Shard shards_[kShardCount];
-  std::atomic<int> hits_{0};
-  std::atomic<int> misses_{0};
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
 };
 
 }  // namespace sitime::sg

@@ -1,0 +1,415 @@
+#include "svc/analysis_service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "base/error.hpp"
+#include "benchdata/benchmarks.hpp"
+#include "sg/state_graph.hpp"
+#include "stg/astg.hpp"
+#include "synth/synthesis.hpp"
+
+namespace sitime::svc {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// FNV-1a 64 over the canonical content, rendered as 16 hex digits — the
+/// public content-address. The cache map itself is keyed on the full
+/// canonical string, so hash collisions cannot alias two designs.
+std::string fnv1a_hex(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  char out[17];
+  static const char digits[] = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    out[i] = digits[hash & 0xf];
+    hash >>= 4;
+  }
+  out[16] = '\0';
+  return out;
+}
+
+}  // namespace
+
+/// The parsed design plus its canonical identity, built once per request.
+/// Keying is deliberately cheap: it never synthesizes — a design without an
+/// explicit netlist is keyed by its canonical STG plus a "synthesized"
+/// marker, because the synthesized circuit is a pure function of the STG.
+struct AnalysisService::Parsed {
+  std::unique_ptr<stg::Stg> stg;  // heap: Circuit/MgStg point into it
+  std::unique_ptr<circuit::Circuit> circuit;  // null until synthesized
+  std::string canonical;  // exact cache key (content + options)
+  std::string key_hex;    // public content-address
+};
+
+AnalysisService::Parsed AnalysisService::parse_request(
+    const AnalysisRequest& request, const core::ExpandOptions& expand) {
+  Parsed parsed;
+  parsed.stg = std::make_unique<stg::Stg>(stg::parse_astg(request.astg));
+  if (!request.eqn.empty())
+    parsed.circuit = std::make_unique<circuit::Circuit>(
+        circuit::Circuit::from_equations(&parsed.stg->signals, request.eqn));
+
+  // Canonical content: the *parsed* STG and netlist rendered back out (so
+  // whitespace, comments and equation formatting cannot split one design
+  // into several keys), plus every option that can change the answer.
+  // Worker counts are excluded by design: the orchestrator guarantees
+  // byte-identical output for any jobs value.
+  std::string canonical;
+  canonical.reserve(request.astg.size() + 64);
+  canonical += "astg\x1f";
+  canonical += stg::write_astg(*parsed.stg);
+  canonical += "\x1f""eqn\x1f";
+  canonical += parsed.circuit != nullptr ? parsed.circuit->to_eqn()
+                                         : "(synthesized)";
+  canonical += "\x1f""mode\x1f";
+  canonical += request.mode == RequestMode::verify ? "verify" : "derive";
+  canonical += "\x1f""order\x1f";
+  canonical += std::to_string(static_cast<int>(expand.order));
+  canonical += "\x1f""max_steps\x1f";
+  canonical += std::to_string(expand.max_steps);
+  canonical += "\x1f""max_depth\x1f";
+  canonical += std::to_string(expand.max_depth);
+  parsed.key_hex = fnv1a_hex(canonical);
+  parsed.canonical = std::move(canonical);
+  return parsed;
+}
+
+/// One resident design: everything a repeated request needs, immutable
+/// after construction.
+struct AnalysisService::Entry {
+  std::string canonical;  // cache map key (owned here for eviction)
+  std::string key_hex;
+  RequestMode mode = RequestMode::derive;
+  std::unique_ptr<stg::Stg> stg;
+  std::unique_ptr<circuit::Circuit> circuit;
+  core::FlowDecomposition decomposition;
+  std::shared_ptr<const std::string> netlist_eqn;
+  std::string verify_offender;  // empty = speed independent
+  bool has_result = false;      // derive ran (mode derive + SI)
+  core::FlowResult result;
+  std::shared_ptr<const core::FlowReport> report;  // design field empty
+  std::shared_ptr<const std::string> canonical_json;  // null for verify
+  std::size_t bytes = 0;
+
+  /// Deterministic estimate of the resident footprint, charged against the
+  /// cache byte budget. The canonical string is charged twice: the cache
+  /// map key holds a second copy of it.
+  std::size_t estimate_bytes() const {
+    std::size_t total = sizeof(Entry) + 2 * canonical.size();
+    if (netlist_eqn != nullptr) total += netlist_eqn->size();
+    if (canonical_json != nullptr) total += canonical_json->size();
+    total += decomposition.jobs.size() * sizeof(core::FlowJob);
+    total += decomposition.initial_values.size() * sizeof(int);
+    for (const stg::MgStg& mg : decomposition.component_stgs)
+      total += mg.arcs().size() * sizeof(stg::MgArc) +
+               static_cast<std::size_t>(mg.transition_count()) *
+                   (sizeof(stg::TransitionLabel) + 8);
+    if (report != nullptr) {
+      total += sizeof(core::FlowReport);
+      // Rendered constraints appear in the flat lists and the per-gate
+      // grouping; canonical_json already counted one rendering, charge one
+      // more for the structured copies.
+      if (canonical_json != nullptr) total += canonical_json->size();
+    }
+    for (int s = 0; s < stg->signals.count(); ++s)
+      total += stg->signals.name(s).size() + 16;
+    total += stg->labels.size() * sizeof(stg::TransitionLabel);
+    return total;
+  }
+};
+
+/// The rendezvous object of single-flight deduplication: the first request
+/// for a key becomes the owner and runs the flow; every concurrent
+/// duplicate blocks here and shares the owner's outcome.
+struct AnalysisService::Flight {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::shared_ptr<const Entry> entry;  // null: `error` holds the failure
+  std::string error;
+};
+
+AnalysisService::AnalysisService(ServiceOptions options)
+    : options_(std::move(options)) {}
+
+AnalysisService::~AnalysisService() = default;
+
+std::shared_ptr<const AnalysisService::Entry> AnalysisService::run_flow(
+    const AnalysisRequest& request, Parsed parsed,
+    std::shared_ptr<const std::string>* netlist_out) {
+  auto entry = std::make_shared<Entry>();
+  entry->canonical = std::move(parsed.canonical);
+  entry->key_hex = std::move(parsed.key_hex);
+  entry->mode = request.mode;
+  entry->stg = std::move(parsed.stg);
+  if (parsed.circuit != nullptr) {
+    entry->circuit = std::move(parsed.circuit);
+  } else {
+    const sg::GlobalSg global = sg::build_global_sg(*entry->stg);
+    entry->circuit = std::make_unique<circuit::Circuit>(
+        circuit::Circuit::from_synthesis(
+            &entry->stg->signals, synth::synthesize(*entry->stg, global)));
+  }
+  entry->netlist_eqn =
+      std::make_shared<const std::string>(entry->circuit->to_eqn());
+  if (netlist_out != nullptr) *netlist_out = entry->netlist_eqn;
+
+  const int jobs = request.jobs > 0 ? request.jobs : options_.jobs;
+
+  // One decomposition feeds the verify phase, the derive phase, and every
+  // future request for this design.
+  const auto decompose_start = std::chrono::steady_clock::now();
+  entry->decomposition = core::decompose_flow(*entry->stg, *entry->circuit);
+  const double decompose_seconds = seconds_since(decompose_start);
+  entry->verify_offender = core::verify_speed_independent(
+      entry->decomposition, *entry->circuit, jobs, options_.pool);
+
+  if (request.mode == RequestMode::derive && entry->verify_offender.empty()) {
+    core::FlowOptions flow_options;
+    flow_options.expand = options_.expand;
+    flow_options.jobs = jobs;
+    flow_options.pool = options_.pool;
+    flow_options.sg_cache = &sg_cache_;
+    entry->result = core::derive_timing_constraints(
+        entry->decomposition, *entry->stg, *entry->circuit, flow_options);
+    entry->result.decompose_seconds = decompose_seconds;
+    entry->result.seconds += decompose_seconds;
+    entry->has_result = true;
+    core::FlowReport report = core::make_flow_report(
+        /*design=*/"", entry->result, entry->stg->signals);
+    report.content_hash = entry->key_hex;
+    entry->canonical_json = std::make_shared<const std::string>(
+        core::to_canonical_json(report));
+    entry->report =
+        std::make_shared<const core::FlowReport>(std::move(report));
+  }
+  entry->bytes = entry->estimate_bytes();
+
+  // Coarse valve on the cross-request SG memoization (see ServiceOptions):
+  // evicting design entries does not release the state graphs their flows
+  // inserted, so without this a diverse-traffic server grows forever.
+  if (options_.sg_cache_max_entries > 0 &&
+      sg_cache_.entries() > options_.sg_cache_max_entries)
+    sg_cache_.clear();
+  return entry;
+}
+
+void AnalysisService::insert_locked(const std::string& canonical,
+                                    std::shared_ptr<const Entry> entry) {
+  if (options_.cache_budget_bytes == 0) return;
+  // An entry that alone exceeds the whole budget is served but never
+  // retained — inserting it first would flush every resident entry
+  // through the eviction loop for nothing.
+  if (entry->bytes > options_.cache_budget_bytes) return;
+  // A single-flight bypass runner may have published this key already; the
+  // entries are equivalent, keep the resident one.
+  if (cache_.find(canonical) != cache_.end()) return;
+  bytes_ += entry->bytes;
+  lru_.push_front(std::move(entry));
+  cache_[canonical] = lru_.begin();
+  while (bytes_ > options_.cache_budget_bytes && !lru_.empty()) {
+    const std::shared_ptr<const Entry>& victim = lru_.back();
+    bytes_ -= victim->bytes;
+    cache_.erase(victim->canonical);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void AnalysisService::respond_from(const std::shared_ptr<const Entry>& entry,
+                                   const char* cache_state,
+                                   AnalysisResponse& out) const {
+  out.ok = true;
+  out.key = entry->key_hex;
+  out.cache_state = cache_state;
+  out.cache_hit = cache_state[0] != 'f';  // "hit" / "coalesced"
+  out.verify_offender = entry->verify_offender;
+  out.speed_independent = entry->verify_offender.empty();
+  out.netlist_eqn = entry->netlist_eqn;
+  out.report = entry->report;
+  out.canonical_json = entry->canonical_json;
+}
+
+AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  AnalysisResponse response;
+
+  Parsed parsed;
+  try {
+    parsed = parse_request(request, options_.expand);
+    response.key = parsed.key_hex;
+  } catch (const std::exception& error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++failures_;
+    response.error = error.what();
+    response.seconds = seconds_since(start);
+    return response;
+  }
+  // The canonical key is as large as the rendered design; the hit and
+  // waiter paths only ever *read* it, so they borrow it from `parsed` and
+  // no per-request copy is made on warm traffic. The fresh paths move
+  // `parsed` into run_flow and take what they need first.
+  const std::string& canonical = parsed.canonical;
+
+  std::shared_ptr<Flight> flight;
+  std::shared_ptr<const Entry> resident;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto cached = cache_.find(canonical);
+    if (cached != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, cached->second);  // touch
+      ++hits_;
+      // Only the shared_ptr leaves the lock; the response strings are
+      // copied from the immutable entry after release, so warm traffic
+      // does not serialize on mutex_ for the duration of the copies.
+      resident = *cached->second;
+    }
+    const auto in_flight =
+        resident != nullptr ? inflight_.end() : inflight_.find(canonical);
+    if (in_flight != inflight_.end()) {
+      // Only block on the in-flight run from threads outside pool-task
+      // context. A duplicate executing *as* a pool task may sit on the
+      // owner's own help-while-wait stack (work stealing), where waiting
+      // for the flight would wait on frames beneath itself — a guaranteed
+      // deadlock. Those duplicates run the flow independently instead;
+      // output is deterministic either way and the first publisher wins
+      // the cache slot.
+      if (!base::ThreadPool::in_task()) flight = in_flight->second;
+    } else if (resident == nullptr) {
+      flight = std::make_shared<Flight>();
+      inflight_.emplace(canonical, flight);
+      owner = true;
+    }
+  }
+
+  if (resident != nullptr) {
+    respond_from(resident, "hit", response);
+    response.seconds = seconds_since(start);
+    return response;
+  }
+
+  if (flight == nullptr) {  // single-flight bypass (pool-task duplicate)
+    std::shared_ptr<const Entry> entry;
+    std::string error;
+    try {
+      entry = run_flow(request, std::move(parsed), &response.netlist_eqn);
+    } catch (const std::exception& exception) {
+      error = exception.what();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (entry != nullptr) {
+        ++misses_;  // a real flow run, not a coalesced wait
+        insert_locked(entry->canonical, entry);
+      } else {
+        ++failures_;
+      }
+    }
+    if (entry != nullptr)
+      respond_from(entry, "fresh", response);
+    else
+      response.error = error;
+    response.seconds = seconds_since(start);
+    return response;
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->done_cv.wait(lock, [&] { return flight->done; });
+    const std::shared_ptr<const Entry> entry = flight->entry;
+    const std::string error = flight->error;
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> stats_lock(mutex_);
+      if (entry != nullptr)
+        ++coalesced_;
+      else
+        ++failures_;
+    }
+    if (entry != nullptr)
+      respond_from(entry, "coalesced", response);
+    else
+      response.error = error;
+    response.seconds = seconds_since(start);
+    return response;
+  }
+
+  // Owner: `parsed` is about to be consumed, and the error path still
+  // needs the key for the inflight erase — copy it once (fresh runs only;
+  // the copy is noise next to the flow itself).
+  const std::string key_copy = parsed.canonical;
+  std::shared_ptr<const Entry> entry;
+  std::string error;
+  try {
+    entry = run_flow(request, std::move(parsed), &response.netlist_eqn);
+  } catch (const std::exception& exception) {
+    error = exception.what();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key_copy);
+    if (entry != nullptr) {
+      ++misses_;
+      insert_locked(key_copy, entry);
+    } else {
+      ++failures_;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->entry = entry;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->done_cv.notify_all();
+
+  if (entry != nullptr)
+    respond_from(entry, "fresh", response);
+  else
+    response.error = error;
+  response.seconds = seconds_since(start);
+  return response;
+}
+
+int AnalysisService::warm_benchmark_suite() {
+  int loaded = 0;
+  for (const auto& bench : benchdata::all_benchmarks()) {
+    AnalysisRequest request;
+    request.name = bench.name;
+    request.astg = bench.astg;
+    request.eqn = bench.eqn;
+    request.mode = RequestMode::derive;
+    if (analyze(request).ok) ++loaded;
+  }
+  return loaded;
+}
+
+CacheStats AnalysisService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.coalesced = coalesced_;
+  stats.evictions = evictions_;
+  stats.failures = failures_;
+  stats.entries = static_cast<int>(lru_.size());
+  stats.bytes = bytes_;
+  stats.budget_bytes = options_.cache_budget_bytes;
+  stats.sg_cache_entries = sg_cache_.entries();
+  stats.sg_cache_hits = sg_cache_.hits();
+  stats.sg_cache_misses = sg_cache_.misses();
+  return stats;
+}
+
+}  // namespace sitime::svc

@@ -1,0 +1,188 @@
+// Resident analysis service: the server core behind sitime_serve and the
+// check_hazard batch driver.
+//
+// One AnalysisService owns everything a long-running process wants to keep
+// across requests:
+//   - a content-addressed design cache: requests are keyed by the canonical
+//     rendering of their parsed STG + netlist + the flow options that can
+//     change the answer (mode, expand policy/limits — NOT the worker count,
+//     which the orchestrator guarantees cannot change any output byte). The
+//     cached value is the parsed design, its FlowDecomposition, the
+//     FlowResult and the fully rendered FlowReport, so a repeated request
+//     re-runs nothing — not even decompose_flow — and serves byte-identical
+//     canonical JSON.
+//   - LRU eviction by byte budget: entries are charged an estimate of their
+//     resident footprint and the least-recently-used ones are dropped when
+//     the sum exceeds ServiceOptions::cache_budget_bytes.
+//   - single-flight deduplication: N concurrent requests for the same key
+//     run ONE flow; the others block on the in-flight run and share its
+//     entry (counted as `coalesced`, never as extra flow runs).
+//   - the cross-request sg::SgCache and the shared base::ThreadPool the
+//     per-request (component × gate) job graphs are admitted onto.
+//
+// Within one request the decomposition is built once and feeds both the
+// verify phase and the derive phase (the ROADMAP open item); the same
+// decomposition is then retained for the entry's lifetime.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "base/thread_pool.hpp"
+#include "circuit/circuit.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "sg/sg_cache.hpp"
+#include "stg/stg.hpp"
+
+namespace sitime::svc {
+
+/// What the flow should compute for a request.
+enum class RequestMode {
+  verify,  // speed-independence verdict only
+  derive,  // verify, then derive the relative timing constraints
+};
+
+struct AnalysisRequest {
+  std::string name;  // display name (file path, benchmark name, request id)
+  std::string astg;  // implementation STG text (.g format)
+  std::string eqn;   // optional restricted-EQN netlist; empty -> synthesize
+  RequestMode mode = RequestMode::derive;
+  /// Parallel (component × gate) jobs for a fresh run; 0 = the service
+  /// default. Never part of the cache key (output is jobs-independent).
+  int jobs = 0;
+};
+
+struct AnalysisResponse {
+  bool ok = false;            // false: `error` holds the failure
+  std::string error;
+  std::string key;            // content-address (hex) of the design
+  /// How this response was produced: "fresh" (this request ran the flow),
+  /// "hit" (served from the cache), "coalesced" (attached to another
+  /// request's in-flight run).
+  std::string cache_state;
+  bool cache_hit = false;     // hit or coalesced
+  double seconds = 0.0;       // request wall time inside the service
+  /// Verify verdict: empty = speed independent; otherwise the first
+  /// offending gate in stable job order.
+  std::string verify_offender;
+  bool speed_independent = false;
+  /// Canonical netlist of the design (from the request EQN or
+  /// synthesized). Filled as soon as the netlist exists, so it is present
+  /// even when a later flow phase failed (ok == false); null only when
+  /// parsing/synthesis itself threw or the response came off a coalesced
+  /// failure. Shared with the cache entry — responses never copy it.
+  std::shared_ptr<const std::string> netlist_eqn;
+  /// The rendered report and its deterministic canonical JSON body; null
+  /// for verify-only requests and failures. The report's content_hash is
+  /// set; cache_state reflects *this* response. Both are shared with the
+  /// cache entry, so serving a hit copies two pointers, not the payload.
+  std::shared_ptr<const core::FlowReport> report;
+  std::shared_ptr<const std::string> canonical_json;
+};
+
+/// Point-in-time counters of the design cache (monotonic except entries
+/// and bytes, which track the current resident set).
+struct CacheStats {
+  long long hits = 0;        // served from a resident entry
+  long long misses = 0;      // ran the flow (== number of flow runs)
+  long long coalesced = 0;   // waited on another request's in-flight run
+  long long evictions = 0;   // entries dropped by the byte budget
+  long long failures = 0;    // requests that ended in an error
+  int entries = 0;           // resident designs
+  std::size_t bytes = 0;     // estimated resident footprint
+  std::size_t budget_bytes = 0;
+  int sg_cache_entries = 0;  // cross-request state-graph cache
+  long long sg_cache_hits = 0;
+  long long sg_cache_misses = 0;
+};
+
+struct ServiceOptions {
+  /// Byte budget of the design cache. An entry larger than the whole
+  /// budget is still served but not retained. 0 = cache disabled (every
+  /// request is a fresh run; single-flight still applies).
+  std::size_t cache_budget_bytes = 256u << 20;
+  /// Default per-request (component × gate) parallelism (FlowOptions
+  /// semantics: 1 = serial, 0 = one per hardware thread).
+  int jobs = 1;
+  /// Pool the request job graphs are admitted onto; null = the process
+  /// shared pool.
+  base::ThreadPool* pool = nullptr;
+  core::ExpandOptions expand;  // part of the cache key
+  /// Bound on the cross-request state-graph cache: when a fresh run leaves
+  /// more than this many memoized graphs, the SG cache is flushed (a
+  /// coarse but safe valve — correctness is unaffected, the next flows
+  /// just rebuild their graphs). Without it a long-running server on
+  /// diverse traffic would grow without bound even under the design-cache
+  /// byte budget. 0 = unbounded.
+  int sg_cache_max_entries = 1 << 16;
+};
+
+class AnalysisService {
+ public:
+  explicit AnalysisService(ServiceOptions options = {});
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Answers one request, from cache when possible. Thread-safe: any
+  /// number of callers may be in analyze() concurrently; identical designs
+  /// coalesce onto one flow run — except callers already inside a pool
+  /// task (base::ThreadPool::in_task()), which run the flow themselves
+  /// instead of blocking: a stolen duplicate on the owner's own
+  /// help-while-wait stack would otherwise deadlock. Dedicated request
+  /// threads (sitime_serve) get full coalescing. Never throws — failures
+  /// come back as !ok responses (and are not cached).
+  AnalysisResponse analyze(const AnalysisRequest& request);
+
+  /// Runs every bundled benchmark through the cache (mode derive), so a
+  /// server answers the known suite warm from the first request. Returns
+  /// the number of designs that loaded cleanly.
+  int warm_benchmark_suite();
+
+  CacheStats stats() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Entry;
+  struct Flight;
+  struct Parsed;
+  using LruList = std::list<std::shared_ptr<const Entry>>;
+
+  static Parsed parse_request(const AnalysisRequest& request,
+                              const core::ExpandOptions& expand);
+  /// `netlist_out` receives the canonical netlist as soon as it is known,
+  /// so a flow-phase failure can still report it (the legacy check_hazard
+  /// stderr contract prints the synthesized netlist even when the flow
+  /// later fails).
+  std::shared_ptr<const Entry> run_flow(
+      const AnalysisRequest& request, Parsed parsed,
+      std::shared_ptr<const std::string>* netlist_out);
+  void insert_locked(const std::string& canonical,
+                     std::shared_ptr<const Entry> entry);
+  void respond_from(const std::shared_ptr<const Entry>& entry,
+                    const char* cache_state, AnalysisResponse& out) const;
+
+  ServiceOptions options_;
+  sg::SgCache sg_cache_;  // cross-request SG memoization
+
+  mutable std::mutex mutex_;
+  LruList lru_;  // most-recently-used first
+  std::unordered_map<std::string, LruList::iterator> cache_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
+  std::size_t bytes_ = 0;
+  long long hits_ = 0;
+  long long misses_ = 0;
+  long long coalesced_ = 0;
+  long long evictions_ = 0;
+  long long failures_ = 0;
+};
+
+}  // namespace sitime::svc

@@ -1,0 +1,295 @@
+#include "svc/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "base/error.hpp"
+
+namespace sitime::svc {
+
+namespace {
+
+const JsonValue kNull;
+
+[[noreturn]] void kind_error(const char* wanted, JsonValue::Kind got) {
+  static const char* const names[] = {"null",   "boolean", "number",
+                                      "string", "array",   "object"};
+  sitime::fail(std::string("json: expected ") + wanted + ", got " +
+               names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::boolean) kind_error("boolean", kind_);
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::number) kind_error("number", kind_);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::string) kind_error("string", kind_);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::array) kind_error("array", kind_);
+  return array_;
+}
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  if (kind_ != Kind::object) kind_error("object", kind_);
+  const auto it = members_.find(key);
+  return it == members_.end() ? kNull : it->second;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue& value = get(key);
+  return value.is_null() ? fallback : value.as_string();
+}
+
+long long JsonValue::int_or(const std::string& key,
+                            long long fallback) const {
+  const JsonValue& value = get(key);
+  if (value.is_null()) return fallback;
+  const double number = value.as_number();
+  // The float-to-integer cast is only defined inside long long range;
+  // reject infinities, NaN, fractions and out-of-range values (this reads
+  // untrusted request input).
+  if (!(number >= -9.2e18 && number <= 9.2e18) ||
+      number != std::floor(number))
+    sitime::fail("json: '" + key + "' must be an integer");
+  return static_cast<long long>(number);
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    sitime::fail("json: " + message + " at offset " +
+                 std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t length = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, length, literal) != 0) return false;
+    pos_ += length;
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    JsonValue value;
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"':
+        value.kind_ = JsonValue::Kind::string;
+        value.string_ = parse_string();
+        return value;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        value.kind_ = JsonValue::Kind::boolean;
+        value.bool_ = true;
+        return value;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        value.kind_ = JsonValue::Kind::boolean;
+        value.bool_ = false;
+        return value;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return value;
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::object;
+    expect('{');
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      JsonValue member = parse_value(depth + 1);
+      value.members_[std::move(key)] = std::move(member);
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::array;
+    expect('[');
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array_.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double number = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size())
+      fail("invalid number '" + token + "'");
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::number;
+    value.number_ = number;
+    return value;
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  /// One \uXXXX escape (the leading \u already consumed), combining UTF-16
+  /// surrogate pairs into their code point so the output stays valid UTF-8
+  /// rather than CESU-8. Lone or misordered surrogates are an error.
+  unsigned parse_unicode_escape() {
+    const unsigned code = parse_hex4();
+    if (code >= 0xdc00 && code <= 0xdfff) fail("lone low surrogate");
+    if (code < 0xd800 || code > 0xdbff) return code;
+    if (peek() != '\\') fail("high surrogate not followed by \\u escape");
+    ++pos_;
+    if (peek() != 'u') fail("high surrogate not followed by \\u escape");
+    ++pos_;
+    const unsigned low = parse_hex4();
+    if (low < 0xdc00 || low > 0xdfff)
+      fail("high surrogate not followed by a low surrogate");
+    return 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+  }
+
+  unsigned parse_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    return code;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20)
+          fail("unescaped control character in string");
+        out += c;
+        continue;
+      }
+      const char escape = peek();
+      ++pos_;
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_utf8(out, parse_unicode_escape()); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace sitime::svc

@@ -1,0 +1,65 @@
+// Minimal JSON reader for the service request loop.
+//
+// sitime_serve speaks newline-delimited JSON; this is the hand-rolled,
+// dependency-free parser for those request objects (the repo renders JSON
+// through core/report and never needs a full DOM round-trip). It supports
+// the whole value grammar — null, booleans, numbers, strings with escapes
+// (including \uXXXX surrogate pairs, encoded as UTF-8), arrays and objects
+// — with a depth bound as the only defensive limit. Duplicate object keys
+// keep the last value, like every lenient reader.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sitime::svc {
+
+class JsonValue;
+
+/// Parses one JSON document; the whole input must be consumed (trailing
+/// whitespace allowed). Throws sitime::Error with an offset-aware message
+/// on malformed input.
+JsonValue parse_json(const std::string& text);
+
+class JsonValue {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::null; }
+  bool is_object() const { return kind_ == Kind::object; }
+  bool is_string() const { return kind_ == Kind::string; }
+  bool is_number() const { return kind_ == Kind::number; }
+
+  /// Checked accessors; throw sitime::Error on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+
+  /// Object member, or null when absent (error on non-objects, so callers
+  /// can chain lookups without checking is_object first).
+  const JsonValue& get(const std::string& key) const;
+
+  /// Convenience over get(): the member as a string / integer, or the
+  /// fallback when the member is absent or null. Type mismatches throw.
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+  long long int_or(const std::string& key, long long fallback) const;
+
+ private:
+  friend JsonValue parse_json(const std::string& text);
+  friend class Parser;
+
+  Kind kind_ = Kind::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> members_;
+};
+
+}  // namespace sitime::svc

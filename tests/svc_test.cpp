@@ -1,0 +1,412 @@
+// The resident analysis service: content-addressed caching (repeats are
+// answered without re-running the flow and serve byte-identical canonical
+// reports at any worker count), LRU eviction under a byte budget,
+// single-flight coalescing of concurrent identical requests, and the
+// decomposition-reuse flow overloads it is built on. Plus the minimal JSON
+// reader the serve loop parses requests with.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/thread_pool.hpp"
+#include "benchdata/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "svc/analysis_service.hpp"
+#include "svc/json.hpp"
+
+namespace sitime {
+namespace {
+
+svc::AnalysisRequest bench_request(const std::string& name,
+                                   svc::RequestMode mode =
+                                       svc::RequestMode::derive) {
+  const auto& bench = benchdata::benchmark(name);
+  svc::AnalysisRequest request;
+  request.name = bench.name;
+  request.astg = bench.astg;
+  request.eqn = bench.eqn;
+  request.mode = mode;
+  return request;
+}
+
+TEST(AnalysisService, RepeatIsServedFromCacheWithoutRerunningTheFlow) {
+  svc::AnalysisService service;
+  const svc::AnalysisResponse fresh =
+      service.analyze(bench_request("imec-ram-read-sbuf"));
+  ASSERT_TRUE(fresh.ok) << fresh.error;
+  EXPECT_EQ(fresh.cache_state, "fresh");
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_TRUE(fresh.speed_independent);
+  EXPECT_EQ(fresh.key.size(), 16u);
+  ASSERT_NE(fresh.report, nullptr);
+  ASSERT_NE(fresh.canonical_json, nullptr);
+  EXPECT_FALSE(fresh.canonical_json->empty());
+
+  const svc::AnalysisResponse hit =
+      service.analyze(bench_request("imec-ram-read-sbuf"));
+  ASSERT_TRUE(hit.ok);
+  EXPECT_EQ(hit.cache_state, "hit");
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.key, fresh.key);
+  // Cached and fresh share the identical rendered body (the very same
+  // objects — serving a hit copies pointers, not payloads).
+  EXPECT_EQ(hit.report.get(), fresh.report.get());
+  EXPECT_EQ(hit.canonical_json.get(), fresh.canonical_json.get());
+
+  const svc::CacheStats stats = service.stats();
+  EXPECT_EQ(stats.misses, 1);  // exactly one flow run
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(AnalysisService, CanonicalReportsAreByteIdenticalAcrossWorkerCounts) {
+  // Fresh at jobs=1, fresh at jobs=8 (separate service: separate cache),
+  // and a cache hit must all render the same canonical bytes — the
+  // acceptance contract of the design cache.
+  svc::ServiceOptions serial;
+  serial.jobs = 1;
+  svc::AnalysisService service1(serial);
+  svc::ServiceOptions parallel;
+  parallel.jobs = 8;
+  svc::AnalysisService service8(parallel);
+
+  for (const auto& bench : benchdata::all_benchmarks()) {
+    const svc::AnalysisResponse fresh1 =
+        service1.analyze(bench_request(bench.name));
+    const svc::AnalysisResponse fresh8 =
+        service8.analyze(bench_request(bench.name));
+    const svc::AnalysisResponse hit8 =
+        service8.analyze(bench_request(bench.name));
+    ASSERT_TRUE(fresh1.ok && fresh8.ok && hit8.ok) << bench.name;
+    EXPECT_EQ(fresh1.key, fresh8.key) << bench.name;
+    ASSERT_NE(fresh1.canonical_json, nullptr) << bench.name;
+    ASSERT_NE(fresh8.canonical_json, nullptr) << bench.name;
+    EXPECT_EQ(*fresh1.canonical_json, *fresh8.canonical_json) << bench.name;
+    EXPECT_EQ(hit8.cache_state, "hit") << bench.name;
+    EXPECT_EQ(*hit8.canonical_json, *fresh8.canonical_json) << bench.name;
+  }
+}
+
+TEST(AnalysisService, LruEvictionHonoursTheByteBudget) {
+  // Probe the resident size of two designs, then replay them through a
+  // budget that fits either alone but not both.
+  std::size_t size_a = 0, size_b = 0;
+  {
+    svc::AnalysisService probe;
+    ASSERT_TRUE(probe.analyze(bench_request("adfast")).ok);
+    size_a = probe.stats().bytes;
+    ASSERT_TRUE(probe.analyze(bench_request("atod")).ok);
+    size_b = probe.stats().bytes - size_a;
+  }
+  ASSERT_GT(size_a, 0u);
+  ASSERT_GT(size_b, 0u);
+
+  svc::ServiceOptions options;
+  options.cache_budget_bytes = std::max(size_a, size_b);
+  svc::AnalysisService service(options);
+
+  ASSERT_TRUE(service.analyze(bench_request("adfast")).ok);
+  EXPECT_EQ(service.stats().entries, 1);
+  ASSERT_TRUE(service.analyze(bench_request("atod")).ok);  // evicts adfast
+  {
+    const svc::CacheStats stats = service.stats();
+    EXPECT_EQ(stats.entries, 1);
+    EXPECT_EQ(stats.evictions, 1);
+    EXPECT_LE(stats.bytes, stats.budget_bytes);
+  }
+  // atod stayed resident, adfast was evicted and must re-run.
+  EXPECT_EQ(service.analyze(bench_request("atod")).cache_state, "hit");
+  EXPECT_EQ(service.analyze(bench_request("adfast")).cache_state, "fresh");
+  EXPECT_EQ(service.stats().misses, 3);
+}
+
+TEST(AnalysisService, OversizedEntryIsServedButNeverFlushesResidents) {
+  // An entry bigger than the whole budget must not be retained — and must
+  // not evict the residents that do fit on its way through.
+  std::size_t size_small = 0, size_large = 0;
+  {
+    svc::AnalysisService probe;
+    ASSERT_TRUE(probe.analyze(bench_request("adfast")).ok);
+    size_small = probe.stats().bytes;
+    ASSERT_TRUE(probe.analyze(bench_request("imec-ram-read-sbuf")).ok);
+    size_large = probe.stats().bytes - size_small;
+  }
+  ASSERT_LT(size_small, size_large);  // adfast is the smaller design
+
+  svc::ServiceOptions options;
+  options.cache_budget_bytes = size_small;  // fits adfast, not imec
+  svc::AnalysisService service(options);
+  ASSERT_TRUE(service.analyze(bench_request("adfast")).ok);
+  EXPECT_EQ(service.stats().entries, 1);
+  // The oversized design is answered but not retained, and adfast stays.
+  ASSERT_TRUE(service.analyze(bench_request("imec-ram-read-sbuf")).ok);
+  const svc::CacheStats stats = service.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(service.analyze(bench_request("adfast")).cache_state, "hit");
+  EXPECT_EQ(service.analyze(bench_request("imec-ram-read-sbuf")).cache_state,
+            "fresh");
+}
+
+TEST(AnalysisService, ZeroBudgetDisablesRetentionButStillAnswers) {
+  svc::ServiceOptions options;
+  options.cache_budget_bytes = 0;
+  svc::AnalysisService service(options);
+  EXPECT_EQ(service.analyze(bench_request("adfast")).cache_state, "fresh");
+  EXPECT_EQ(service.analyze(bench_request("adfast")).cache_state, "fresh");
+  const svc::CacheStats stats = service.stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(AnalysisService, SingleFlightCoalescesConcurrentIdenticalRequests) {
+  // N threads fire the same design at one service: exactly one flow run;
+  // everyone shares its entry byte-for-byte.
+  constexpr int kThreads = 8;
+  svc::AnalysisService service;
+  std::vector<svc::AnalysisResponse> responses(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&service, &responses, t] {
+      responses[t] = service.analyze(bench_request("imec-ram-read-sbuf"));
+    });
+  for (std::thread& thread : threads) thread.join();
+
+  int fresh = 0;
+  for (const svc::AnalysisResponse& response : responses) {
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.key, responses[0].key);
+    ASSERT_NE(response.canonical_json, nullptr);
+    EXPECT_EQ(*response.canonical_json, *responses[0].canonical_json);
+    if (response.cache_state == "fresh") ++fresh;
+  }
+  EXPECT_EQ(fresh, 1);
+  const svc::CacheStats stats = service.stats();
+  EXPECT_EQ(stats.misses, 1);  // no duplicate flow runs
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(AnalysisService, PoolTaskDuplicatesBypassTheFlightInsteadOfBlocking) {
+  // Regression: identical requests issued FROM pool tasks used to block on
+  // the in-flight run — and a duplicate stolen onto the owner's own
+  // help-while-wait stack waited on frames beneath itself, deadlocking the
+  // batch driver ('check_hazard --jobs 2 a.g a.g'). In pool-task context
+  // duplicates must run the flow independently (never block); this test
+  // simply has to terminate, and every response must agree byte-for-byte.
+  constexpr int kRequests = 8;
+  svc::ServiceOptions options;
+  options.jobs = 2;  // nested parallelism: requests and expand jobs race
+  svc::AnalysisService service(options);
+  base::ThreadPool pool(2);
+  std::vector<svc::AnalysisResponse> responses(kRequests);
+  pool.parallel_for(0, kRequests, [&](int i) {
+    responses[i] = service.analyze(bench_request("imec-ram-read-sbuf"));
+  });
+  for (const svc::AnalysisResponse& response : responses) {
+    ASSERT_TRUE(response.ok) << response.error;
+    ASSERT_NE(response.canonical_json, nullptr);
+    EXPECT_EQ(*response.canonical_json, *responses[0].canonical_json);
+  }
+  const svc::CacheStats stats = service.stats();
+  // Bypass runs count as misses; coalescing never happens inside pool
+  // tasks, and whatever interleaving occurred, the books must balance.
+  EXPECT_GE(stats.misses, 1);
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced, kRequests);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(AnalysisService, VerifyModeSkipsDerivationAndCachesSeparately) {
+  svc::AnalysisService service;
+  const svc::AnalysisResponse verify = service.analyze(
+      bench_request("imec-ram-read-sbuf", svc::RequestMode::verify));
+  ASSERT_TRUE(verify.ok) << verify.error;
+  EXPECT_TRUE(verify.speed_independent);
+  EXPECT_EQ(verify.report, nullptr);
+  EXPECT_EQ(verify.canonical_json, nullptr);
+
+  const svc::AnalysisResponse derive =
+      service.analyze(bench_request("imec-ram-read-sbuf"));
+  ASSERT_TRUE(derive.ok);
+  EXPECT_NE(derive.key, verify.key);  // mode is part of the content address
+  EXPECT_EQ(derive.cache_state, "fresh");
+  EXPECT_EQ(service.analyze(bench_request("imec-ram-read-sbuf",
+                                          svc::RequestMode::verify))
+                .cache_state,
+            "hit");
+}
+
+TEST(AnalysisService, MalformedRequestsFailWithoutPoisoningTheCache) {
+  svc::AnalysisService service;
+  svc::AnalysisRequest request;
+  request.name = "broken";
+  request.astg = "this is not an astg file";
+  const svc::AnalysisResponse response = service.analyze(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_FALSE(response.error.empty());
+  const svc::CacheStats stats = service.stats();
+  EXPECT_EQ(stats.failures, 1);
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.misses, 0);
+}
+
+TEST(AnalysisService, ContentAddressingIgnoresNamesAndWhitespace) {
+  // The same design under a different display name and with reformatted
+  // astg text (extra comments/blank lines) maps to the same entry.
+  const auto& bench = benchdata::benchmark("adfast");
+  svc::AnalysisService service;
+  ASSERT_TRUE(service.analyze(bench_request("adfast")).ok);
+
+  svc::AnalysisRequest renamed;
+  renamed.name = "some/other/path.g";
+  renamed.astg = "# a comment the canonicalizer drops\n" + bench.astg;
+  renamed.eqn = bench.eqn;
+  const svc::AnalysisResponse response = service.analyze(renamed);
+  ASSERT_TRUE(response.ok) << response.error;
+  EXPECT_EQ(response.cache_state, "hit");
+  EXPECT_EQ(service.stats().misses, 1);
+}
+
+TEST(AnalysisService, WarmBenchmarkSuiteMakesTheWholeSuiteResident) {
+  svc::AnalysisService service;
+  const int loaded = service.warm_benchmark_suite();
+  EXPECT_EQ(loaded,
+            static_cast<int>(benchdata::all_benchmarks().size()));
+  const svc::CacheStats stats = service.stats();
+  EXPECT_EQ(stats.entries, loaded);
+  for (const auto& bench : benchdata::all_benchmarks())
+    EXPECT_EQ(service.analyze(bench_request(bench.name)).cache_state, "hit")
+        << bench.name;
+}
+
+// ---- decomposition reuse (the flow API the service is built on) ---------
+
+TEST(FlowDecompositionReuse, OneDecompositionFeedsVerifyAndDerive) {
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+
+  const core::FlowDecomposition decomposition =
+      core::decompose_flow(stg, circuit);
+  EXPECT_EQ(core::verify_speed_independent(decomposition, circuit),
+            core::verify_speed_independent(stg, circuit));
+
+  core::FlowOptions options;
+  const core::FlowResult reused =
+      core::derive_timing_constraints(decomposition, stg, circuit, options);
+  const core::FlowResult classic =
+      core::derive_timing_constraints(stg, circuit, options);
+  EXPECT_EQ(reused.before, classic.before);
+  EXPECT_EQ(reused.after, classic.after);
+  EXPECT_EQ(reused.state_count, classic.state_count);
+  EXPECT_EQ(reused.mg_component_count, classic.mg_component_count);
+}
+
+TEST(FlowSharedSgCache, ExternalCacheCarriesHitsAcrossRuns) {
+  const auto& bench = benchdata::benchmark("adfast");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+
+  sg::SgCache shared;
+  core::FlowOptions options;
+  options.sg_cache = &shared;
+  const core::FlowResult first =
+      core::derive_timing_constraints(stg, circuit, options);
+  const core::FlowResult second =
+      core::derive_timing_constraints(stg, circuit, options);
+  // The first run populated the shared cache, so the second run's delta
+  // has strictly fewer misses — and identical constraints.
+  EXPECT_LT(second.cache_misses, first.cache_misses);
+  EXPECT_EQ(second.before, first.before);
+  EXPECT_EQ(second.after, first.after);
+  EXPECT_EQ(shared.hits(), first.cache_hits + second.cache_hits);
+}
+
+// ---- cache provenance in reports -----------------------------------------
+
+TEST(FlowReportProvenance, ToJsonCarriesCacheProvenanceWhenPresent) {
+  svc::AnalysisService service;
+  const svc::AnalysisResponse response =
+      service.analyze(bench_request("adfast"));
+  ASSERT_TRUE(response.ok);
+  core::FlowReport report = *response.report;
+  report.design = "adfast";
+  report.cache_state = response.cache_state;
+  const std::string json = core::to_json(report);
+  EXPECT_NE(json.find("\"cache_provenance\""), std::string::npos);
+  EXPECT_NE(json.find("\"content_hash\": \"" + response.key + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"state\": \"fresh\""), std::string::npos);
+
+  // The canonical body embeds the content hash but never the volatile
+  // fields (timings, worker counts, cache counters).
+  ASSERT_NE(response.canonical_json, nullptr);
+  const std::string& canonical = *response.canonical_json;
+  EXPECT_NE(canonical.find(response.key), std::string::npos);
+  EXPECT_EQ(canonical.find("seconds"), std::string::npos);
+  EXPECT_EQ(canonical.find("cache_state"), std::string::npos);
+  EXPECT_EQ(canonical.find('\n'), std::string::npos);
+}
+
+// ---- the minimal JSON reader ---------------------------------------------
+
+TEST(SvcJson, ParsesTheWholeValueGrammar) {
+  const svc::JsonValue value = svc::parse_json(
+      R"({"s": "a\"b\\c\nA", "n": -2.5e1, "i": 42, "b": true,)"
+      R"( "z": null, "a": [1, "two", {"k": false}], "o": {"x": 1}})");
+  ASSERT_TRUE(value.is_object());
+  EXPECT_EQ(value.get("s").as_string(), "a\"b\\c\nA");
+  EXPECT_DOUBLE_EQ(value.get("n").as_number(), -25.0);
+  EXPECT_EQ(value.int_or("i", 0), 42);
+  EXPECT_TRUE(value.get("b").as_bool());
+  EXPECT_TRUE(value.get("z").is_null());
+  EXPECT_TRUE(value.get("missing").is_null());
+  ASSERT_EQ(value.get("a").as_array().size(), 3u);
+  EXPECT_EQ(value.get("a").as_array()[1].as_string(), "two");
+  EXPECT_FALSE(value.get("a").as_array()[2].get("k").as_bool());
+  EXPECT_EQ(value.get("o").get("x").as_number(), 1.0);
+  EXPECT_EQ(value.string_or("s", "?"), "a\"b\\c\nA");
+  EXPECT_EQ(value.string_or("missing", "fallback"), "fallback");
+  EXPECT_EQ(value.int_or("missing", 7), 7);
+}
+
+TEST(SvcJson, CombinesSurrogatePairsIntoValidUtf8) {
+  // 😀 is U+1F600; the reader must emit the single 4-byte UTF-8
+  // sequence, not two 3-byte CESU-8 surrogate halves.
+  const svc::JsonValue value =
+      svc::parse_json("{\"s\": \"\\ud83d\\ude00\"}");
+  EXPECT_EQ(value.get("s").as_string(), "\xf0\x9f\x98\x80");
+  EXPECT_THROW(svc::parse_json(R"(["\ud83d"])"), Error);   // lone high
+  EXPECT_THROW(svc::parse_json(R"(["\ude00"])"), Error);   // lone low
+  EXPECT_THROW(svc::parse_json(R"(["\ud83dA"])"), Error);  // broken pair
+}
+
+TEST(SvcJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(svc::parse_json(""), Error);
+  EXPECT_THROW(svc::parse_json("{"), Error);
+  EXPECT_THROW(svc::parse_json("{\"a\": }"), Error);
+  EXPECT_THROW(svc::parse_json("[1, 2"), Error);
+  EXPECT_THROW(svc::parse_json("\"unterminated"), Error);
+  EXPECT_THROW(svc::parse_json("tru"), Error);
+  EXPECT_THROW(svc::parse_json("12x"), Error);
+  EXPECT_THROW(svc::parse_json("{} trailing"), Error);
+  EXPECT_THROW(svc::parse_json("{\"a\": 1} {\"b\": 2}"), Error);
+}
+
+TEST(SvcJson, AccessorsThrowOnKindMismatch) {
+  const svc::JsonValue value = svc::parse_json(R"({"n": 1, "s": "x"})");
+  EXPECT_THROW(value.get("n").as_string(), Error);
+  EXPECT_THROW(value.get("s").as_number(), Error);
+  EXPECT_THROW(value.get("s").get("member"), Error);
+  EXPECT_THROW(value.int_or("s", 0), Error);
+  EXPECT_THROW(svc::parse_json(R"({"f": 1.5})").int_or("f", 0), Error);
+}
+
+}  // namespace
+}  // namespace sitime

@@ -38,12 +38,10 @@
 #include "base/error.hpp"
 #include "base/thread_pool.hpp"
 #include "benchdata/benchmarks.hpp"
-#include "circuit/circuit.hpp"
-#include "core/flow.hpp"
 #include "core/report.hpp"
-#include "sg/state_graph.hpp"
-#include "stg/astg.hpp"
-#include "synth/synthesis.hpp"
+#include "svc/analysis_service.hpp"
+
+#include "design_io.hpp"  // shared tools helpers (sibling of this file)
 
 namespace {
 
@@ -68,13 +66,7 @@ struct CliOptions {
   std::vector<std::string> files;
 };
 
-std::string read_file(const std::string& path) {
-  std::ifstream stream(path);
-  if (!stream) sitime::fail("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << stream.rdbuf();
-  return buffer.str();
-}
+using sitime::tools::read_file;
 
 int usage() {
   std::fprintf(
@@ -86,52 +78,53 @@ int usage() {
   return 2;
 }
 
-/// Runs one design through verify + derive and renders its report.
-/// `legacy` reproduces the original tool's stderr side channel (synthesized
-/// netlist) for the single-design invocation.
+/// Runs one design through the analysis service (verify + derive share one
+/// FlowDecomposition there, and repeated designs in a batch are answered
+/// from the content-addressed cache). `legacy` reproduces the original
+/// tool's stderr side channel (synthesized netlist) for the single-design
+/// invocation.
 DesignOutcome process_design(const DesignInput& input,
                              const CliOptions& options,
-                             sitime::base::ThreadPool* pool, bool legacy) {
+                             sitime::svc::AnalysisService& service,
+                             bool legacy) {
   using namespace sitime;
   DesignOutcome outcome;
-  try {
-    const stg::Stg stg = stg::parse_astg(input.astg);
-    circuit::Circuit circuit = [&] {
-      if (!input.eqn.empty())
-        return circuit::Circuit::from_equations(&stg.signals, input.eqn);
-      const sg::GlobalSg global = sg::build_global_sg(stg);
-      return circuit::Circuit::from_synthesis(&stg.signals,
-                                              synth::synthesize(stg, global));
-    }();
-    if (legacy && input.eqn.empty())
-      std::fprintf(stderr, "synthesized netlist:\n%s\n",
-                   circuit.to_eqn().c_str());
-    const std::string not_si =
-        core::verify_speed_independent(stg, circuit, options.jobs, pool);
-    if (!not_si.empty()) {
-      outcome.error = "the circuit is not speed independent (gate '" +
-                      not_si +
-                      "' violates timing conformance under the isochronic "
-                      "fork)";
-      return outcome;
-    }
-    core::FlowOptions flow_options;
-    flow_options.jobs = options.jobs;
-    flow_options.pool = pool;
-    const core::FlowResult result =
-        core::derive_timing_constraints(stg, circuit, flow_options);
-    if (options.json)
-      outcome.json = core::to_json(
-          core::make_flow_report(input.name, result, stg.signals));
-    else if (legacy)
-      outcome.text = core::format_report(result, stg.signals);
-    else
-      outcome.text = core::to_text(
-          core::make_flow_report(input.name, result, stg.signals));
-    outcome.ok = true;
-  } catch (const std::exception& error) {
-    outcome.error = error.what();
+  svc::AnalysisRequest request;
+  request.name = input.name;
+  request.astg = input.astg;
+  request.eqn = input.eqn;
+  request.mode = svc::RequestMode::derive;
+  const svc::AnalysisResponse response = service.analyze(request);
+  // The original tool printed the synthesized netlist right after circuit
+  // construction — before the flow could fail — so the dump must appear
+  // even for !ok responses (the service reports the netlist as soon as it
+  // is synthesized; it is empty only when parsing/synthesis itself threw).
+  if (legacy && input.eqn.empty() && response.netlist_eqn != nullptr)
+    std::fprintf(stderr, "synthesized netlist:\n%s\n",
+                 response.netlist_eqn->c_str());
+  if (!response.ok) {
+    outcome.error = response.error;
+    return outcome;
   }
+  if (!response.speed_independent) {
+    outcome.error = "the circuit is not speed independent (gate '" +
+                    response.verify_offender +
+                    "' violates timing conformance under the isochronic "
+                    "fork)";
+    return outcome;
+  }
+  // The cached report body is name-free; stamp this request's display name
+  // and cache provenance onto a copy before rendering.
+  core::FlowReport report = *response.report;
+  report.design = input.name;
+  report.cache_state = response.cache_state;
+  if (options.json)
+    outcome.json = core::to_json(report);
+  else if (legacy)
+    outcome.text = core::thesis_report_text(report);
+  else
+    outcome.text = core::to_text(report);
+  outcome.ok = true;
   return outcome;
 }
 
@@ -244,13 +237,11 @@ int main(int argc, char** argv) {
       const bool batch_mode = options.json || !options.bench_names.empty() ||
                               options.files.size() >= 2;
       if (options.eqn_path.empty() && batch_mode) {
-        std::filesystem::path sibling(path);
-        sibling.replace_extension(".eqn");
-        std::error_code ignored;
-        if (std::filesystem::exists(sibling, ignored)) {
-          input.eqn = read_file(sibling.string());
+        const std::string sibling = tools::sibling_eqn_path(path);
+        if (!sibling.empty()) {
+          input.eqn = read_file(sibling);
           std::fprintf(stderr, "note: using sibling netlist '%s' for '%s'\n",
-                       sibling.string().c_str(), path.c_str());
+                       sibling.c_str(), path.c_str());
         }
       }
       designs.push_back(std::move(input));
@@ -284,12 +275,20 @@ int main(int argc, char** argv) {
   base::ThreadPool* pool =
       options.jobs == 1 ? nullptr : &base::ThreadPool::shared();
 
+  // One resident service per invocation: verify + derive share a
+  // decomposition per design, and repeated designs (the same file listed
+  // twice, a file matching an embedded benchmark) coalesce on its cache.
+  svc::ServiceOptions service_options;
+  service_options.jobs = options.jobs;
+  service_options.pool = pool;
+  svc::AnalysisService service(service_options);
+
   // The designs pipeline through the same pool the per-design job graphs
   // run on; results are collected per slot and printed in input order.
   std::vector<DesignOutcome> outcomes(designs.size());
   auto run_design = [&](int index) {
     outcomes[index] =
-        process_design(designs[index], options, pool, legacy);
+        process_design(designs[index], options, service, legacy);
   };
   if (pool == nullptr || designs.size() == 1) {
     for (int i = 0; i < static_cast<int>(designs.size()); ++i)

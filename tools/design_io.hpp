@@ -1,0 +1,33 @@
+// File-loading helpers shared by the sitime tools (check_hazard,
+// sitime_serve): whole-file reads and the DESIGN.g -> DESIGN.eqn sibling
+// netlist convention, kept in one place so the two drivers cannot drift.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/error.hpp"
+
+namespace sitime::tools {
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) sitime::fail("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+/// Path of the sibling netlist of a design file (DESIGN.g -> DESIGN.eqn),
+/// or "" when none exists.
+inline std::string sibling_eqn_path(const std::string& design_path) {
+  std::filesystem::path sibling(design_path);
+  sibling.replace_extension(".eqn");
+  std::error_code ignored;
+  if (!std::filesystem::exists(sibling, ignored)) return "";
+  return sibling.string();
+}
+
+}  // namespace sitime::tools

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Replay a dumped design directory through sitime_serve, twice, and assert
+the cache contract: the first pass runs every flow fresh, the second pass is
+answered entirely from the design cache with byte-identical report JSON.
+
+Usage: serve_replay_check.py SERVE_BINARY DESIGN_DIR [--warm]
+
+With --warm the server preloads the embedded benchmark suite first, so BOTH
+passes must be all cache hits (the dumped directory is that same suite).
+"""
+import glob
+import json
+import subprocess
+import sys
+
+
+def main() -> int:
+    serve = sys.argv[1]
+    design_dir = sys.argv[2]
+    warm = "--warm" in sys.argv[3:]
+
+    designs = sorted(glob.glob(design_dir + "/*.g"))
+    assert designs, f"no .g designs in {design_dir}"
+    requests = "".join(
+        json.dumps({"id": i, "design": path}) + "\n"
+        for i, path in enumerate(designs * 2)
+    )
+
+    # --admit 1 keeps the two passes strictly sequential so every repeat is
+    # a plain "hit" (concurrent admission could legitimately coalesce).
+    command = [serve, "--jobs", "2", "--admit", "1"] + (
+        ["--warm"] if warm else []
+    )
+    proc = subprocess.run(
+        command, input=requests, capture_output=True, text=True, check=True
+    )
+    lines = [json.loads(line) for line in proc.stdout.strip().split("\n")]
+    assert len(lines) == 2 * len(designs), (len(lines), len(designs))
+    bad = [l for l in lines if not l["ok"]]
+    assert not bad, bad
+
+    first, second = lines[: len(designs)], lines[len(designs):]
+    if warm:
+        not_hit = [(l["design"], l["cache"]) for l in first if l["cache"] != "hit"]
+        assert not not_hit, f"warm pass 1 not all hits: {not_hit}"
+    else:
+        not_fresh = [
+            (l["design"], l["cache"]) for l in first if l["cache"] != "fresh"
+        ]
+        assert not not_fresh, f"pass 1 not all fresh: {not_fresh}"
+    not_hit = [(l["design"], l["cache"]) for l in second if l["cache"] != "hit"]
+    assert not not_hit, f"pass 2 not all cache hits: {not_hit}"
+
+    for a, b in zip(first, second):
+        assert a["key"] == b["key"], (a["design"], a["key"], b["key"])
+        assert a["report"] == b["report"], f"report drift for {a['design']}"
+        assert a["speed_independent"] and b["speed_independent"], a["design"]
+
+    # The dumped directory IS the embedded suite, so warming runs each
+    # design exactly once and both replay passes must hit; without warming
+    # pass 1 is the only source of misses.
+    stats = second[-1]["cache_stats"]
+    assert stats["misses"] == len(designs), stats
+    assert stats["hits"] == len(designs) * (2 if warm else 1), stats
+
+    print(
+        f"serve replay OK: {len(designs)} designs x2, "
+        f"second pass all cache hits, reports byte-identical "
+        f"(warm={str(warm).lower()})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,477 @@
+// sitime_serve — resident analysis server over the svc::AnalysisService
+// design cache.
+//
+// Reads newline-delimited JSON requests on stdin (or a Unix stream socket
+// with --socket) and streams back one JSON response line per request, in
+// request order, while up to --admit requests run concurrently on the
+// shared thread pool (each fanning its (component × gate) jobs onto the
+// same pool).
+//
+// Request schema (one object per line):
+//   {"design": "path/to/STG.g"}              file-based design; a sibling
+//                                            .eqn is picked up when present
+//   {"design": {"astg": "...", "eqn": "...", "name": "..."}}
+//                                            inline design (eqn optional ->
+//                                            synthesize)
+//   {"design": {"bench": "name"}}            embedded benchmark
+// Optional fields: "eqn" (netlist file path, overrides the sibling),
+// "mode" ("derive" default | "verify"), "jobs" (per-request override),
+// "id" (echoed back verbatim in the response).
+//
+// Response line:
+//   {"id": ..., "design": "...", "ok": true, "cache": "fresh"|"hit"|
+//    "coalesced", "key": "<content hash>", "seconds": ...,
+//    "speed_independent": true, "report": {<canonical report JSON>},
+//    "cache_stats": {...}}
+// The "report" object is the deterministic canonical body: byte-identical
+// for cached and fresh runs at any worker count. "cache_stats" is the
+// live service counter block (volatile by nature). Failures come back as
+// {"ok": false, "error": "..."} on the same line number as the request.
+//
+// Options:
+//   --jobs N        default per-request (component × gate) parallelism
+//                   (0 = one per hardware thread, default 1)
+//   --admit N       concurrent requests in flight (default 4)
+//   --cache-mb N    design-cache byte budget in MiB (default 256; 0
+//                   disables caching, single-flight still applies)
+//   --warm          preload the embedded benchmark suite before serving
+//   --socket PATH   serve connections on a Unix stream socket instead of
+//                   stdin (one connection at a time)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+#include "benchdata/benchmarks.hpp"
+#include "core/report.hpp"
+#include "svc/analysis_service.hpp"
+#include "svc/json.hpp"
+
+#include "design_io.hpp"  // shared tools helpers (sibling of this file)
+
+namespace {
+
+struct ServeOptions {
+  int jobs = 1;
+  int admit = 4;
+  std::size_t cache_bytes = 256u << 20;
+  bool warm = false;
+  std::string socket_path;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sitime_serve [--jobs N] [--admit N] [--cache-mb N]\n"
+               "                    [--warm] [--socket PATH]\n"
+               "reads one JSON request per line on stdin (or the socket),\n"
+               "writes one JSON response per line; see tools/README.md\n");
+  return 2;
+}
+
+/// Renders an echoed "id" value (scalars only; anything else is dropped).
+std::string render_id(const sitime::svc::JsonValue& id) {
+  using Kind = sitime::svc::JsonValue::Kind;
+  switch (id.kind()) {
+    case Kind::string:
+      return "\"" + sitime::core::json_escape(id.as_string()) + "\"";
+    case Kind::number: {
+      const double number = id.as_number();
+      char buffer[32];
+      // The float-to-integer cast is only defined inside long long range;
+      // anything else (huge ids, fractions) is echoed as a double.
+      if (number >= -9.2e18 && number <= 9.2e18 &&
+          number == static_cast<double>(static_cast<long long>(number)))
+        std::snprintf(buffer, sizeof(buffer), "%lld",
+                      static_cast<long long>(number));
+      else
+        std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+      return buffer;
+    }
+    case Kind::boolean: return id.as_bool() ? "true" : "false";
+    default: return "";
+  }
+}
+
+/// Builds the service request from one parsed JSON request line.
+sitime::svc::AnalysisRequest build_request(
+    const sitime::svc::JsonValue& json) {
+  using namespace sitime;
+  svc::AnalysisRequest request;
+  const svc::JsonValue& design = json.get("design");
+  if (design.is_string()) {
+    const std::string& path = design.as_string();
+    request.name = path;
+    request.astg = tools::read_file(path);
+    std::string eqn_path = json.string_or("eqn", "");
+    if (eqn_path.empty()) eqn_path = tools::sibling_eqn_path(path);
+    if (!eqn_path.empty()) request.eqn = tools::read_file(eqn_path);
+  } else if (design.is_object()) {
+    const std::string bench_name = design.string_or("bench", "");
+    if (!bench_name.empty()) {
+      const auto& bench = benchdata::benchmark(bench_name);
+      request.name = bench.name;
+      request.astg = bench.astg;
+      request.eqn = bench.eqn;
+    } else {
+      request.astg = design.string_or("astg", "");
+      if (request.astg.empty())
+        sitime::fail("request: design object needs 'astg' or 'bench'");
+      request.eqn = design.string_or("eqn", "");
+      request.name = design.string_or("name", "(inline)");
+    }
+  } else {
+    sitime::fail("request: 'design' must be a path or an object");
+  }
+  const std::string mode = json.string_or("mode", "derive");
+  if (mode == "verify")
+    request.mode = svc::RequestMode::verify;
+  else if (mode == "derive")
+    request.mode = svc::RequestMode::derive;
+  else
+    sitime::fail("request: unknown mode '" + mode + "'");
+  request.jobs = static_cast<int>(json.int_or("jobs", 0));
+  return request;
+}
+
+void append_cache_stats(std::ostringstream& out,
+                        const sitime::svc::CacheStats& stats) {
+  out << "{\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+      << ",\"coalesced\":" << stats.coalesced
+      << ",\"evictions\":" << stats.evictions
+      << ",\"failures\":" << stats.failures
+      << ",\"entries\":" << stats.entries << ",\"bytes\":" << stats.bytes
+      << ",\"budget_bytes\":" << stats.budget_bytes
+      << ",\"sg_entries\":" << stats.sg_cache_entries
+      << ",\"sg_hits\":" << stats.sg_cache_hits
+      << ",\"sg_misses\":" << stats.sg_cache_misses << "}";
+}
+
+/// Handles one request line; never throws. Returns the response line
+/// (without the trailing newline).
+std::string handle_line(sitime::svc::AnalysisService& service,
+                        const std::string& line) {
+  using namespace sitime;
+  std::string id;
+  std::string name;
+  try {
+    const svc::JsonValue json = svc::parse_json(line);
+    id = render_id(json.get("id"));
+    svc::AnalysisRequest request = build_request(json);
+    name = request.name;
+    const svc::AnalysisResponse response = service.analyze(request);
+
+    std::ostringstream out;
+    out << "{";
+    if (!id.empty()) out << "\"id\":" << id << ",";
+    out << "\"design\":\"" << core::json_escape(name) << "\"";
+    if (!response.ok) {
+      out << ",\"ok\":false,\"error\":\""
+          << core::json_escape(response.error) << "\"}";
+      return out.str();
+    }
+    out << ",\"ok\":true,\"cache\":\"" << response.cache_state
+        << "\",\"key\":\"" << response.key << "\"";
+    char seconds[32];
+    std::snprintf(seconds, sizeof(seconds), "%.6f", response.seconds);
+    out << ",\"seconds\":" << seconds;
+    out << ",\"speed_independent\":"
+        << (response.speed_independent ? "true" : "false");
+    if (!response.speed_independent)
+      out << ",\"offender\":\""
+          << core::json_escape(response.verify_offender) << "\"";
+    if (response.canonical_json != nullptr)
+      out << ",\"report\":" << *response.canonical_json;
+    out << ",\"cache_stats\":";
+    append_cache_stats(out, service.stats());
+    out << "}";
+    return out.str();
+  } catch (const std::exception& error) {
+    std::ostringstream out;
+    out << "{";
+    if (!id.empty()) out << "\"id\":" << id << ",";
+    if (!name.empty())
+      out << "\"design\":\"" << core::json_escape(name) << "\",";
+    out << "\"ok\":false,\"error\":\"" << core::json_escape(error.what())
+        << "\"}";
+    return out.str();
+  }
+}
+
+/// A line-oriented request/response transport (stdin/stdout or one
+/// accepted socket connection).
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual bool read_line(std::string& line) = 0;
+  virtual void write_line(const std::string& line) = 0;
+};
+
+class StdioChannel : public Channel {
+ public:
+  bool read_line(std::string& line) override {
+    return static_cast<bool>(std::getline(std::cin, line));
+  }
+  void write_line(const std::string& line) override {
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);  // stream responses as they become ready
+  }
+};
+
+class SocketChannel : public Channel {
+ public:
+  explicit SocketChannel(int fd) : fd_(fd) {}
+  ~SocketChannel() override { ::close(fd_); }
+
+  bool read_line(std::string& line) override {
+    line.clear();
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line.assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got < 0 && errno == EINTR) continue;  // signal, not EOF
+      if (got <= 0) {
+        if (buffer_.empty()) return false;
+        line.swap(buffer_);  // final unterminated line
+        return true;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+  void write_line(const std::string& line) override {
+    std::string out = line;
+    out += '\n';
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t wrote =
+          ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (wrote <= 0) return;  // client went away; drop the response
+      sent += static_cast<std::size_t>(wrote);
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// The request loop: up to `admit` requests run concurrently on dedicated
+/// request threads (NOT pool tasks — a request may block in the service's
+/// single-flight wait, which is only safe outside pool-task context; the
+/// per-request flow jobs still fan out onto the shared pool). Responses
+/// are emitted strictly in request order through a reorder buffer, and
+/// admission is bounded by the *unemitted* window: while a slow
+/// head-of-line request runs, at most `admit` requests are outstanding, so
+/// neither the reorder buffer nor the read-ahead can grow without bound.
+void serve_channel(sitime::svc::AnalysisService& service, Channel& channel,
+                   int admit) {
+  using namespace sitime;
+  if (admit <= 1) {
+    std::string line;
+    while (channel.read_line(line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      channel.write_line(handle_line(service, line));
+    }
+    return;
+  }
+
+  std::mutex mutex;
+  std::condition_variable work_ready;  // workers: a request was queued
+  std::condition_variable window_open;  // reader: an emission slot freed
+  std::deque<std::pair<long, std::string>> pending;  // admitted requests
+  std::map<long, std::string> ready;  // finished out-of-order responses
+  long next_emit = 0;
+  long sequence = 0;
+  bool done_reading = false;
+  bool emitting = false;  // one emitter at a time keeps lines in order
+
+  // Drains every consecutive ready response, WRITING OUTSIDE THE LOCK so a
+  // slow reader (a stalled --socket client) cannot stall the mutex every
+  // worker and the admission loop need. The `emitting` flag makes whoever
+  // holds it the sole writer; responses that become ready meanwhile are
+  // picked up by its next sweep.
+  auto flush_ready = [&](std::unique_lock<std::mutex>& lock) {
+    if (emitting) return;  // the active emitter will sweep ours up
+    emitting = true;
+    while (!ready.empty() && ready.begin()->first == next_emit) {
+      std::vector<std::string> batch;
+      while (!ready.empty() && ready.begin()->first == next_emit) {
+        batch.push_back(std::move(ready.begin()->second));
+        ready.erase(ready.begin());
+        ++next_emit;
+      }
+      window_open.notify_all();
+      lock.unlock();
+      for (const std::string& response : batch)
+        channel.write_line(response);
+      lock.lock();
+    }
+    emitting = false;
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(admit);
+  for (int t = 0; t < admit; ++t)
+    workers.emplace_back([&] {
+      std::unique_lock<std::mutex> lock(mutex);
+      while (true) {
+        work_ready.wait(lock,
+                        [&] { return done_reading || !pending.empty(); });
+        if (pending.empty()) return;  // done_reading and drained
+        const long seq = pending.front().first;
+        const std::string line = std::move(pending.front().second);
+        pending.pop_front();
+        lock.unlock();
+        std::string response = handle_line(service, line);
+        lock.lock();
+        ready.emplace(seq, std::move(response));
+        flush_ready(lock);
+      }
+    });
+
+  std::string line;
+  while (channel.read_line(line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::unique_lock<std::mutex> lock(mutex);
+    window_open.wait(lock, [&] { return sequence - next_emit < admit; });
+    pending.emplace_back(sequence++, std::move(line));
+    work_ready.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    done_reading = true;
+  }
+  work_ready.notify_all();
+  for (std::thread& worker : workers) worker.join();
+  std::unique_lock<std::mutex> lock(mutex);
+  flush_ready(lock);  // everything is finished; drain any stragglers
+}
+
+int serve_socket(sitime::svc::AnalysisService& service,
+                 const std::string& path, int admit) {
+  ::unlink(path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("sitime_serve: socket");
+    return 1;
+  }
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) {
+    std::fprintf(stderr, "sitime_serve: socket path too long\n");
+    ::close(listener);
+    return 2;
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::perror("sitime_serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "sitime_serve: listening on %s\n", path.c_str());
+  while (true) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;  // signal, not a listener failure
+      break;
+    }
+    SocketChannel channel(fd);
+    serve_channel(service, channel, admit);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sitime;
+  ServeOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (++i >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[i];
+    };
+    auto int_value = [&](const char* flag, long min, long max) -> long {
+      const std::string text = value(flag);
+      char* end = nullptr;
+      const long parsed = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || parsed < min ||
+          parsed > max) {
+        std::fprintf(stderr, "error: %s needs an integer in [%ld, %ld]\n",
+                     flag, min, max);
+        std::exit(2);
+      }
+      return parsed;
+    };
+    if (arg == "--jobs" || arg == "-j") {
+      options.jobs = static_cast<int>(int_value("--jobs", 0, 4096));
+    } else if (arg == "--admit") {
+      options.admit = static_cast<int>(int_value("--admit", 1, 4096));
+    } else if (arg == "--cache-mb") {
+      options.cache_bytes = static_cast<std::size_t>(
+                                int_value("--cache-mb", 0, 1 << 20))
+                            << 20;
+    } else if (arg == "--warm") {
+      options.warm = true;
+    } else if (arg == "--socket") {
+      options.socket_path = value("--socket");
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  svc::ServiceOptions service_options;
+  service_options.cache_budget_bytes = options.cache_bytes;
+  service_options.jobs = options.jobs;
+  svc::AnalysisService service(service_options);
+
+  if (options.warm) {
+    const int loaded = service.warm_benchmark_suite();
+    const svc::CacheStats stats = service.stats();
+    std::fprintf(stderr,
+                 "sitime_serve: warmed %d designs (%d resident, %zu bytes)\n",
+                 loaded, stats.entries, stats.bytes);
+  }
+
+  if (!options.socket_path.empty())
+    return serve_socket(service, options.socket_path, options.admit);
+
+  StdioChannel channel;
+  serve_channel(service, channel, options.admit);
+  return 0;
+}
