@@ -95,6 +95,49 @@ int main() {
   }
   std::printf("\n  ],\n");
 
+  // Expansion subtasks: intra-gate parallelism below the (component ×
+  // gate) job level. On a single-MG-component design the job count used to
+  // cap the fan-out; with the OR-causality subSTG recursion split into
+  // subtasks, jobs > (component × gate) now yields more than one active
+  // expansion body. peak_active_bodies is the measured high-water mark of
+  // concurrently executing bodies (jobs + subtasks) — > 1 on a
+  // single-component benchmark is the evidence the fan-out engaged.
+  std::printf("  \"expansion_subtasks\": [\n");
+  first = true;
+  for (const auto& bench : benchdata::all_benchmarks()) {
+    const stg::Stg stg = benchdata::load_stg(bench);
+    const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+    const core::FlowResult serial =
+        core::derive_timing_constraints(stg, circuit);
+    if (serial.mg_component_count != 1) continue;  // the coarse-job shape
+
+    core::FlowOptions subtask_options;
+    // More workers than (component × gate) jobs: any concurrency beyond
+    // the job count can only come from expansion subtasks.
+    subtask_options.jobs =
+        serial.mg_component_count * serial.gate_count + threads;
+    subtask_options.pool = &pool;
+    const core::FlowResult fanned =
+        core::derive_timing_constraints(stg, circuit, subtask_options);
+    const bool identical = serial.before == fanned.before &&
+                           serial.after == fanned.after;
+    const double fanned_seconds = best_of(repetitions, [&]() {
+      return time_flow(stg, circuit, subtask_options);
+    });
+
+    std::printf("%s    {\"design\": \"%s\", \"jobs\": %d, "
+                "\"component_gate_jobs\": %d, \"expand_subtasks\": %d, "
+                "\"peak_active_bodies\": %d, \"seconds\": %.6f, "
+                "\"constraints_identical\": %s}",
+                first ? "" : ",\n", bench.name.c_str(),
+                subtask_options.jobs,
+                serial.mg_component_count * serial.gate_count,
+                fanned.expand_subtasks, fanned.peak_active_bodies,
+                fanned_seconds, identical ? "true" : "false");
+    first = false;
+  }
+  std::printf("\n  ],\n");
+
   // Montecarlo scaling on the ground-truth design.
   {
     const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");

@@ -1,6 +1,7 @@
 #include "core/expand.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "base/error.hpp"
 #include "core/local_stg.hpp"
@@ -66,16 +67,102 @@ int find_er_violation(const sg::StateGraph& graph, const stg::MgStg& mg,
   return -1;
 }
 
+/// RAII gauge of concurrently executing expansion bodies (jobs and
+/// subtasks), feeding the optional ExpandOptions counters.
+class BodyGauge {
+ public:
+  explicit BodyGauge(const ExpandOptions& options)
+      : active_(options.active_bodies), peak_(options.peak_bodies) {
+    if (active_ == nullptr) return;
+    const int now = active_->fetch_add(1, std::memory_order_relaxed) + 1;
+    if (peak_ == nullptr) return;
+    int peak = peak_->load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_->compare_exchange_weak(peak, now,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  ~BodyGauge() {
+    if (active_ != nullptr)
+      active_->fetch_sub(1, std::memory_order_relaxed);
+  }
+  BodyGauge(const BodyGauge&) = delete;
+  BodyGauge& operator=(const BodyGauge&) = delete;
+
+ private:
+  std::atomic<int>* active_;
+  std::atomic<int>* peak_;
+};
+
 }  // namespace
 
 void Expander::expand(stg::MgStg local, const circuit::Gate& gate,
                       ConstraintSet& rt) {
+  BodyGauge gauge(options_);
   expand_inner(std::move(local), gate, rt, 0);
+}
+
+void Expander::expand_children(std::vector<stg::MgStg> subs,
+                               const circuit::Gate& gate, ConstraintSet& rt,
+                               int depth) {
+  base::ThreadPool* pool =
+      options_.trace == nullptr ? options_.subtask_pool : nullptr;
+  if (pool == nullptr || subs.size() <= 1) {
+    for (stg::MgStg& sub : subs)
+      expand_inner(std::move(sub), gate, rt, depth);
+    return;
+  }
+  // Each subtask fills its own slot; the slots are merged in subSTG order
+  // below, so the constraint set cannot depend on the schedule. The group
+  // wait helps execute queued tasks, so nesting this under the flow's
+  // (component × gate) parallel_for on the same pool cannot deadlock.
+  // Failures are captured per slot, NOT rethrown from the group: the
+  // serial recursion accumulates every sibling before the thrower (plus
+  // the thrower's partial output) into rt and never reaches the siblings
+  // after it, so the merge below replays exactly that — prefix slots up
+  // to and including the lowest failing index, then that index's
+  // exception — keeping the failure path byte-identical to serial for
+  // deterministic errors (depth limit, per-Expander step budget).
+  std::vector<ConstraintSet> slots(subs.size());
+  std::vector<std::exception_ptr> errors(subs.size());
+  // Siblings past a failed index never run serially; subtasks already
+  // started cannot be recalled, but ones that have not started yet skip
+  // (their slots sit past the rethrow point, so skipping cannot change
+  // the merged output — it only stops them from burning relaxation steps
+  // a serial run would never attempt).
+  std::atomic<std::size_t> first_error{subs.size()};
+  base::TaskGroup group(*pool);
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    subtasks_.fetch_add(1, std::memory_order_relaxed);
+    group.run([this, &gate, &subs, &slots, &errors, &first_error, i,
+               depth] {
+      if (i > first_error.load(std::memory_order_acquire)) return;
+      BodyGauge gauge(options_);
+      try {
+        expand_inner(std::move(subs[i]), gate, slots[i], depth);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        std::size_t current = first_error.load(std::memory_order_relaxed);
+        while (i < current &&
+               !first_error.compare_exchange_weak(current, i)) {
+        }
+      }
+    });
+  }
+  group.wait();
+  // emplace keeps the first weight seen for a duplicate constraint across
+  // slots, matching the serial depth-first accumulation order.
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    for (const auto& [constraint, weight] : slots[i])
+      rt.emplace(constraint, weight);
+    if (errors[i] != nullptr) std::rethrow_exception(errors[i]);
+  }
 }
 
 void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
                             ConstraintSet& rt, int depth) {
-  check(depth <= options_.max_depth, "expand: subSTG recursion too deep");
+  if (depth > options_.max_depth)
+    throw ExpandLimitError("expand: subSTG recursion too deep");
   auto trace = [this, depth, &gate, &local](const std::string& line) {
     if (options_.trace == nullptr) return;
     *options_.trace += std::string(2 * depth, ' ') + "[" +
@@ -89,12 +176,13 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
   while (true) {
     const std::vector<int> candidates = relaxable_arcs(local, gate.output);
     if (candidates.empty()) return;
-    ++steps_;
+    const int mine = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
     const int budget_used =
         shared_steps_ == nullptr
-            ? steps_
+            ? mine
             : shared_steps_->fetch_add(1, std::memory_order_relaxed) + 1;
-    check(budget_used <= options_.max_steps, "expand: step limit exceeded");
+    if (budget_used > options_.max_steps)
+      throw ExpandLimitError("expand: step limit exceeded");
 
     const int arc_index = pick_arc(local, candidates);
     const stg::MgArc arc = local.arcs()[arc_index];
@@ -192,11 +280,13 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
           const auto init = initial_restrictions(local, clauses);
           const auto entries = or_causality_decomposition(clauses, init);
           trace("  " + std::to_string(entries.size()) + " subSTGs");
-          for (stg::MgStg& sub :
-               build_substgs(local, gate, problem, clauses, entries,
-                             /*relax_non_clause_prereqs=*/false))
-            expand_inner(std::move(sub), gate, rt, depth + 1);
+          expand_children(
+              build_substgs(local, gate, problem, clauses, entries,
+                            /*relax_non_clause_prereqs=*/false),
+              gate, rt, depth + 1);
           return;
+        } catch (const ExpandLimitError&) {
+          throw;  // resource bounds fail the flow, never become constraints
         } catch (const Error&) {
           emit_constraint();
           break;
@@ -217,11 +307,13 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
           const auto entries = or_causality_decomposition(clauses, init);
           trace("  OR-causality (case 3): " + std::to_string(entries.size()) +
                 " subSTGs");
-          for (stg::MgStg& sub :
-               build_substgs(local, gate, problem, clauses, entries,
-                             /*relax_non_clause_prereqs=*/true))
-            expand_inner(std::move(sub), gate, rt, depth + 1);
+          expand_children(
+              build_substgs(local, gate, problem, clauses, entries,
+                            /*relax_non_clause_prereqs=*/true),
+              gate, rt, depth + 1);
           return;
+        } catch (const ExpandLimitError&) {
+          throw;  // resource bounds fail the flow, never become constraints
         } catch (const Error&) {
           emit_constraint();
           break;

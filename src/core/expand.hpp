@@ -12,11 +12,21 @@
 //           guaranteed ('&').
 // The loop ends when every remaining type-4 ordering is guaranteed either
 // by acknowledgement or by a constraint.
+//
+// The OR-causality decompositions of cases 2 and 3 produce independent
+// subSTGs; with ExpandOptions::subtask_pool set, each subSTG expansion
+// runs as its own task on the pool (recursively), giving the flow
+// intra-gate parallelism below the (component × gate) job level. Every
+// subtask fills a private constraint slot and the slots are merged in
+// subSTG order, so the emitted constraint set is byte-identical to the
+// serial recursion for any worker count or schedule.
 #pragma once
 
 #include <atomic>
 #include <memory>
 
+#include "base/error.hpp"
+#include "base/thread_pool.hpp"
 #include "circuit/adversary.hpp"
 #include "core/constraint.hpp"
 #include "core/hazard_check.hpp"
@@ -37,6 +47,32 @@ struct ExpandOptions {
   /// When non-null, a human-readable line per step is appended (used by the
   /// Figure 7.3 relaxation-trace bench and for debugging).
   std::string* trace = nullptr;
+  /// When non-null, OR-causality subSTG expansions fan out as subtasks on
+  /// this pool instead of recursing on the calling thread. Concurrency is
+  /// bounded by the pool's worker count (plus the caller, which helps while
+  /// waiting); output is identical either way. Ignored while `trace` is
+  /// set — an interleaved trace would be useless.
+  base::ThreadPool* subtask_pool = nullptr;
+  /// Shared concurrency gauges, for benches and diagnostics: when set,
+  /// every concurrently executing expansion body (a top-level expand() or
+  /// a subSTG subtask) increments `active_bodies` while it runs and
+  /// records the high-water mark in `peak_bodies`. Both may be shared
+  /// across many Expanders (the flow passes one pair to every job).
+  std::atomic<int>* active_bodies = nullptr;
+  std::atomic<int>* peak_bodies = nullptr;
+};
+
+/// Thrown when a defensive resource bound (max_steps, max_depth) trips.
+/// Distinct from plain Error so the OR-causality fallback does NOT convert
+/// it into a timing constraint: near the budget the trip point is
+/// schedule-dependent (concurrent jobs and subtasks share the step
+/// budget), so converting it would let the *answer* vary with the worker
+/// count. A limit trip instead fails the whole flow deterministically —
+/// every successful result stays byte-identical for any jobs value, which
+/// is the invariant the service's jobs-free cache key relies on.
+class ExpandLimitError : public Error {
+ public:
+  using Error::Error;
 };
 
 class Expander {
@@ -61,7 +97,11 @@ class Expander {
               ConstraintSet& rt);
 
   /// Relaxation attempts performed so far (across expand() calls).
-  int steps() const { return steps_; }
+  int steps() const { return steps_.load(std::memory_order_relaxed); }
+
+  /// SubSTG expansions dispatched as pool subtasks so far (0 without a
+  /// subtask_pool, or when no OR-causality decomposition occurred).
+  int subtasks() const { return subtasks_.load(std::memory_order_relaxed); }
 
   /// The state-graph cache in use (owned or shared).
   const sg::SgCache& sg_cache() const { return *cache_; }
@@ -69,12 +109,20 @@ class Expander {
  private:
   void expand_inner(stg::MgStg local, const circuit::Gate& gate,
                     ConstraintSet& rt, int depth);
+  /// Expands each subSTG of one decomposition, on the subtask pool when
+  /// configured, merging per-subSTG constraint slots into `rt` in subSTG
+  /// order (the serial recursion order).
+  void expand_children(std::vector<stg::MgStg> subs,
+                       const circuit::Gate& gate, ConstraintSet& rt,
+                       int depth);
   int pick_arc(const stg::MgStg& mg, const std::vector<int>& arcs) const;
   int weight_of(const stg::MgStg& mg, const stg::MgArc& arc) const;
 
   const circuit::AdversaryAnalysis* adversary_;
   ExpandOptions options_;
-  int steps_ = 0;
+  // Concurrent subtasks of one Expander share these counters.
+  std::atomic<int> steps_{0};
+  std::atomic<int> subtasks_{0};
   std::atomic<int>* shared_steps_;            // null: bound is per-Expander
   std::unique_ptr<sg::SgCache> owned_cache_;  // when no shared cache given
   sg::SgCache* cache_;

@@ -1,5 +1,6 @@
 #include "core/flow.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <limits>
@@ -151,12 +152,26 @@ FlowResult derive_timing_constraints(const FlowDecomposition& decomposition,
   const long long cache_misses_before = cache.misses();
   std::atomic<int> step_budget{0};  // makes max_steps a per-flow bound
 
+  // Parallel runs also fan the OR-causality subSTG recursion out onto the
+  // same pool (intra-gate parallelism below the job level), and meter the
+  // concurrency high-water mark for the scaling bench.
+  std::atomic<int> active_bodies{0};
+  std::atomic<int> peak_bodies{0};
+  ExpandOptions expand_options = options.expand;
+  if (result.jobs > 1) {
+    expand_options.subtask_pool =
+        options.pool != nullptr ? options.pool : &base::ThreadPool::shared();
+    expand_options.active_bodies = &active_bodies;
+    expand_options.peak_bodies = &peak_bodies;
+  }
+
   // Each job fills its own slot; slots are merged in job order below, so
   // the constraint sets cannot depend on the schedule.
   struct JobOutput {
     ConstraintSet before;
     ConstraintSet after;
     int steps = 0;
+    int subtasks = 0;
   };
   std::vector<JobOutput> outputs(decomposition.jobs.size());
   const auto expand_start = std::chrono::steady_clock::now();
@@ -173,9 +188,10 @@ FlowResult derive_timing_constraints(const FlowDecomposition& decomposition,
                                local.label(arc.to)},
               adversary.weight(local.label(arc.from), local.label(arc.to)));
         }
-        Expander expander(&adversary, options.expand, &cache, &step_budget);
+        Expander expander(&adversary, expand_options, &cache, &step_budget);
         expander.expand(std::move(local), gate, out.after);
         out.steps = expander.steps();
+        out.subtasks = expander.subtasks();
         return true;
       },
       result.jobs, options.pool);
@@ -189,7 +205,10 @@ FlowResult derive_timing_constraints(const FlowDecomposition& decomposition,
     for (const auto& [constraint, weight] : out.after)
       result.after.emplace(constraint, weight);
     result.expand_steps += out.steps;
+    result.expand_subtasks += out.subtasks;
   }
+  result.peak_active_bodies =
+      std::max(1, peak_bodies.load(std::memory_order_relaxed));
   result.cache_hits = static_cast<int>(cache.hits() - cache_hits_before);
   result.cache_misses =
       static_cast<int>(cache.misses() - cache_misses_before);

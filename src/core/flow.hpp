@@ -38,6 +38,18 @@ struct FlowResult {
   // Orchestration statistics (filled by derive_timing_constraints).
   int jobs = 1;             // worker bound the flow ran with
   int expand_steps = 0;     // relaxation attempts summed over all jobs
+  /// SubSTG expansions dispatched as pool subtasks (intra-gate
+  /// parallelism below the (component × gate) job level; 0 when serial or
+  /// when no OR-causality decomposition occurred). Deterministic on
+  /// successful flows; a flow that trips a resource bound
+  /// (ExpandLimitError) fails as a whole, so scheduling can never change
+  /// a *returned* result. Orchestration statistics still stay out of the
+  /// canonical report body.
+  int expand_subtasks = 0;
+  /// High-water mark of concurrently executing expansion bodies (jobs +
+  /// subtasks). Scheduling-dependent by nature — bench evidence that the
+  /// fan-out engaged, never part of any report body.
+  int peak_active_bodies = 1;
   int cache_hits = 0;       // shared SgCache statistics
   int cache_misses = 0;
   double seconds = 0.0;     // end to end

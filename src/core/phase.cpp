@@ -1,0 +1,94 @@
+#include "core/phase.hpp"
+
+#include <chrono>
+
+#include "base/error.hpp"
+#include "sg/state_graph.hpp"
+#include "synth/synthesis.hpp"
+
+namespace sitime::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::parsed: return "parsed";
+    case Phase::decomposed: return "decomposed";
+    case Phase::verified: return "verified";
+    case Phase::derived: return "derived";
+  }
+  return "?";
+}
+
+std::string phase_range_text(Phase from, Phase to) {
+  static const char* const kStep[] = {"parse", "decompose", "verify",
+                                      "derive"};
+  std::string text;
+  for (int p = static_cast<int>(from) + 1; p <= static_cast<int>(to); ++p) {
+    if (!text.empty()) text += '+';
+    text += kStep[p];
+  }
+  return text;
+}
+
+void run_decompose_phase(PhaseArtifacts& artifacts) {
+  check(artifacts.completed == Phase::parsed,
+        "run_decompose_phase: artifact is not at the parsed phase");
+  check(artifacts.stg != nullptr, "run_decompose_phase: no parsed STG");
+  const auto start = std::chrono::steady_clock::now();
+  if (artifacts.circuit == nullptr) {
+    const sg::GlobalSg global = sg::build_global_sg(*artifacts.stg);
+    artifacts.circuit = std::make_unique<circuit::Circuit>(
+        circuit::Circuit::from_synthesis(
+            &artifacts.stg->signals,
+            synth::synthesize(*artifacts.stg, global)));
+  }
+  artifacts.decomposition =
+      decompose_flow(*artifacts.stg, *artifacts.circuit);
+  artifacts.decompose_seconds = seconds_since(start);
+  artifacts.completed = Phase::decomposed;
+}
+
+void run_verify_phase(PhaseArtifacts& artifacts, int jobs,
+                      base::ThreadPool* pool) {
+  check(artifacts.completed == Phase::decomposed,
+        "run_verify_phase: artifact is not at the decomposed phase");
+  artifacts.verify_offender = verify_speed_independent(
+      artifacts.decomposition, *artifacts.circuit, jobs, pool);
+  artifacts.completed = Phase::verified;
+}
+
+void run_derive_phase(PhaseArtifacts& artifacts,
+                      const FlowOptions& options) {
+  check(artifacts.completed == Phase::verified,
+        "run_derive_phase: artifact is not at the verified phase");
+  if (artifacts.verify_offender.empty()) {
+    artifacts.result = derive_timing_constraints(
+        artifacts.decomposition, *artifacts.stg, *artifacts.circuit,
+        options);
+    artifacts.result.decompose_seconds = artifacts.decompose_seconds;
+    artifacts.result.seconds += artifacts.decompose_seconds;
+    artifacts.has_result = true;
+  }
+  artifacts.completed = Phase::derived;
+}
+
+void advance_to_phase(PhaseArtifacts& artifacts, Phase target,
+                      const FlowOptions& options) {
+  if (artifacts.completed < Phase::decomposed && target >= Phase::decomposed)
+    run_decompose_phase(artifacts);
+  if (artifacts.completed < Phase::verified && target >= Phase::verified)
+    run_verify_phase(artifacts, options.jobs, options.pool);
+  if (artifacts.completed < Phase::derived && target >= Phase::derived)
+    run_derive_phase(artifacts, options);
+}
+
+}  // namespace sitime::core

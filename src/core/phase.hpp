@@ -1,0 +1,94 @@
+// The staged phase-artifact model of the analysis flow.
+//
+// The paper's flow is naturally staged: parse the STG, synthesize the
+// netlist and decompose into (MG component × gate) local-STG jobs, verify
+// speed independence, then derive the relative-timing constraints. Each
+// stage is a pure function of the previous stage's product, so the products
+// are modelled explicitly: one PhaseArtifacts value accumulates them, and
+// run_*_phase() advances it by exactly one phase. A caller that already
+// holds a partially-advanced artifact (a design cache, a REPL, a test)
+// runs only the phases it is missing — this is what lets
+// svc::AnalysisService keep ONE mode-independent entry per design and
+// upgrade a verify-cached entry to a derive answer by running the derive
+// phase alone on the cached decomposition.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "core/flow.hpp"
+#include "stg/stg.hpp"
+
+namespace sitime::core {
+
+/// The stages of the flow, in dependency order: each phase consumes the
+/// product of the previous one and nothing else.
+enum class Phase : int {
+  parsed = 0,      // the STG (and optional explicit netlist) exist
+  decomposed = 1,  // netlist synthesized when absent; FlowDecomposition built
+  verified = 2,    // speed-independence verdict known
+  derived = 3,     // relative-timing constraints derived (when SI)
+};
+
+/// "parsed" / "decomposed" / "verified" / "derived".
+const char* phase_name(Phase phase);
+
+/// The phases in (from, to] joined with '+', e.g. "verify+derive" for
+/// (decomposed, derived] — the provenance string reports carry. Empty when
+/// from >= to.
+std::string phase_range_text(Phase from, Phase to);
+
+/// The staged products of the flow for one design. Construction supplies
+/// the parse-phase product (an owned STG, plus the explicit netlist when
+/// the design came with one); each run_*_phase() call below adds the next
+/// product and bumps `completed`. The artifact owns everything it holds —
+/// circuit and decomposition point into `stg`, so the struct must not be
+/// copied (and cannot be: the unique_ptrs see to it).
+struct PhaseArtifacts {
+  // parsed
+  std::unique_ptr<stg::Stg> stg;
+  std::unique_ptr<circuit::Circuit> circuit;  // null until decomposed when
+                                              // the netlist is synthesized
+  // decomposed
+  FlowDecomposition decomposition;
+  double decompose_seconds = 0.0;
+  // verified
+  std::string verify_offender;  // empty = speed independent
+  // derived (only when speed independent; a non-SI design reaches
+  // Phase::derived with has_result == false)
+  bool has_result = false;
+  FlowResult result;
+
+  Phase completed = Phase::parsed;
+
+  bool speed_independent() const {
+    return completed >= Phase::verified && verify_offender.empty();
+  }
+};
+
+/// parsed -> decomposed: synthesizes the netlist when the artifact has
+/// none (the synthesized circuit is a pure function of the STG) and builds
+/// the FlowDecomposition. Throws on malformed inputs; the artifact is
+/// unchanged on failure except that a successfully synthesized circuit is
+/// retained (callers report the netlist even when decomposition fails).
+void run_decompose_phase(PhaseArtifacts& artifacts);
+
+/// decomposed -> verified: the isochronic-fork timing-conformance check
+/// over the (component × gate) jobs. `jobs`/`pool` follow the
+/// FlowOptions conventions; the verdict is identical for every value.
+void run_verify_phase(PhaseArtifacts& artifacts, int jobs = 1,
+                      base::ThreadPool* pool = nullptr);
+
+/// verified -> derived: the Expand relaxation over the cached
+/// decomposition. On a design that is not speed independent this is a
+/// no-op that still advances `completed` (there is nothing to derive; the
+/// verify verdict is the final answer). FlowResult::seconds includes the
+/// recorded decompose_seconds so reports read like a monolithic run.
+void run_derive_phase(PhaseArtifacts& artifacts, const FlowOptions& options);
+
+/// Runs every phase the artifact is missing, up to and including `target`.
+void advance_to_phase(PhaseArtifacts& artifacts, Phase target,
+                      const FlowOptions& options);
+
+}  // namespace sitime::core

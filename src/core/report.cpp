@@ -76,6 +76,7 @@ FlowReport make_flow_report(std::string design, const FlowResult& result,
   report.mg_component_count = result.mg_component_count;
   report.jobs = result.jobs;
   report.expand_steps = result.expand_steps;
+  report.expand_subtasks = result.expand_subtasks;
   report.cache_hits = result.cache_hits;
   report.cache_misses = result.cache_misses;
   report.seconds = result.seconds;
@@ -133,6 +134,7 @@ std::string to_text(const FlowReport& report) {
       << "  gates: " << report.gate_count << " (" << report.input_count
       << " in / " << report.output_count << " out)\n";
   out << "jobs: " << report.jobs << "  expand-steps: " << report.expand_steps
+      << "  subtasks: " << report.expand_subtasks
       << "  sg-cache: " << report.cache_hits << " hits / "
       << report.cache_misses << " misses\n";
   out << "decompose: ";
@@ -150,7 +152,8 @@ std::string to_json(const FlowReport& report) {
   if (!report.content_hash.empty()) {
     out << "  \"cache_provenance\": {\"content_hash\": \""
         << json_escape(report.content_hash) << "\", \"state\": \""
-        << json_escape(report.cache_state) << "\"},\n";
+        << json_escape(report.cache_state) << "\", \"phases_run\": \""
+        << json_escape(report.phases_run) << "\"},\n";
   }
   out << "  \"states\": " << report.state_count << ",\n";
   out << "  \"mg_components\": " << report.mg_component_count << ",\n";
@@ -159,6 +162,7 @@ std::string to_json(const FlowReport& report) {
   out << "  \"outputs\": " << report.output_count << ",\n";
   out << "  \"jobs\": " << report.jobs << ",\n";
   out << "  \"expand_steps\": " << report.expand_steps << ",\n";
+  out << "  \"expand_subtasks\": " << report.expand_subtasks << ",\n";
   out << "  \"sg_cache\": {\"hits\": " << report.cache_hits
       << ", \"misses\": " << report.cache_misses << "},\n";
   out << "  \"seconds\": {\"total\": ";
@@ -199,12 +203,16 @@ std::string to_canonical_json(const FlowReport& report) {
   if (!report.content_hash.empty())
     out << "\"content_hash\":\"" << json_escape(report.content_hash)
         << "\",";
+  // expand_steps stays OUT of the canonical body: it is an orchestration
+  // statistic, not part of the answer — the canonical contract covers
+  // exactly what a consumer may rely on byte-for-byte, and keeping the
+  // step counter (or any future scheduling metric) out of it means the
+  // contract never hinges on how the work was scheduled.
   out << "\"states\":" << report.state_count
       << ",\"mg_components\":" << report.mg_component_count
       << ",\"gates\":" << report.gate_count
       << ",\"inputs\":" << report.input_count
-      << ",\"outputs\":" << report.output_count
-      << ",\"expand_steps\":" << report.expand_steps;
+      << ",\"outputs\":" << report.output_count;
   out << ",\"constraints\":{\"before\":";
   append_compact_constraint_array(out, report.before);
   out << ",\"after\":";

@@ -38,10 +38,18 @@ struct FlowReport {
   // reports rendered straight from a FlowResult). content_hash is the
   // content-addressed key of the design (canonical STG + netlist + flow
   // options); cache_state records how this response was produced: "fresh"
-  // (this request ran the flow), "hit" (served from the resident cache) or
-  // "coalesced" (attached to another request's in-flight run).
+  // (this request ran every phase), "hit" (every phase it needed was
+  // already resident), "upgraded" (a resident entry was advanced by
+  // running only its missing phases — e.g. derive on a verify-cached
+  // decomposition) or "coalesced" (attached to another request's
+  // in-flight run). phases_run lists the phases THIS response executed
+  // ("decompose+verify+derive" for a cold derive, "derive" for a lazy
+  // upgrade, empty for hits and coalesced waits). All three are envelope
+  // provenance: they never enter the canonical body, which must stay
+  // byte-identical however the answer was produced.
   std::string content_hash;
   std::string cache_state;
+  std::string phases_run;
   int state_count = 0;
   int gate_count = 0;
   int input_count = 0;
@@ -49,6 +57,7 @@ struct FlowReport {
   int mg_component_count = 0;
   int jobs = 1;
   int expand_steps = 0;
+  int expand_subtasks = 0;  // subSTG expansions run as pool subtasks
   int cache_hits = 0;
   int cache_misses = 0;
   double seconds = 0.0;
@@ -77,10 +86,11 @@ std::string to_json(const FlowReport& report);
 /// The deterministic body of a report as one compact single-line JSON
 /// object: everything a consumer can rely on byte-for-byte — design name,
 /// content hash, interface/state counts and both constraint lists — and
-/// nothing volatile (no wall-clock timings, worker counts, SG-cache
-/// counters or cache_state). Two runs of the same design produce identical
-/// canonical JSON whatever the schedule, worker count, or cache state; the
-/// design cache stores exactly this rendering and serves it verbatim.
+/// nothing volatile (no wall-clock timings, worker counts, expand-step or
+/// subtask counters, SG-cache counters or cache_state). Two runs of the
+/// same design produce identical canonical JSON whatever the schedule,
+/// worker count, or cache state; the design cache stores exactly this
+/// rendering and serves it verbatim.
 std::string to_canonical_json(const FlowReport& report);
 
 /// JSON string escaping (quotes, backslashes, control characters); exposed

@@ -5,9 +5,7 @@
 
 #include "base/error.hpp"
 #include "benchdata/benchmarks.hpp"
-#include "sg/state_graph.hpp"
 #include "stg/astg.hpp"
-#include "synth/synthesis.hpp"
 
 namespace sitime::svc {
 
@@ -38,6 +36,109 @@ std::string fnv1a_hex(const std::string& text) {
   return out;
 }
 
+// ---- calibrated footprint accounting ---------------------------------------
+// The byte budget charges what the allocator actually holds: container
+// *capacities* (not sizes), the small-string optimization (an SSO string
+// owns no heap block), and the per-node overhead of node-based containers.
+// The constants below are the measured libstdc++/libc++ LP64 layouts; they
+// are estimates in the strict sense, but calibrated ones — the old
+// accounting guessed flat per-element factors.
+
+/// Strings at or below the SSO capacity live inside the object.
+const std::size_t kStringSso = std::string().capacity();
+
+/// One std::map node: left/right/parent pointers + color word.
+constexpr std::size_t kMapNodeBytes = 4 * sizeof(void*);
+/// One unordered_map node: forward pointer + cached hash.
+constexpr std::size_t kHashNodeBytes = 2 * sizeof(void*);
+
+std::size_t heap_bytes(const std::string& text) {
+  return text.capacity() > kStringSso ? text.capacity() + 1 : 0;
+}
+
+template <typename T>
+std::size_t slab_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+std::size_t footprint(const stg::Stg& stg) {
+  std::size_t total = sizeof(stg::Stg) + heap_bytes(stg.model_name);
+  const pn::PetriNet& net = stg.net;
+  for (int p = 0; p < net.place_count(); ++p)
+    total += sizeof(std::string) + heap_bytes(net.place_name(p)) +
+             2 * sizeof(std::vector<int>) + slab_bytes(net.place_inputs(p)) +
+             slab_bytes(net.place_outputs(p));
+  for (int t = 0; t < net.transition_count(); ++t)
+    total += sizeof(std::string) + heap_bytes(net.transition_name(t)) +
+             2 * sizeof(std::vector<int>) +
+             slab_bytes(net.transition_inputs(t)) +
+             slab_bytes(net.transition_outputs(t));
+  total += slab_bytes(net.initial_marking());
+  total += slab_bytes(stg.labels);
+  for (const std::string& name : stg.signals.names())
+    total += sizeof(std::string) + heap_bytes(name);
+  total += static_cast<std::size_t>(stg.signals.count()) *
+           sizeof(stg::SignalKind);
+  return total;
+}
+
+std::size_t footprint(const circuit::Circuit& circuit) {
+  std::size_t total = sizeof(circuit::Circuit);
+  total += slab_bytes(circuit.gates());
+  for (const circuit::Gate& gate : circuit.gates())
+    total += slab_bytes(gate.up.cubes) + slab_bytes(gate.down.cubes) +
+             slab_bytes(gate.fanins);
+  // The signal -> gate index table.
+  total += static_cast<std::size_t>(circuit.signals().count()) * sizeof(int);
+  return total;
+}
+
+std::size_t footprint(const stg::MgStg& mg) {
+  // arcs() exposes the real arc table; transitions and their alive flags
+  // are charged one label plus one flag byte each.
+  return sizeof(stg::MgStg) + slab_bytes(mg.arcs()) +
+         static_cast<std::size_t>(mg.transition_count()) *
+             (sizeof(stg::TransitionLabel) + 1);
+}
+
+std::size_t footprint(const core::FlowDecomposition& decomposition) {
+  std::size_t total = slab_bytes(decomposition.initial_values) +
+                      slab_bytes(decomposition.jobs) +
+                      slab_bytes(decomposition.component_stgs);
+  for (const stg::MgStg& mg : decomposition.component_stgs)
+    total += footprint(mg) - sizeof(stg::MgStg);  // slab counted above
+  return total;
+}
+
+std::size_t footprint(const core::ConstraintSet& constraints) {
+  return constraints.size() *
+         (sizeof(std::pair<const core::TimingConstraint, int>) +
+          kMapNodeBytes);
+}
+
+std::size_t footprint(const core::ReportConstraint& constraint) {
+  return heap_bytes(constraint.gate) + heap_bytes(constraint.before) +
+         heap_bytes(constraint.after);
+}
+
+std::size_t footprint(const std::vector<core::ReportConstraint>& list) {
+  std::size_t total = slab_bytes(list);
+  for (const core::ReportConstraint& constraint : list)
+    total += footprint(constraint);
+  return total;
+}
+
+std::size_t footprint(const core::FlowReport& report) {
+  std::size_t total = sizeof(core::FlowReport) + heap_bytes(report.design) +
+                      heap_bytes(report.content_hash) +
+                      footprint(report.before) + footprint(report.after) +
+                      slab_bytes(report.gates);
+  for (const core::GateReport& gate : report.gates)
+    total += heap_bytes(gate.gate) + footprint(gate.before) +
+             footprint(gate.after);
+  return total;
+}
+
 }  // namespace
 
 /// The parsed design plus its canonical identity, built once per request.
@@ -62,8 +163,10 @@ AnalysisService::Parsed AnalysisService::parse_request(
   // Canonical content: the *parsed* STG and netlist rendered back out (so
   // whitespace, comments and equation formatting cannot split one design
   // into several keys), plus every option that can change the answer.
-  // Worker counts are excluded by design: the orchestrator guarantees
-  // byte-identical output for any jobs value.
+  // Worker counts are excluded by design (the orchestrator guarantees
+  // byte-identical output for any jobs value) — and so is the request
+  // MODE: the mode selects which phases of the one entry must be complete,
+  // it does not change any artifact.
   std::string canonical;
   canonical.reserve(request.astg.size() + 64);
   canonical += "astg\x1f";
@@ -71,8 +174,6 @@ AnalysisService::Parsed AnalysisService::parse_request(
   canonical += "\x1f""eqn\x1f";
   canonical += parsed.circuit != nullptr ? parsed.circuit->to_eqn()
                                          : "(synthesized)";
-  canonical += "\x1f""mode\x1f";
-  canonical += request.mode == RequestMode::verify ? "verify" : "derive";
   canonical += "\x1f""order\x1f";
   canonical += std::to_string(static_cast<int>(expand.order));
   canonical += "\x1f""max_steps\x1f";
@@ -84,59 +185,78 @@ AnalysisService::Parsed AnalysisService::parse_request(
   return parsed;
 }
 
-/// One resident design: everything a repeated request needs, immutable
-/// after construction.
+/// One resident design: the staged PhaseArtifacts plus the rendered
+/// products, advanced in place by lazy phase upgrades.
+///
+/// Concurrency protocol (all fields below the mutex are guarded by it):
+///   - `completed` is the highest finished phase; `target` is the goal of
+///     the active runner. target == completed means the entry is idle.
+///   - A request that finds the entry idle and unsatisfying claims the run
+///     by raising `target` and becomes the single runner; it computes each
+///     phase WITHOUT the lock (it alone touches `artifacts` while
+///     target > completed) and publishes under the lock, notifying after
+///     every phase so a verify waiter wakes as soon as the verdict exists
+///     even while the same run continues into derive.
+///   - A request that finds a runner active waits on `cv` for the phases
+///     it shares with the run and claims whatever the run leaves missing
+///     afterwards — or, from pool-task context, where blocking could
+///     deadlock on its own help-while-wait stack, bypasses the entry and
+///     runs privately.
+///   - A failed run parks the entry at its last completed phase
+///     (target = completed), records `run_error` for the current waiters,
+///     and keeps the phases that did succeed; failures are never cached.
 struct AnalysisService::Entry {
-  std::string canonical;  // cache map key (owned here for eviction)
-  std::string key_hex;
-  RequestMode mode = RequestMode::derive;
-  std::unique_ptr<stg::Stg> stg;
-  std::unique_ptr<circuit::Circuit> circuit;
-  core::FlowDecomposition decomposition;
-  std::shared_ptr<const std::string> netlist_eqn;
-  std::string verify_offender;  // empty = speed independent
-  bool has_result = false;      // derive ran (mode derive + SI)
-  core::FlowResult result;
-  std::shared_ptr<const core::FlowReport> report;  // design field empty
-  std::shared_ptr<const std::string> canonical_json;  // null for verify
-  std::size_t bytes = 0;
+  std::string canonical;  // immutable; cache map key (owned for eviction)
+  std::string key_hex;    // immutable
 
-  /// Deterministic estimate of the resident footprint, charged against the
-  /// cache byte budget. The canonical string is charged twice: the cache
-  /// map key holds a second copy of it.
-  std::size_t estimate_bytes() const {
-    std::size_t total = sizeof(Entry) + 2 * canonical.size();
-    if (netlist_eqn != nullptr) total += netlist_eqn->size();
-    if (canonical_json != nullptr) total += canonical_json->size();
-    total += decomposition.jobs.size() * sizeof(core::FlowJob);
-    total += decomposition.initial_values.size() * sizeof(int);
-    for (const stg::MgStg& mg : decomposition.component_stgs)
-      total += mg.arcs().size() * sizeof(stg::MgArc) +
-               static_cast<std::size_t>(mg.transition_count()) *
-                   (sizeof(stg::TransitionLabel) + 8);
-    if (report != nullptr) {
-      total += sizeof(core::FlowReport);
-      // Rendered constraints appear in the flat lists and the per-gate
-      // grouping; canonical_json already counted one rendering, charge one
-      // more for the structured copies.
-      if (canonical_json != nullptr) total += canonical_json->size();
-    }
-    for (int s = 0; s < stg->signals.count(); ++s)
-      total += stg->signals.name(s).size() + 16;
-    total += stg->labels.size() * sizeof(stg::TransitionLabel);
+  std::mutex mutex;
+  std::condition_variable cv;
+  core::Phase completed = core::Phase::parsed;
+  core::Phase target = core::Phase::parsed;
+  std::string run_error;  // failure of the active run, for its waiters
+
+  core::PhaseArtifacts artifacts;
+  std::shared_ptr<const std::string> netlist_eqn;   // set at decomposed
+  std::shared_ptr<const core::FlowReport> report;   // set at derived (SI)
+  std::shared_ptr<const std::string> canonical_json;
+
+  /// Bytes currently charged against the service budget. Guarded by the
+  /// SERVICE mutex, not this->mutex.
+  std::size_t charged_bytes = 0;
+
+  /// True when a request needing `phase` can be answered: the phase
+  /// completed, or the design is already known not speed independent (the
+  /// derive phase has nothing to add to the verdict).
+  bool satisfies(core::Phase phase) const {
+    if (completed >= phase) return true;
+    return phase == core::Phase::derived &&
+           completed >= core::Phase::verified &&
+           !artifacts.verify_offender.empty();
+  }
+
+  /// Resident footprint of everything the entry currently holds. Called
+  /// with `mutex` held (or by the sole runner before publishing).
+  std::size_t footprint_bytes() const {
+    // The canonical string is charged twice: the cache map key holds a
+    // second copy, plus the map/list node overheads of the indexes.
+    std::size_t total = sizeof(Entry) + 2 * heap_bytes(canonical) +
+                        heap_bytes(key_hex) + 2 * kHashNodeBytes +
+                        sizeof(std::shared_ptr<Entry>) + 2 * sizeof(void*);
+    if (artifacts.stg != nullptr) total += footprint(*artifacts.stg);
+    if (artifacts.circuit != nullptr) total += footprint(*artifacts.circuit);
+    if (completed >= core::Phase::decomposed)
+      total += footprint(artifacts.decomposition);
+    total += heap_bytes(artifacts.verify_offender);
+    if (artifacts.has_result)
+      total += footprint(artifacts.result.before) +
+               footprint(artifacts.result.after);
+    if (netlist_eqn != nullptr)
+      total += sizeof(std::string) + heap_bytes(*netlist_eqn);
+    if (canonical_json != nullptr)
+      total += sizeof(std::string) + heap_bytes(*canonical_json);
+    if (report != nullptr) total += footprint(*report);
     return total;
   }
-};
-
-/// The rendezvous object of single-flight deduplication: the first request
-/// for a key becomes the owner and runs the flow; every concurrent
-/// duplicate blocks here and shares the owner's outcome.
-struct AnalysisService::Flight {
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  bool done = false;
-  std::shared_ptr<const Entry> entry;  // null: `error` holds the failure
-  std::string error;
 };
 
 AnalysisService::AnalysisService(ServiceOptions options)
@@ -144,100 +264,203 @@ AnalysisService::AnalysisService(ServiceOptions options)
 
 AnalysisService::~AnalysisService() = default;
 
-std::shared_ptr<const AnalysisService::Entry> AnalysisService::run_flow(
-    const AnalysisRequest& request, Parsed parsed,
-    std::shared_ptr<const std::string>* netlist_out) {
-  auto entry = std::make_shared<Entry>();
-  entry->canonical = std::move(parsed.canonical);
-  entry->key_hex = std::move(parsed.key_hex);
-  entry->mode = request.mode;
-  entry->stg = std::move(parsed.stg);
-  if (parsed.circuit != nullptr) {
-    entry->circuit = std::move(parsed.circuit);
-  } else {
-    const sg::GlobalSg global = sg::build_global_sg(*entry->stg);
-    entry->circuit = std::make_unique<circuit::Circuit>(
-        circuit::Circuit::from_synthesis(
-            &entry->stg->signals, synth::synthesize(*entry->stg, global)));
-  }
-  entry->netlist_eqn =
-      std::make_shared<const std::string>(entry->circuit->to_eqn());
-  if (netlist_out != nullptr) *netlist_out = entry->netlist_eqn;
-
-  const int jobs = request.jobs > 0 ? request.jobs : options_.jobs;
-
-  // One decomposition feeds the verify phase, the derive phase, and every
-  // future request for this design.
-  const auto decompose_start = std::chrono::steady_clock::now();
-  entry->decomposition = core::decompose_flow(*entry->stg, *entry->circuit);
-  const double decompose_seconds = seconds_since(decompose_start);
-  entry->verify_offender = core::verify_speed_independent(
-      entry->decomposition, *entry->circuit, jobs, options_.pool);
-
-  if (request.mode == RequestMode::derive && entry->verify_offender.empty()) {
-    core::FlowOptions flow_options;
-    flow_options.expand = options_.expand;
-    flow_options.jobs = jobs;
-    flow_options.pool = options_.pool;
-    flow_options.sg_cache = &sg_cache_;
-    entry->result = core::derive_timing_constraints(
-        entry->decomposition, *entry->stg, *entry->circuit, flow_options);
-    entry->result.decompose_seconds = decompose_seconds;
-    entry->result.seconds += decompose_seconds;
-    entry->has_result = true;
-    core::FlowReport report = core::make_flow_report(
-        /*design=*/"", entry->result, entry->stg->signals);
-    report.content_hash = entry->key_hex;
-    entry->canonical_json = std::make_shared<const std::string>(
-        core::to_canonical_json(report));
-    entry->report =
-        std::make_shared<const core::FlowReport>(std::move(report));
-  }
-  entry->bytes = entry->estimate_bytes();
-
-  // Coarse valve on the cross-request SG memoization (see ServiceOptions):
-  // evicting design entries does not release the state graphs their flows
-  // inserted, so without this a diverse-traffic server grows forever.
-  if (options_.sg_cache_max_entries > 0 &&
-      sg_cache_.entries() > options_.sg_cache_max_entries)
-    sg_cache_.clear();
-  return entry;
+core::FlowOptions AnalysisService::flow_options(int request_jobs) {
+  core::FlowOptions options;
+  options.expand = options_.expand;
+  options.jobs = request_jobs > 0 ? request_jobs : options_.jobs;
+  options.pool = options_.pool;
+  options.sg_cache = &sg_cache_;
+  return options;
 }
 
-void AnalysisService::insert_locked(const std::string& canonical,
-                                    std::shared_ptr<const Entry> entry) {
-  if (options_.cache_budget_bytes == 0) return;
-  // An entry that alone exceeds the whole budget is served but never
-  // retained — inserting it first would flush every resident entry
-  // through the eviction loop for nothing.
-  if (entry->bytes > options_.cache_budget_bytes) return;
-  // A single-flight bypass runner may have published this key already; the
-  // entries are equivalent, keep the resident one.
-  if (cache_.find(canonical) != cache_.end()) return;
-  bytes_ += entry->bytes;
-  lru_.push_front(std::move(entry));
-  cache_[canonical] = lru_.begin();
+bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
+                                 int jobs, std::string& error,
+                                 int& decomposes, int& verifies,
+                                 int& derives, core::Phase& achieved,
+                                 std::size_t& footprint) {
+  const core::FlowOptions options = flow_options(jobs);
+  while (true) {
+    core::Phase next;
+    {
+      // Runner invariant: target > completed from the claim until the
+      // publish below observes the goal reached and returns INSIDE its
+      // critical section — the moment that lock releases with
+      // target == completed, another thread may claim a new run, so this
+      // loop must never take another look after that. target is fixed
+      // for the duration of the run (waiters never extend it).
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      next = static_cast<core::Phase>(static_cast<int>(entry->completed) +
+                                      1);
+    }
+    // Compute without the lock: while target > completed this thread is
+    // the only one touching `artifacts`.
+    std::shared_ptr<const std::string> netlist;
+    std::shared_ptr<const core::FlowReport> report;
+    std::shared_ptr<const std::string> canonical_json;
+    try {
+      switch (next) {
+        case core::Phase::decomposed:
+          core::run_decompose_phase(entry->artifacts);
+          netlist = std::make_shared<const std::string>(
+              entry->artifacts.circuit->to_eqn());
+          ++decomposes;
+          break;
+        case core::Phase::verified:
+          core::run_verify_phase(entry->artifacts, options.jobs,
+                                 options.pool);
+          ++verifies;
+          break;
+        case core::Phase::derived:
+          core::run_derive_phase(entry->artifacts, options);
+          if (entry->artifacts.has_result) {
+            ++derives;
+            core::FlowReport rendered = core::make_flow_report(
+                /*design=*/"", entry->artifacts.result,
+                entry->artifacts.stg->signals);
+            rendered.content_hash = entry->key_hex;
+            canonical_json = std::make_shared<const std::string>(
+                core::to_canonical_json(rendered));
+            report = std::make_shared<const core::FlowReport>(
+                std::move(rendered));
+          }
+          // Coarse valve on the cross-request SG memoization (see
+          // ServiceOptions): evicting design entries does not release the
+          // state graphs their flows inserted.
+          if (options_.sg_cache_max_entries > 0 &&
+              sg_cache_.entries() > options_.sg_cache_max_entries)
+            sg_cache_.clear();
+          break;
+        case core::Phase::parsed:
+          break;  // unreachable: parsed is never a *next* phase
+      }
+    } catch (const std::exception& exception) {
+      error = exception.what();
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      // The legacy check_hazard contract reports the synthesized netlist
+      // even when decomposition then failed.
+      if (entry->netlist_eqn == nullptr &&
+          entry->artifacts.circuit != nullptr)
+        entry->netlist_eqn = std::make_shared<const std::string>(
+            entry->artifacts.circuit->to_eqn());
+      entry->run_error = error;
+      entry->target = entry->completed;  // park; keep finished phases
+      // Still the last thread that touched the artifacts: capture the
+      // retention data before the lock goes and a new runner can claim.
+      achieved = entry->completed;
+      footprint = entry->footprint_bytes();
+      entry->cv.notify_all();
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      if (netlist != nullptr) entry->netlist_eqn = std::move(netlist);
+      if (report != nullptr) entry->report = std::move(report);
+      if (canonical_json != nullptr)
+        entry->canonical_json = std::move(canonical_json);
+      entry->completed = next;
+      const bool done = entry->completed >= entry->target;
+      if (done) {
+        // The goal (possibly raised meanwhile) is reached and runnership
+        // ends when this lock releases — last safe moment to size the
+        // artifacts.
+        achieved = entry->completed;
+        footprint = entry->footprint_bytes();
+      }
+      entry->cv.notify_all();
+      if (done) return true;
+    }
+  }
+}
+
+void AnalysisService::evict_overflow_locked() {
   while (bytes_ > options_.cache_budget_bytes && !lru_.empty()) {
-    const std::shared_ptr<const Entry>& victim = lru_.back();
-    bytes_ -= victim->bytes;
+    const std::shared_ptr<Entry>& victim = lru_.back();
+    bytes_ -= victim->charged_bytes;
     cache_.erase(victim->canonical);
     lru_.pop_back();
     ++evictions_;
   }
 }
 
-void AnalysisService::respond_from(const std::shared_ptr<const Entry>& entry,
-                                   const char* cache_state,
-                                   AnalysisResponse& out) const {
+void AnalysisService::finish_run(const std::shared_ptr<Entry>& entry,
+                                 bool from_scratch, bool ok,
+                                 core::Phase achieved,
+                                 std::size_t footprint_now, int decomposes,
+                                 int verifies, int derives) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  decompose_runs_ += decomposes;
+  verify_runs_ += verifies;
+  derive_runs_ += derives;
+  if (ok)
+    from_scratch ? ++misses_ : ++upgrades_;
+  else
+    ++failures_;
+
+  // A successor runner may have claimed the entry between our run ending
+  // and this epilogue: if the entry has already advanced past what we
+  // achieved, our footprint is stale — return and leave retention (and
+  // the inflight slot, when we were the creator) to the successor's own
+  // finish_run, which carries the newer footprint. The last finisher
+  // always observes completed == achieved, so exactly one epilogue
+  // retains.
+  {
+    std::lock_guard<std::mutex> elock(entry->mutex);
+    if (entry->completed != achieved) return;
+  }
+
+  const auto inflight = inflight_.find(entry->canonical);
+  const bool mine_inflight =
+      inflight != inflight_.end() && inflight->second == entry;
+  if (mine_inflight) inflight_.erase(inflight);
+
+  const auto resident = cache_.find(entry->canonical);
+  if (resident != cache_.end() && *resident->second == entry) {
+    // Resident upgrade (or failed upgrade attempt): re-charge the grown
+    // entry, dropping it when it alone no longer fits the budget.
+    if (footprint_now > options_.cache_budget_bytes) {
+      bytes_ -= entry->charged_bytes;
+      lru_.erase(resident->second);
+      cache_.erase(resident);
+      ++evictions_;
+    } else if (footprint_now != entry->charged_bytes) {
+      bytes_ = bytes_ - entry->charged_bytes + footprint_now;
+      entry->charged_bytes = footprint_now;
+      evict_overflow_locked();
+    }
+    return;
+  }
+  // First retention of a fresh entry. Even a failed run keeps the phases
+  // that did succeed (a derive that threw leaves a decomposed + verified
+  // entry the next request upgrades from); an entry with nothing but the
+  // parse is not worth a slot. An entry larger than the whole budget is
+  // served but never retained.
+  if (!mine_inflight) return;  // superseded or budget-0 duplicate
+  if (achieved == core::Phase::parsed) return;
+  if (options_.cache_budget_bytes == 0) return;
+  if (footprint_now > options_.cache_budget_bytes) return;
+  if (cache_.find(entry->canonical) != cache_.end()) return;
+  bytes_ += footprint_now;
+  entry->charged_bytes = footprint_now;
+  lru_.push_front(entry);
+  cache_[entry->canonical] = lru_.begin();
+  evict_overflow_locked();
+}
+
+void AnalysisService::respond_from_locked(const Entry& entry,
+                                          RequestMode mode,
+                                          const char* cache_state,
+                                          AnalysisResponse& out) const {
   out.ok = true;
-  out.key = entry->key_hex;
+  out.key = entry.key_hex;
   out.cache_state = cache_state;
-  out.cache_hit = cache_state[0] != 'f';  // "hit" / "coalesced"
-  out.verify_offender = entry->verify_offender;
-  out.speed_independent = entry->verify_offender.empty();
-  out.netlist_eqn = entry->netlist_eqn;
-  out.report = entry->report;
-  out.canonical_json = entry->canonical_json;
+  out.cache_hit = cache_state[0] == 'h' || cache_state[0] == 'c';
+  out.verify_offender = entry.artifacts.verify_offender;
+  out.speed_independent = out.verify_offender.empty();
+  out.netlist_eqn = entry.netlist_eqn;
+  if (mode == RequestMode::derive) {
+    out.report = entry.report;
+    out.canonical_json = entry.canonical_json;
+  }
 }
 
 AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
@@ -249,135 +472,161 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
     parsed = parse_request(request, options_.expand);
     response.key = parsed.key_hex;
   } catch (const std::exception& error) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++failures_;
+    failures_.fetch_add(1, std::memory_order_relaxed);
     response.error = error.what();
     response.seconds = seconds_since(start);
     return response;
   }
-  // The canonical key is as large as the rendered design; the hit and
-  // waiter paths only ever *read* it, so they borrow it from `parsed` and
-  // no per-request copy is made on warm traffic. The fresh paths move
-  // `parsed` into run_flow and take what they need first.
-  const std::string& canonical = parsed.canonical;
 
-  std::shared_ptr<Flight> flight;
-  std::shared_ptr<const Entry> resident;
-  bool owner = false;
+  const core::Phase needed = request.mode == RequestMode::verify
+                                 ? core::Phase::verified
+                                 : core::Phase::derived;
+
+  // Find or create the ONE entry for this design — resident, in flight,
+  // or brand new (the creator donates its parsed design to the entry).
+  std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto cached = cache_.find(canonical);
+    const auto cached = cache_.find(parsed.canonical);
     if (cached != cache_.end()) {
       lru_.splice(lru_.begin(), lru_, cached->second);  // touch
-      ++hits_;
-      // Only the shared_ptr leaves the lock; the response strings are
-      // copied from the immutable entry after release, so warm traffic
-      // does not serialize on mutex_ for the duration of the copies.
-      resident = *cached->second;
-    }
-    const auto in_flight =
-        resident != nullptr ? inflight_.end() : inflight_.find(canonical);
-    if (in_flight != inflight_.end()) {
-      // Only block on the in-flight run from threads outside pool-task
-      // context. A duplicate executing *as* a pool task may sit on the
-      // owner's own help-while-wait stack (work stealing), where waiting
-      // for the flight would wait on frames beneath itself — a guaranteed
-      // deadlock. Those duplicates run the flow independently instead;
-      // output is deterministic either way and the first publisher wins
-      // the cache slot.
-      if (!base::ThreadPool::in_task()) flight = in_flight->second;
-    } else if (resident == nullptr) {
-      flight = std::make_shared<Flight>();
-      inflight_.emplace(canonical, flight);
-      owner = true;
-    }
-  }
-
-  if (resident != nullptr) {
-    respond_from(resident, "hit", response);
-    response.seconds = seconds_since(start);
-    return response;
-  }
-
-  if (flight == nullptr) {  // single-flight bypass (pool-task duplicate)
-    std::shared_ptr<const Entry> entry;
-    std::string error;
-    try {
-      entry = run_flow(request, std::move(parsed), &response.netlist_eqn);
-    } catch (const std::exception& exception) {
-      error = exception.what();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (entry != nullptr) {
-        ++misses_;  // a real flow run, not a coalesced wait
-        insert_locked(entry->canonical, entry);
+      entry = *cached->second;
+    } else {
+      const auto in_flight = inflight_.find(parsed.canonical);
+      if (in_flight != inflight_.end()) {
+        entry = in_flight->second;
       } else {
-        ++failures_;
+        entry = std::make_shared<Entry>();
+        entry->key_hex = parsed.key_hex;
+        entry->artifacts.stg = std::move(parsed.stg);
+        entry->artifacts.circuit = std::move(parsed.circuit);
+        entry->canonical = std::move(parsed.canonical);
+        inflight_.emplace(entry->canonical, entry);
       }
     }
-    if (entry != nullptr)
-      respond_from(entry, "fresh", response);
-    else
-      response.error = error;
-    response.seconds = seconds_since(start);
-    return response;
   }
 
-  if (!owner) {
-    std::unique_lock<std::mutex> lock(flight->mutex);
-    flight->done_cv.wait(lock, [&] { return flight->done; });
-    const std::shared_ptr<const Entry> entry = flight->entry;
-    const std::string error = flight->error;
-    lock.unlock();
-    {
-      std::lock_guard<std::mutex> stats_lock(mutex_);
-      if (entry != nullptr)
-        ++coalesced_;
-      else
-        ++failures_;
+  // The per-(entry, phase) machine: serve, wait, run, or bypass.
+  bool waited = false;
+  std::unique_lock<std::mutex> elock(entry->mutex);
+  while (true) {
+    if (entry->satisfies(needed)) {
+      respond_from_locked(*entry, request.mode,
+                          waited ? "coalesced" : "hit", response);
+      elock.unlock();
+      (waited ? coalesced_ : hits_).fetch_add(1,
+                                              std::memory_order_relaxed);
+      response.seconds = seconds_since(start);
+      return response;
     }
-    if (entry != nullptr)
-      respond_from(entry, "coalesced", response);
-    else
+
+    if (entry->target > entry->completed) {  // a runner is active
+      // Pool-task duplicates must never block on the run: it may be frames
+      // beneath this very stack (work stealing + help-while-wait). They
+      // run privately below; the runner keeps the cache slot.
+      if (base::ThreadPool::in_task()) break;
+      // Wait for the active run to end (waking at every phase publish in
+      // case it already covers us); whatever it leaves missing we claim
+      // ourselves on a later iteration. Deliberately NOT extending the
+      // runner's goal: a verify runner must not pay for a coalescing
+      // derive request's phases before it can answer its own.
+      waited = true;
+      entry->cv.wait(elock);
+      if (!entry->satisfies(needed) && entry->target < needed &&
+          !entry->run_error.empty()) {
+        const std::string error = entry->run_error;
+        elock.unlock();
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        response.error = error;
+        response.seconds = seconds_since(start);
+        return response;
+      }
+      continue;  // served (or a new runner took over) — re-evaluate
+    }
+
+    // Idle: claim the run and advance the entry ourselves.
+    const core::Phase from = entry->completed;
+    entry->target = needed;
+    entry->run_error.clear();
+    elock.unlock();
+
+    std::string error;
+    int decomposes = 0, verifies = 0, derives = 0;
+    core::Phase achieved = from;
+    std::size_t footprint = 0;
+    const bool ok = run_phases(entry, request.jobs, error, decomposes,
+                               verifies, derives, achieved, footprint);
+    finish_run(entry, /*from_scratch=*/from == core::Phase::parsed, ok,
+               achieved, footprint, decomposes, verifies, derives);
+    if (!ok) {
+      {
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        response.netlist_eqn = entry->netlist_eqn;
+      }
       response.error = error;
+      response.seconds = seconds_since(start);
+      return response;
+    }
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      respond_from_locked(*entry, request.mode,
+                          from == core::Phase::parsed ? "fresh" : "upgraded",
+                          response);
+    }
+    response.phases_run = core::phase_range_text(from, achieved);
     response.seconds = seconds_since(start);
     return response;
   }
 
-  // Owner: `parsed` is about to be consumed, and the error path still
-  // needs the key for the inflight erase — copy it once (fresh runs only;
-  // the copy is noise next to the flow itself).
-  const std::string key_copy = parsed.canonical;
-  std::shared_ptr<const Entry> entry;
+  // Single-flight bypass: a pool-task duplicate runs the phases privately
+  // on its own parsed design and publishes nothing.
+  elock.unlock();
+  core::PhaseArtifacts artifacts;
+  bool ok = true;
   std::string error;
   try {
-    entry = run_flow(request, std::move(parsed), &response.netlist_eqn);
+    if (parsed.stg == nullptr) {
+      // We created the entry and donated our parse to it before another
+      // pool task claimed the run; parse again for the private copy.
+      parsed = parse_request(request, options_.expand);
+    }
+    artifacts.stg = std::move(parsed.stg);
+    artifacts.circuit = std::move(parsed.circuit);
+    core::advance_to_phase(artifacts, needed, flow_options(request.jobs));
   } catch (const std::exception& exception) {
+    ok = false;
     error = exception.what();
   }
+  if (artifacts.circuit != nullptr)
+    response.netlist_eqn =
+        std::make_shared<const std::string>(artifacts.circuit->to_eqn());
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    inflight_.erase(key_copy);
-    if (entry != nullptr) {
-      ++misses_;
-      insert_locked(key_copy, entry);
-    } else {
-      ++failures_;
-    }
+    decompose_runs_ += artifacts.completed >= core::Phase::decomposed;
+    verify_runs_ += artifacts.completed >= core::Phase::verified;
+    derive_runs_ += artifacts.has_result ? 1 : 0;
+    ok ? ++misses_ : ++failures_;  // a real flow run, never a wait
   }
-  {
-    std::lock_guard<std::mutex> lock(flight->mutex);
-    flight->entry = entry;
-    flight->error = error;
-    flight->done = true;
-  }
-  flight->done_cv.notify_all();
-
-  if (entry != nullptr)
-    respond_from(entry, "fresh", response);
-  else
+  if (!ok) {
     response.error = error;
+    response.seconds = seconds_since(start);
+    return response;
+  }
+  response.ok = true;
+  response.cache_state = "fresh";
+  response.phases_run =
+      core::phase_range_text(core::Phase::parsed, artifacts.completed);
+  response.verify_offender = artifacts.verify_offender;
+  response.speed_independent = artifacts.verify_offender.empty();
+  if (request.mode == RequestMode::derive && artifacts.has_result) {
+    core::FlowReport rendered = core::make_flow_report(
+        /*design=*/"", artifacts.result, artifacts.stg->signals);
+    rendered.content_hash = response.key;
+    response.canonical_json = std::make_shared<const std::string>(
+        core::to_canonical_json(rendered));
+    response.report =
+        std::make_shared<const core::FlowReport>(std::move(rendered));
+  }
   response.seconds = seconds_since(start);
   return response;
 }
@@ -400,9 +649,13 @@ CacheStats AnalysisService::stats() const {
   CacheStats stats;
   stats.hits = hits_;
   stats.misses = misses_;
+  stats.upgrades = upgrades_;
   stats.coalesced = coalesced_;
   stats.evictions = evictions_;
   stats.failures = failures_;
+  stats.decompose_runs = decompose_runs_;
+  stats.verify_runs = verify_runs_;
+  stats.derive_runs = derive_runs_;
   stats.entries = static_cast<int>(lru_.size());
   stats.bytes = bytes_;
   stats.budget_bytes = options_.cache_budget_bytes;

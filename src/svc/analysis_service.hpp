@@ -5,26 +5,32 @@
 // across requests:
 //   - a content-addressed design cache: requests are keyed by the canonical
 //     rendering of their parsed STG + netlist + the flow options that can
-//     change the answer (mode, expand policy/limits — NOT the worker count,
-//     which the orchestrator guarantees cannot change any output byte). The
-//     cached value is the parsed design, its FlowDecomposition, the
-//     FlowResult and the fully rendered FlowReport, so a repeated request
-//     re-runs nothing — not even decompose_flow — and serves byte-identical
-//     canonical JSON.
-//   - LRU eviction by byte budget: entries are charged an estimate of their
-//     resident footprint and the least-recently-used ones are dropped when
-//     the sum exceeds ServiceOptions::cache_budget_bytes.
-//   - single-flight deduplication: N concurrent requests for the same key
-//     run ONE flow; the others block on the in-flight run and share its
-//     entry (counted as `coalesced`, never as extra flow runs).
+//     change the answer (expand policy/limits — NOT the request mode, and
+//     NOT the worker count, which the orchestrator guarantees cannot change
+//     any output byte). The cached value is a core::PhaseArtifacts — the
+//     staged products of the flow (parsed design, FlowDecomposition, verify
+//     verdict, derived constraints + rendered report) together with a
+//     record of which phases have completed.
+//   - lazy phase upgrades: because the entry is mode-independent, a design
+//     cached by a verify request answers a later derive request by running
+//     ONLY the derive phase on the cached decomposition ("upgraded"), and a
+//     derive entry answers verify requests for free ("hit"). Mixed
+//     verify/derive traffic on one design holds one entry and runs
+//     decompose_flow once.
+//   - LRU eviction by byte budget: entries are charged a calibrated
+//     estimate of their resident footprint (real container capacities, SSO
+//     and node overheads accounted) and the least-recently-used ones are
+//     dropped when the sum exceeds ServiceOptions::cache_budget_bytes.
+//   - single-flight deduplication per (entry, phase): N concurrent
+//     requests for the same design run each missing phase ONCE; a
+//     concurrent verify and derive share the parse + decompose work, with
+//     the laggard counted as `coalesced`, never as an extra phase run.
 //   - the cross-request sg::SgCache and the shared base::ThreadPool the
-//     per-request (component × gate) job graphs are admitted onto.
-//
-// Within one request the decomposition is built once and feeds both the
-// verify phase and the derive phase (the ROADMAP open item); the same
-// decomposition is then retained for the entry's lifetime.
+//     per-request (component × gate) job graphs — and their OR-causality
+//     expansion subtasks — are admitted onto.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <list>
@@ -36,6 +42,7 @@
 #include "base/thread_pool.hpp"
 #include "circuit/circuit.hpp"
 #include "core/flow.hpp"
+#include "core/phase.hpp"
 #include "core/report.hpp"
 #include "sg/sg_cache.hpp"
 #include "stg/stg.hpp"
@@ -62,11 +69,17 @@ struct AnalysisResponse {
   bool ok = false;            // false: `error` holds the failure
   std::string error;
   std::string key;            // content-address (hex) of the design
-  /// How this response was produced: "fresh" (this request ran the flow),
-  /// "hit" (served from the cache), "coalesced" (attached to another
-  /// request's in-flight run).
+  /// How this response was produced: "fresh" (this request ran every phase
+  /// from the parsed design), "hit" (every phase it needed was already
+  /// resident), "upgraded" (a resident entry was advanced by running only
+  /// its missing phases — the lazy verify->derive upgrade), "coalesced"
+  /// (attached to another request's in-flight phase run).
   std::string cache_state;
   bool cache_hit = false;     // hit or coalesced
+  /// The phases THIS request executed, e.g. "decompose+verify+derive" for
+  /// a cold derive or "derive" for a lazy upgrade; empty for hits and
+  /// coalesced waits.
+  std::string phases_run;
   double seconds = 0.0;       // request wall time inside the service
   /// Verify verdict: empty = speed independent; otherwise the first
   /// offending gate in stable job order.
@@ -89,11 +102,18 @@ struct AnalysisResponse {
 /// Point-in-time counters of the design cache (monotonic except entries
 /// and bytes, which track the current resident set).
 struct CacheStats {
-  long long hits = 0;        // served from a resident entry
-  long long misses = 0;      // ran the flow (== number of flow runs)
-  long long coalesced = 0;   // waited on another request's in-flight run
+  long long hits = 0;        // every needed phase was already resident
+  long long misses = 0;      // ran the flow from the parsed design
+  long long upgrades = 0;    // ran only the missing phases of an entry
+  long long coalesced = 0;   // waited on another request's phase run
   long long evictions = 0;   // entries dropped by the byte budget
   long long failures = 0;    // requests that ended in an error
+  // Phase executions (single-flight bypass runs included). A verify
+  // followed by a derive on one design shows decompose_runs == 1: the
+  // acceptance probe of the lazy-upgrade design.
+  long long decompose_runs = 0;
+  long long verify_runs = 0;
+  long long derive_runs = 0;
   int entries = 0;           // resident designs
   std::size_t bytes = 0;     // estimated resident footprint
   std::size_t budget_bytes = 0;
@@ -105,7 +125,8 @@ struct CacheStats {
 struct ServiceOptions {
   /// Byte budget of the design cache. An entry larger than the whole
   /// budget is still served but not retained. 0 = cache disabled (every
-  /// request is a fresh run; single-flight still applies).
+  /// request is a fresh run; single-flight still applies while the run is
+  /// in flight).
   std::size_t cache_budget_bytes = 256u << 20;
   /// Default per-request (component × gate) parallelism (FlowOptions
   /// semantics: 1 = serial, 0 = one per hardware thread).
@@ -131,14 +152,16 @@ class AnalysisService {
   AnalysisService(const AnalysisService&) = delete;
   AnalysisService& operator=(const AnalysisService&) = delete;
 
-  /// Answers one request, from cache when possible. Thread-safe: any
-  /// number of callers may be in analyze() concurrently; identical designs
-  /// coalesce onto one flow run — except callers already inside a pool
-  /// task (base::ThreadPool::in_task()), which run the flow themselves
-  /// instead of blocking: a stolen duplicate on the owner's own
+  /// Answers one request, from cache when possible, running only the
+  /// phases the resident entry is missing. Thread-safe: any number of
+  /// callers may be in analyze() concurrently; identical designs coalesce
+  /// onto one phase run per (entry, phase) — except callers already inside
+  /// a pool task (base::ThreadPool::in_task()), which run the flow
+  /// themselves instead of blocking: a stolen duplicate on the owner's own
   /// help-while-wait stack would otherwise deadlock. Dedicated request
   /// threads (sitime_serve) get full coalescing. Never throws — failures
-  /// come back as !ok responses (and are not cached).
+  /// come back as !ok responses (and are not cached; an entry keeps the
+  /// phases that did succeed).
   AnalysisResponse analyze(const AnalysisRequest& request);
 
   /// Runs every bundled benchmark through the cache (mode derive), so a
@@ -152,23 +175,32 @@ class AnalysisService {
 
  private:
   struct Entry;
-  struct Flight;
   struct Parsed;
-  using LruList = std::list<std::shared_ptr<const Entry>>;
+  using LruList = std::list<std::shared_ptr<Entry>>;
 
   static Parsed parse_request(const AnalysisRequest& request,
                               const core::ExpandOptions& expand);
-  /// `netlist_out` receives the canonical netlist as soon as it is known,
-  /// so a flow-phase failure can still report it (the legacy check_hazard
-  /// stderr contract prints the synthesized netlist even when the flow
-  /// later fails).
-  std::shared_ptr<const Entry> run_flow(
-      const AnalysisRequest& request, Parsed parsed,
-      std::shared_ptr<const std::string>* netlist_out);
-  void insert_locked(const std::string& canonical,
-                     std::shared_ptr<const Entry> entry);
-  void respond_from(const std::shared_ptr<const Entry>& entry,
-                    const char* cache_state, AnalysisResponse& out) const;
+  core::FlowOptions flow_options(int request_jobs);
+  /// Advances `entry` to its claimed target phase as the single-flight
+  /// runner (the caller already claimed the run by raising entry->target,
+  /// which stays fixed for the run's duration). Returns true on success;
+  /// on failure fills `error`, parks the entry at its last completed phase
+  /// and wakes the waiters. `achieved` and `footprint` report the final
+  /// phase and resident size, both captured before runnership is released
+  /// (afterwards another runner may be mutating the artifacts).
+  bool run_phases(const std::shared_ptr<Entry>& entry, int jobs,
+                  std::string& error, int& decomposes, int& verifies,
+                  int& derives, core::Phase& achieved,
+                  std::size_t& footprint);
+  /// Runner epilogue under mutex_: retention (inflight -> LRU or resident
+  /// re-charge), byte accounting and counter updates.
+  void finish_run(const std::shared_ptr<Entry>& entry, bool from_scratch,
+                  bool ok, core::Phase achieved, std::size_t footprint,
+                  int decomposes, int verifies, int derives);
+  void evict_overflow_locked();
+  void respond_from_locked(const Entry& entry, RequestMode mode,
+                           const char* cache_state,
+                           AnalysisResponse& out) const;
 
   ServiceOptions options_;
   sg::SgCache sg_cache_;  // cross-request SG memoization
@@ -176,13 +208,23 @@ class AnalysisService {
   mutable std::mutex mutex_;
   LruList lru_;  // most-recently-used first
   std::unordered_map<std::string, LruList::iterator> cache_;
-  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
+  /// Entries being built that are not (yet) resident: the rendezvous for
+  /// single-flight on brand-new designs. Removed when their runner
+  /// finishes (moved into the LRU on success when the budget allows).
+  std::unordered_map<std::string, std::shared_ptr<Entry>> inflight_;
   std::size_t bytes_ = 0;
-  long long hits_ = 0;
+  // hits_/coalesced_/failures_ are atomics so the warm-hit path bumps its
+  // outcome without re-acquiring mutex_ after the lookup; the remaining
+  // counters are only touched on cold paths that already hold it.
+  std::atomic<long long> hits_{0};
   long long misses_ = 0;
-  long long coalesced_ = 0;
+  long long upgrades_ = 0;
+  std::atomic<long long> coalesced_{0};
   long long evictions_ = 0;
-  long long failures_ = 0;
+  std::atomic<long long> failures_{0};
+  long long decompose_runs_ = 0;
+  long long verify_runs_ = 0;
+  long long derive_runs_ = 0;
 };
 
 }  // namespace sitime::svc

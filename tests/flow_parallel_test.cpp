@@ -92,6 +92,51 @@ TEST(ParallelFlowStats, JobStatisticsAreFilled) {
   EXPECT_GE(result.seconds, result.expand_seconds);
 }
 
+TEST(ExpansionSubtasks, EngageBelowTheJobLevelAndStayByteIdentical) {
+  // ebergen is a single-MG-component design with only 3 (component × gate)
+  // jobs but several OR-causality decompositions: exactly the shape whose
+  // parallelism used to be capped by the job count. With jobs > job count
+  // the subSTG recursion must fan out as subtasks — and still merge to the
+  // serial constraint sets byte for byte.
+  const auto& bench = benchdata::benchmark("ebergen");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+
+  const core::FlowResult serial =
+      core::derive_timing_constraints(stg, circuit);
+  EXPECT_EQ(serial.expand_subtasks, 0);  // serial recursion, no subtasks
+
+  base::ThreadPool pool(4);
+  core::FlowOptions options;
+  options.jobs = 8;
+  options.pool = &pool;
+  const core::FlowResult parallel =
+      core::derive_timing_constraints(stg, circuit, options);
+  EXPECT_GT(parallel.expand_subtasks, 0);  // the fan-out engaged
+  EXPECT_GE(parallel.peak_active_bodies, 1);
+  EXPECT_EQ(parallel.before, serial.before);
+  EXPECT_EQ(parallel.after, serial.after);
+  EXPECT_EQ(parallel.expand_steps, serial.expand_steps);
+}
+
+TEST(ExpansionSubtasks, SubtaskCountIsScheduleIndependent) {
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  base::ThreadPool pool(4);
+  int first = -1;
+  for (int round = 0; round < 3; ++round) {
+    core::FlowOptions options;
+    options.jobs = 8;
+    options.pool = &pool;
+    const core::FlowResult result =
+        core::derive_timing_constraints(stg, circuit, options);
+    if (first == -1) first = result.expand_subtasks;
+    EXPECT_EQ(result.expand_subtasks, first) << "round " << round;
+  }
+  EXPECT_GT(first, 0);
+}
+
 TEST(ParallelFlowStats, TraceForcesSerialSchedule) {
   const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
   const stg::Stg stg = benchdata::load_stg(bench);

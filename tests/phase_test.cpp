@@ -1,0 +1,120 @@
+// The staged phase-artifact model (core/phase): each phase is a pure
+// function of the previous artifact, advance_to_phase runs exactly the
+// missing phases, and the staged products agree with the monolithic flow
+// entry points they refactor.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/error.hpp"
+#include "benchdata/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "core/phase.hpp"
+
+namespace sitime {
+namespace {
+
+core::PhaseArtifacts parsed_artifacts(const std::string& name,
+                                      bool with_netlist = true) {
+  const auto& bench = benchdata::benchmark(name);
+  core::PhaseArtifacts artifacts;
+  artifacts.stg = std::make_unique<stg::Stg>(benchdata::load_stg(bench));
+  if (with_netlist && !bench.eqn.empty())
+    artifacts.circuit = std::make_unique<circuit::Circuit>(
+        benchdata::load_circuit(bench, *artifacts.stg));
+  return artifacts;
+}
+
+TEST(PhaseArtifacts, PhasesAdvanceOneAtATimeAndMatchTheMonolithicFlow) {
+  core::PhaseArtifacts artifacts = parsed_artifacts("imec-ram-read-sbuf");
+  EXPECT_EQ(artifacts.completed, core::Phase::parsed);
+
+  core::run_decompose_phase(artifacts);
+  EXPECT_EQ(artifacts.completed, core::Phase::decomposed);
+  EXPECT_FALSE(artifacts.decomposition.jobs.empty());
+  EXPECT_GT(artifacts.decomposition.state_count, 0);
+
+  core::run_verify_phase(artifacts);
+  EXPECT_EQ(artifacts.completed, core::Phase::verified);
+  EXPECT_TRUE(artifacts.verify_offender.empty());
+  EXPECT_TRUE(artifacts.speed_independent());
+
+  core::run_derive_phase(artifacts, core::FlowOptions{});
+  EXPECT_EQ(artifacts.completed, core::Phase::derived);
+  ASSERT_TRUE(artifacts.has_result);
+
+  // The staged run agrees with the monolithic entry point bit for bit.
+  const auto& bench = benchdata::benchmark("imec-ram-read-sbuf");
+  const stg::Stg stg = benchdata::load_stg(bench);
+  const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+  const core::FlowResult classic =
+      core::derive_timing_constraints(stg, circuit);
+  EXPECT_EQ(artifacts.result.before, classic.before);
+  EXPECT_EQ(artifacts.result.after, classic.after);
+  EXPECT_EQ(artifacts.result.state_count, classic.state_count);
+}
+
+TEST(PhaseArtifacts, AdvanceRunsOnlyTheMissingPhases) {
+  core::PhaseArtifacts artifacts = parsed_artifacts("adfast");
+  core::advance_to_phase(artifacts, core::Phase::verified,
+                         core::FlowOptions{});
+  EXPECT_EQ(artifacts.completed, core::Phase::verified);
+  EXPECT_FALSE(artifacts.has_result);
+  const double decompose_seconds = artifacts.decompose_seconds;
+
+  // The upgrade runs derive alone: the decomposition is untouched.
+  const std::size_t job_count = artifacts.decomposition.jobs.size();
+  core::advance_to_phase(artifacts, core::Phase::derived,
+                         core::FlowOptions{});
+  EXPECT_EQ(artifacts.completed, core::Phase::derived);
+  EXPECT_TRUE(artifacts.has_result);
+  EXPECT_EQ(artifacts.decomposition.jobs.size(), job_count);
+  EXPECT_EQ(artifacts.decompose_seconds, decompose_seconds);
+  // The result reads like a monolithic run: decompose time included.
+  EXPECT_GE(artifacts.result.seconds, artifacts.result.decompose_seconds);
+
+  // Advancing a finished artifact is a no-op.
+  core::advance_to_phase(artifacts, core::Phase::derived,
+                         core::FlowOptions{});
+  EXPECT_EQ(artifacts.completed, core::Phase::derived);
+}
+
+TEST(PhaseArtifacts, DecomposeSynthesizesWhenNoNetlistWasGiven) {
+  core::PhaseArtifacts artifacts =
+      parsed_artifacts("imec-ram-read-sbuf", /*with_netlist=*/false);
+  ASSERT_EQ(artifacts.circuit, nullptr);
+  core::run_decompose_phase(artifacts);
+  ASSERT_NE(artifacts.circuit, nullptr);
+  EXPECT_FALSE(artifacts.circuit->gates().empty());
+  EXPECT_FALSE(artifacts.circuit->to_eqn().empty());
+}
+
+TEST(PhaseArtifacts, PhasesRefuseToRunOutOfOrder) {
+  core::PhaseArtifacts artifacts = parsed_artifacts("adfast");
+  EXPECT_THROW(core::run_verify_phase(artifacts), Error);
+  EXPECT_THROW(core::run_derive_phase(artifacts, core::FlowOptions{}),
+               Error);
+  core::run_decompose_phase(artifacts);
+  EXPECT_THROW(core::run_decompose_phase(artifacts), Error);
+  EXPECT_THROW(core::run_derive_phase(artifacts, core::FlowOptions{}),
+               Error);
+}
+
+TEST(PhaseNames, RangeTextListsTheExecutedPhases) {
+  EXPECT_EQ(core::phase_range_text(core::Phase::parsed,
+                                   core::Phase::derived),
+            "decompose+verify+derive");
+  EXPECT_EQ(core::phase_range_text(core::Phase::parsed,
+                                   core::Phase::verified),
+            "decompose+verify");
+  EXPECT_EQ(core::phase_range_text(core::Phase::verified,
+                                   core::Phase::derived),
+            "derive");
+  EXPECT_EQ(core::phase_range_text(core::Phase::derived,
+                                   core::Phase::derived),
+            "");
+  EXPECT_STREQ(core::phase_name(core::Phase::decomposed), "decomposed");
+}
+
+}  // namespace
+}  // namespace sitime

@@ -218,28 +218,177 @@ TEST(AnalysisService, PoolTaskDuplicatesBypassTheFlightInsteadOfBlocking) {
   // Bypass runs count as misses; coalescing never happens inside pool
   // tasks, and whatever interleaving occurred, the books must balance.
   EXPECT_GE(stats.misses, 1);
-  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced, kRequests);
+  EXPECT_EQ(stats.hits + stats.misses + stats.coalesced + stats.upgrades,
+            kRequests);
   EXPECT_EQ(stats.entries, 1);
 }
 
-TEST(AnalysisService, VerifyModeSkipsDerivationAndCachesSeparately) {
-  svc::AnalysisService service;
+TEST(AnalysisService, VerifyThenDeriveLazilyUpgradesOneEntry) {
+  // The acceptance probe of the mode-independent cache: a verify request
+  // followed by a derive request for the same design holds exactly ONE
+  // entry, runs decompose_flow exactly once, and the upgraded report is
+  // byte-identical to cold derive runs at jobs=1 and jobs=8.
+  svc::ServiceOptions upgrading;
+  upgrading.jobs = 8;  // the lazy derive phase runs parallel
+  svc::AnalysisService service(upgrading);
+
   const svc::AnalysisResponse verify = service.analyze(
       bench_request("imec-ram-read-sbuf", svc::RequestMode::verify));
   ASSERT_TRUE(verify.ok) << verify.error;
   EXPECT_TRUE(verify.speed_independent);
-  EXPECT_EQ(verify.report, nullptr);
+  EXPECT_EQ(verify.cache_state, "fresh");
+  EXPECT_EQ(verify.phases_run, "decompose+verify");
+  EXPECT_EQ(verify.report, nullptr);  // verify responses carry no report
   EXPECT_EQ(verify.canonical_json, nullptr);
+  {
+    const svc::CacheStats stats = service.stats();
+    EXPECT_EQ(stats.entries, 1);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.decompose_runs, 1);
+    EXPECT_EQ(stats.verify_runs, 1);
+    EXPECT_EQ(stats.derive_runs, 0);
+  }
 
   const svc::AnalysisResponse derive =
       service.analyze(bench_request("imec-ram-read-sbuf"));
-  ASSERT_TRUE(derive.ok);
-  EXPECT_NE(derive.key, verify.key);  // mode is part of the content address
-  EXPECT_EQ(derive.cache_state, "fresh");
+  ASSERT_TRUE(derive.ok) << derive.error;
+  EXPECT_EQ(derive.key, verify.key);  // one mode-independent address
+  EXPECT_EQ(derive.cache_state, "upgraded");
+  EXPECT_EQ(derive.phases_run, "derive");  // only the missing phase ran
+  ASSERT_NE(derive.report, nullptr);
+  ASSERT_NE(derive.canonical_json, nullptr);
+  {
+    const svc::CacheStats stats = service.stats();
+    EXPECT_EQ(stats.entries, 1);      // still one entry
+    EXPECT_EQ(stats.misses, 1);       // the upgrade is not a fresh run
+    EXPECT_EQ(stats.upgrades, 1);
+    EXPECT_EQ(stats.decompose_runs, 1);  // decompose never re-ran
+    EXPECT_EQ(stats.verify_runs, 1);
+    EXPECT_EQ(stats.derive_runs, 1);
+  }
+
+  // Byte-identity against cold derive runs at both worker counts.
+  for (const int jobs : {1, 8}) {
+    svc::ServiceOptions cold_options;
+    cold_options.jobs = jobs;
+    svc::AnalysisService cold(cold_options);
+    const svc::AnalysisResponse fresh =
+        cold.analyze(bench_request("imec-ram-read-sbuf"));
+    ASSERT_TRUE(fresh.ok);
+    EXPECT_EQ(fresh.key, derive.key);
+    ASSERT_NE(fresh.canonical_json, nullptr);
+    EXPECT_EQ(*fresh.canonical_json, *derive.canonical_json)
+        << "jobs=" << jobs;
+  }
+
+  // Both modes are now plain hits on the fully derived entry.
   EXPECT_EQ(service.analyze(bench_request("imec-ram-read-sbuf",
                                           svc::RequestMode::verify))
                 .cache_state,
             "hit");
+  EXPECT_EQ(service.analyze(bench_request("imec-ram-read-sbuf"))
+                .cache_state,
+            "hit");
+}
+
+TEST(AnalysisService, DeriveEntryAnswersVerifyForFree) {
+  svc::AnalysisService service;
+  ASSERT_TRUE(service.analyze(bench_request("adfast")).ok);
+  const svc::AnalysisResponse verify =
+      service.analyze(bench_request("adfast", svc::RequestMode::verify));
+  ASSERT_TRUE(verify.ok);
+  EXPECT_EQ(verify.cache_state, "hit");
+  EXPECT_TRUE(verify.phases_run.empty());
+  EXPECT_TRUE(verify.speed_independent);
+  EXPECT_EQ(verify.report, nullptr);  // the verify contract is verdict-only
+  const svc::CacheStats stats = service.stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.upgrades, 0);
+  EXPECT_EQ(stats.verify_runs, 1);  // from the derive run, shared
+}
+
+TEST(AnalysisService, ConcurrentVerifyAndDeriveShareParseAndDecompose) {
+  // Per-(entry, phase) single-flight: whatever the interleaving, the two
+  // modes share one parse + decompose (decompose_runs == 1) and one entry.
+  for (int round = 0; round < 4; ++round) {
+    svc::AnalysisService service;
+    svc::AnalysisResponse verify_response, derive_response;
+    std::thread verifier([&] {
+      verify_response = service.analyze(
+          bench_request("imec-ram-read-sbuf", svc::RequestMode::verify));
+    });
+    std::thread deriver([&] {
+      derive_response =
+          service.analyze(bench_request("imec-ram-read-sbuf"));
+    });
+    verifier.join();
+    deriver.join();
+    ASSERT_TRUE(verify_response.ok) << verify_response.error;
+    ASSERT_TRUE(derive_response.ok) << derive_response.error;
+    EXPECT_EQ(verify_response.key, derive_response.key);
+    ASSERT_NE(derive_response.canonical_json, nullptr);
+
+    const svc::CacheStats stats = service.stats();
+    EXPECT_EQ(stats.entries, 1);
+    EXPECT_EQ(stats.decompose_runs, 1) << "round " << round;
+    EXPECT_EQ(stats.verify_runs, 1);
+    EXPECT_EQ(stats.derive_runs, 1);
+    // One request ran fresh; the other coalesced onto its phases, hit the
+    // finished entry, or upgraded it — never a second decompose.
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.hits + stats.coalesced + stats.upgrades, 1);
+  }
+}
+
+TEST(AnalysisService, FailedUpgradeKeepsTheVerifiedEntry) {
+  // A derive phase that blows the step budget fails the request but must
+  // not poison the entry: the decomposition + verdict stay resident and a
+  // verify request is still a hit.
+  svc::ServiceOptions options;
+  options.expand.max_steps = 1;  // derive cannot finish under this budget
+  svc::AnalysisService service(options);
+  const svc::AnalysisResponse verify = service.analyze(
+      bench_request("imec-ram-read-sbuf", svc::RequestMode::verify));
+  ASSERT_TRUE(verify.ok) << verify.error;
+
+  const svc::AnalysisResponse derive =
+      service.analyze(bench_request("imec-ram-read-sbuf"));
+  EXPECT_FALSE(derive.ok);
+  EXPECT_FALSE(derive.error.empty());
+
+  const svc::CacheStats stats = service.stats();
+  EXPECT_EQ(stats.failures, 1);
+  EXPECT_EQ(stats.entries, 1);      // the verified entry survived
+  EXPECT_EQ(stats.decompose_runs, 1);
+  EXPECT_EQ(service.analyze(bench_request("imec-ram-read-sbuf",
+                                          svc::RequestMode::verify))
+                .cache_state,
+            "hit");
+}
+
+TEST(AnalysisService, ByteAccountingCoversTheRealPayloads) {
+  // The calibrated footprint must at least cover the payloads the entry
+  // demonstrably owns, and a lazy upgrade must grow the charge (report +
+  // canonical JSON + constraint sets join the entry).
+  svc::AnalysisService service;
+  const svc::AnalysisResponse verify = service.analyze(
+      bench_request("imec-ram-read-sbuf", svc::RequestMode::verify));
+  ASSERT_TRUE(verify.ok);
+  const std::size_t verified_bytes = service.stats().bytes;
+  ASSERT_GT(verified_bytes, 0u);
+
+  const svc::AnalysisResponse derive =
+      service.analyze(bench_request("imec-ram-read-sbuf"));
+  ASSERT_TRUE(derive.ok);
+  const std::size_t derived_bytes = service.stats().bytes;
+  EXPECT_GT(derived_bytes, verified_bytes);
+  ASSERT_NE(derive.canonical_json, nullptr);
+  ASSERT_NE(derive.netlist_eqn, nullptr);
+  EXPECT_GT(derived_bytes - verified_bytes, derive.canonical_json->size());
+  EXPECT_GT(verified_bytes,
+            derive.netlist_eqn->size());  // netlist was already charged
 }
 
 TEST(AnalysisService, MalformedRequestsFailWithoutPoisoningTheCache) {

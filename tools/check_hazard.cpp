@@ -118,6 +118,7 @@ DesignOutcome process_design(const DesignInput& input,
   core::FlowReport report = *response.report;
   report.design = input.name;
   report.cache_state = response.cache_state;
+  report.phases_run = response.phases_run;
   if (options.json)
     outcome.json = core::to_json(report);
   else if (legacy)

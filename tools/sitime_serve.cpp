@@ -2,10 +2,11 @@
 // design cache.
 //
 // Reads newline-delimited JSON requests on stdin (or a Unix stream socket
-// with --socket) and streams back one JSON response line per request, in
-// request order, while up to --admit requests run concurrently on the
-// shared thread pool (each fanning its (component × gate) jobs onto the
-// same pool).
+// with --socket, any number of concurrent connections) and streams back one
+// JSON response line per request, in per-connection request order, while up
+// to --admit requests run concurrently on the shared thread pool (each
+// fanning its (component × gate) jobs — and their OR-causality expansion
+// subtasks — onto the same pool).
 //
 // Request schema (one object per line):
 //   {"design": "path/to/STG.g"}              file-based design; a sibling
@@ -14,29 +15,36 @@
 //                                            inline design (eqn optional ->
 //                                            synthesize)
 //   {"design": {"bench": "name"}}            embedded benchmark
+//   {"stats": true}                          control request: cache counters
+//                                            only, no analysis
 // Optional fields: "eqn" (netlist file path, overrides the sibling),
 // "mode" ("derive" default | "verify"), "jobs" (per-request override),
 // "id" (echoed back verbatim in the response).
 //
 // Response line:
 //   {"id": ..., "design": "...", "ok": true, "cache": "fresh"|"hit"|
-//    "coalesced", "key": "<content hash>", "seconds": ...,
-//    "speed_independent": true, "report": {<canonical report JSON>},
-//    "cache_stats": {...}}
+//    "upgraded"|"coalesced", "phases_run": "decompose+verify+derive",
+//    "key": "<content hash>", "seconds": ..., "speed_independent": true,
+//    "report": {<canonical report JSON>}, "cache_stats": {...}}
 // The "report" object is the deterministic canonical body: byte-identical
 // for cached and fresh runs at any worker count. "cache_stats" is the
-// live service counter block (volatile by nature). Failures come back as
+// live service counter block (volatile by nature); a {"stats": true}
+// request returns the same block as {"id": ..., "ok": true, "stats":
+// {...}} without touching the design cache. Failures come back as
 // {"ok": false, "error": "..."} on the same line number as the request.
 //
 // Options:
 //   --jobs N        default per-request (component × gate) parallelism
 //                   (0 = one per hardware thread, default 1)
-//   --admit N       concurrent requests in flight (default 4)
+//   --admit N       concurrent requests in flight, across all connections
+//                   (default 4)
 //   --cache-mb N    design-cache byte budget in MiB (default 256; 0
 //                   disables caching, single-flight still applies)
 //   --warm          preload the embedded benchmark suite before serving
 //   --socket PATH   serve connections on a Unix stream socket instead of
-//                   stdin (one connection at a time)
+//                   stdin; connections are accepted concurrently, each
+//                   with its own reader thread feeding the shared bounded
+//                   admission
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -51,6 +59,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -79,8 +88,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: sitime_serve [--jobs N] [--admit N] [--cache-mb N]\n"
                "                    [--warm] [--socket PATH]\n"
-               "reads one JSON request per line on stdin (or the socket),\n"
-               "writes one JSON response per line; see tools/README.md\n");
+               "reads one JSON request per line on stdin (or per socket\n"
+               "connection), writes one JSON response per line; see\n"
+               "tools/README.md\n");
   return 2;
 }
 
@@ -152,9 +162,13 @@ sitime::svc::AnalysisRequest build_request(
 void append_cache_stats(std::ostringstream& out,
                         const sitime::svc::CacheStats& stats) {
   out << "{\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+      << ",\"upgrades\":" << stats.upgrades
       << ",\"coalesced\":" << stats.coalesced
       << ",\"evictions\":" << stats.evictions
       << ",\"failures\":" << stats.failures
+      << ",\"decompose_runs\":" << stats.decompose_runs
+      << ",\"verify_runs\":" << stats.verify_runs
+      << ",\"derive_runs\":" << stats.derive_runs
       << ",\"entries\":" << stats.entries << ",\"bytes\":" << stats.bytes
       << ",\"budget_bytes\":" << stats.budget_bytes
       << ",\"sg_entries\":" << stats.sg_cache_entries
@@ -172,6 +186,22 @@ std::string handle_line(sitime::svc::AnalysisService& service,
   try {
     const svc::JsonValue json = svc::parse_json(line);
     id = render_id(json.get("id"));
+
+    // Control request: {"stats": true} returns the live counters without
+    // touching the design cache.
+    const svc::JsonValue& stats_flag = json.get("stats");
+    if (!stats_flag.is_null()) {
+      if (!stats_flag.as_bool())
+        sitime::fail("request: 'stats' must be true when present");
+      std::ostringstream out;
+      out << "{";
+      if (!id.empty()) out << "\"id\":" << id << ",";
+      out << "\"ok\":true,\"stats\":";
+      append_cache_stats(out, service.stats());
+      out << "}";
+      return out.str();
+    }
+
     svc::AnalysisRequest request = build_request(json);
     name = request.name;
     const svc::AnalysisResponse response = service.analyze(request);
@@ -186,6 +216,7 @@ std::string handle_line(sitime::svc::AnalysisService& service,
       return out.str();
     }
     out << ",\"ok\":true,\"cache\":\"" << response.cache_state
+        << "\",\"phases_run\":\"" << core::json_escape(response.phases_run)
         << "\",\"key\":\"" << response.key << "\"";
     char seconds[32];
     std::snprintf(seconds, sizeof(seconds), "%.6f", response.seconds);
@@ -277,97 +308,137 @@ class SocketChannel : public Channel {
   std::string buffer_;
 };
 
-/// The request loop: up to `admit` requests run concurrently on dedicated
-/// request threads (NOT pool tasks — a request may block in the service's
-/// single-flight wait, which is only safe outside pool-task context; the
-/// per-request flow jobs still fan out onto the shared pool). Responses
-/// are emitted strictly in request order through a reorder buffer, and
-/// admission is bounded by the *unemitted* window: while a slow
-/// head-of-line request runs, at most `admit` requests are outstanding, so
-/// neither the reorder buffer nor the read-ahead can grow without bound.
-void serve_channel(sitime::svc::AnalysisService& service, Channel& channel,
-                   int admit) {
-  using namespace sitime;
-  if (admit <= 1) {
-    std::string line;
-    while (channel.read_line(line)) {
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      channel.write_line(handle_line(service, line));
-    }
-    return;
-  }
+/// One client connection: its transport plus the in-order emission state
+/// (responses finish out of order on the shared workers; each connection
+/// reorders its own).
+struct Connection {
+  explicit Connection(std::unique_ptr<Channel> transport)
+      : channel(std::move(transport)) {}
 
+  std::unique_ptr<Channel> channel;
   std::mutex mutex;
-  std::condition_variable work_ready;  // workers: a request was queued
-  std::condition_variable window_open;  // reader: an emission slot freed
-  std::deque<std::pair<long, std::string>> pending;  // admitted requests
-  std::map<long, std::string> ready;  // finished out-of-order responses
+  std::condition_variable window_open;  // an emission slot freed
+  std::map<long, std::string> ready;    // finished out-of-order responses
   long next_emit = 0;
   long sequence = 0;
-  bool done_reading = false;
   bool emitting = false;  // one emitter at a time keeps lines in order
+};
 
-  // Drains every consecutive ready response, WRITING OUTSIDE THE LOCK so a
-  // slow reader (a stalled --socket client) cannot stall the mutex every
-  // worker and the admission loop need. The `emitting` flag makes whoever
-  // holds it the sole writer; responses that become ready meanwhile are
-  // picked up by its next sweep.
-  auto flush_ready = [&](std::unique_lock<std::mutex>& lock) {
-    if (emitting) return;  // the active emitter will sweep ours up
-    emitting = true;
-    while (!ready.empty() && ready.begin()->first == next_emit) {
-      std::vector<std::string> batch;
-      while (!ready.empty() && ready.begin()->first == next_emit) {
-        batch.push_back(std::move(ready.begin()->second));
-        ready.erase(ready.begin());
-        ++next_emit;
-      }
-      window_open.notify_all();
-      lock.unlock();
-      for (const std::string& response : batch)
-        channel.write_line(response);
-      lock.lock();
+/// The shared bounded admission: `admit` worker threads drain one global
+/// request queue fed by every connection's reader thread, so total
+/// concurrency is bounded whatever the number of clients. Each connection
+/// additionally bounds its *unemitted* window to `admit`, so neither the
+/// reorder buffers nor the read-ahead can grow without bound behind a slow
+/// head-of-line request.
+class AdmissionLoop {
+ public:
+  AdmissionLoop(sitime::svc::AnalysisService& service, int admit)
+      : service_(service), admit_(admit < 1 ? 1 : admit) {
+    workers_.reserve(admit_);
+    for (int t = 0; t < admit_; ++t)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~AdmissionLoop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
     }
-    emitting = false;
+    work_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  /// The reader loop of one connection: admits its lines into the shared
+  /// queue and returns once EOF is reached AND every admitted response has
+  /// been emitted. Runs on the caller's thread; any number of connections
+  /// may be served concurrently.
+  void serve(const std::shared_ptr<Connection>& conn) {
+    std::string line;
+    while (conn->channel->read_line(line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      long seq;
+      {
+        std::unique_lock<std::mutex> lock(conn->mutex);
+        conn->window_open.wait(lock, [&] {
+          return conn->sequence - conn->next_emit < admit_;
+        });
+        seq = conn->sequence++;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.emplace_back(Job{conn, seq, std::move(line)});
+      }
+      work_ready_.notify_one();
+    }
+    // Drain: the workers still hold admitted lines of this connection.
+    std::unique_lock<std::mutex> lock(conn->mutex);
+    conn->window_open.wait(
+        lock, [&] { return conn->next_emit == conn->sequence; });
+  }
+
+ private:
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    long seq = 0;
+    std::string line;
   };
 
-  std::vector<std::thread> workers;
-  workers.reserve(admit);
-  for (int t = 0; t < admit; ++t)
-    workers.emplace_back([&] {
-      std::unique_lock<std::mutex> lock(mutex);
-      while (true) {
-        work_ready.wait(lock,
-                        [&] { return done_reading || !pending.empty(); });
-        if (pending.empty()) return;  // done_reading and drained
-        const long seq = pending.front().first;
-        const std::string line = std::move(pending.front().second);
-        pending.pop_front();
-        lock.unlock();
-        std::string response = handle_line(service, line);
-        lock.lock();
-        ready.emplace(seq, std::move(response));
-        flush_ready(lock);
+  void worker_loop() {
+    while (true) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock,
+                         [&] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
       }
-    });
+      std::string response = handle_line(service_, job.line);
+      std::unique_lock<std::mutex> lock(job.conn->mutex);
+      job.conn->ready.emplace(job.seq, std::move(response));
+      flush_ready(*job.conn, lock);
+    }
+  }
 
-  std::string line;
-  while (channel.read_line(line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    std::unique_lock<std::mutex> lock(mutex);
-    window_open.wait(lock, [&] { return sequence - next_emit < admit; });
-    pending.emplace_back(sequence++, std::move(line));
-    work_ready.notify_one();
+  /// Drains every consecutive ready response of one connection, WRITING
+  /// OUTSIDE THE LOCK so a slow reader (a stalled socket client) cannot
+  /// stall the shared workers beyond the one carrying its response. The
+  /// `emitting` flag makes whoever holds it the sole writer; responses
+  /// that become ready meanwhile are picked up by its next sweep.
+  static void flush_ready(Connection& conn,
+                          std::unique_lock<std::mutex>& lock) {
+    if (conn.emitting) return;  // the active emitter will sweep ours up
+    conn.emitting = true;
+    while (!conn.ready.empty() &&
+           conn.ready.begin()->first == conn.next_emit) {
+      std::vector<std::string> batch;
+      while (!conn.ready.empty() &&
+             conn.ready.begin()->first == conn.next_emit) {
+        batch.push_back(std::move(conn.ready.begin()->second));
+        conn.ready.erase(conn.ready.begin());
+        ++conn.next_emit;
+      }
+      conn.window_open.notify_all();
+      lock.unlock();
+      for (const std::string& response : batch)
+        conn.channel->write_line(response);
+      lock.lock();
+    }
+    conn.emitting = false;
+    // The drain predicate (next_emit == sequence) may have just turned
+    // true with no further emission to signal it.
+    conn.window_open.notify_all();
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex);
-    done_reading = true;
-  }
-  work_ready.notify_all();
-  for (std::thread& worker : workers) worker.join();
-  std::unique_lock<std::mutex> lock(mutex);
-  flush_ready(lock);  // everything is finished; drain any stragglers
-}
+
+  sitime::svc::AnalysisService& service_;
+  const int admit_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<Job> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
 
 int serve_socket(sitime::svc::AnalysisService& service,
                  const std::string& path, int admit) {
@@ -393,14 +464,42 @@ int serve_socket(sitime::svc::AnalysisService& service,
     return 1;
   }
   std::fprintf(stderr, "sitime_serve: listening on %s\n", path.c_str());
+  AdmissionLoop admission(service, admit);
+  // Reader threads are detached so a long-running server does not
+  // accumulate one joinable handle (stack + TCB) per connection ever
+  // served; the tracker lets shutdown wait until every reader has left
+  // `admission` before it is destroyed. The tracker is shared so a reader
+  // finishing after the accept loop exits still has somewhere to signal.
+  struct ReaderTracker {
+    std::mutex mutex;
+    std::condition_variable all_done;
+    int active = 0;
+  };
+  const auto tracker = std::make_shared<ReaderTracker>();
   while (true) {
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;  // signal, not a listener failure
       break;
     }
-    SocketChannel channel(fd);
-    serve_channel(service, channel, admit);
+    // One reader thread per connection; all of them feed the same bounded
+    // admission, so concurrent clients share the --admit budget instead of
+    // queueing behind each other.
+    auto conn = std::make_shared<Connection>(
+        std::make_unique<SocketChannel>(fd));
+    {
+      std::lock_guard<std::mutex> lock(tracker->mutex);
+      ++tracker->active;
+    }
+    std::thread([&admission, conn, tracker] {
+      admission.serve(conn);
+      std::lock_guard<std::mutex> lock(tracker->mutex);
+      if (--tracker->active == 0) tracker->all_done.notify_all();
+    }).detach();
+  }
+  {
+    std::unique_lock<std::mutex> lock(tracker->mutex);
+    tracker->all_done.wait(lock, [&] { return tracker->active == 0; });
   }
   ::close(listener);
   ::unlink(path.c_str());
@@ -471,7 +570,9 @@ int main(int argc, char** argv) {
   if (!options.socket_path.empty())
     return serve_socket(service, options.socket_path, options.admit);
 
-  StdioChannel channel;
-  serve_channel(service, channel, options.admit);
+  AdmissionLoop admission(service, options.admit);
+  const auto conn =
+      std::make_shared<Connection>(std::make_unique<StdioChannel>());
+  admission.serve(conn);
   return 0;
 }

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Exercise sitime_serve --socket with concurrent connections.
+
+Starts the server on a Unix socket, connects CLIENTS clients at once, and
+has each send the same benchmark requests plus a {"stats": true} control
+request. Asserts:
+  - every connection gets one response per request, in ITS OWN request
+    order (the "id" echoes must come back monotonically per connection);
+  - the server accepted the connections concurrently (all clients hold
+    their sockets open until every one of them has connected and written,
+    so a serial server would deadlock this test);
+  - the stats control request answers with the counter block, and the
+    design requests of N identical clients produced exactly one fresh flow
+    run (misses == number of distinct designs) — the rest were hits or
+    coalesced on the shared cache;
+  - every design response carries the canonical report, byte-identical
+    across connections.
+
+Usage: socket_smoke.py SERVE_BINARY [--clients N]
+"""
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+DESIGNS = ["imec-ram-read-sbuf", "adfast", "ebergen"]
+
+
+def client(path: str, barrier: threading.Barrier, out: list, index: int):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    for _ in range(100):
+        try:
+            sock.connect(path)
+            break
+        except (FileNotFoundError, ConnectionRefusedError):
+            time.sleep(0.05)
+    else:
+        raise RuntimeError("server socket never came up")
+    # Everyone connects before anyone sends: a one-connection-at-a-time
+    # server cannot pass this barrier for every client.
+    barrier.wait(timeout=30)
+    requests = [
+        {"id": f"c{index}-{i}", "design": {"bench": name}}
+        for i, name in enumerate(DESIGNS)
+    ]
+    requests.append({"id": f"c{index}-stats", "stats": True})
+    payload = "".join(json.dumps(r) + "\n" for r in requests)
+    sock.sendall(payload.encode())
+    sock.shutdown(socket.SHUT_WR)
+    data = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    sock.close()
+    out[index] = [json.loads(line) for line in data.decode().splitlines()]
+
+
+def main() -> int:
+    serve = sys.argv[1]
+    clients = 4
+    if "--clients" in sys.argv:
+        clients = int(sys.argv[sys.argv.index("--clients") + 1])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "serve.sock")
+        proc = subprocess.Popen(
+            [serve, "--jobs", "2", "--admit", "4", "--socket", path],
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            barrier = threading.Barrier(clients)
+            results = [None] * clients
+            threads = [
+                threading.Thread(
+                    target=client, args=(path, barrier, results, i)
+                )
+                for i in range(clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+                assert not t.is_alive(), "client hung (serial accept loop?)"
+            # Every client finished: one final connection reads the settled
+            # counters (a per-client stats snapshot races with the others).
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(path)
+            sock.sendall(b'{"stats": true}\n')
+            sock.shutdown(socket.SHUT_WR)
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            sock.close()
+            final_stats = json.loads(data.decode())["stats"]
+        finally:
+            proc.terminate()
+            proc.wait()
+
+    reports = {}
+    for i, lines in enumerate(results):
+        assert lines is not None and len(lines) == len(DESIGNS) + 1, (
+            i,
+            lines,
+        )
+        # Per-connection order: the id echoes come back in request order.
+        ids = [l["id"] for l in lines]
+        expected = [f"c{i}-{j}" for j in range(len(DESIGNS))] + [
+            f"c{i}-stats"
+        ]
+        assert ids == expected, (ids, expected)
+        for line in lines[: len(DESIGNS)]:
+            assert line["ok"], line
+            assert line["speed_independent"], line
+            reports.setdefault(line["design"], set()).add(
+                json.dumps(line["report"], sort_keys=True)
+            )
+        stats_line = lines[-1]
+        assert stats_line["ok"] and "stats" in stats_line, stats_line
+
+    # Byte-identical canonical reports across every connection.
+    for design, variants in reports.items():
+        assert len(variants) == 1, f"report drift for {design}"
+    # One fresh flow run per distinct design, however many clients raced.
+    stats = final_stats
+    assert stats["misses"] == len(DESIGNS), stats
+    assert stats["decompose_runs"] == len(DESIGNS), stats
+    assert (
+        stats["hits"] + stats["coalesced"]
+        == (clients - 1) * len(DESIGNS)
+    ), stats
+
+    print(
+        f"socket smoke OK: {clients} concurrent connections, "
+        f"{len(DESIGNS)} designs, per-connection order preserved, "
+        f"misses={stats['misses']} hits={stats['hits']} "
+        f"coalesced={stats['coalesced']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
