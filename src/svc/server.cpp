@@ -1,0 +1,459 @@
+#include "svc/server.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "base/error.hpp"
+#include "benchdata/benchmarks.hpp"
+#include "core/report.hpp"
+#include "svc/analysis_service.hpp"
+#include "svc/json.hpp"
+
+namespace sitime::svc {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) sitime::fail("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return buffer.str();
+}
+
+std::string sibling_netlist_path(const std::string& design_path) {
+  std::filesystem::path sibling(design_path);
+  sibling.replace_extension(".eqn");
+  std::error_code ignored;
+  if (!std::filesystem::exists(sibling, ignored)) return "";
+  return sibling.string();
+}
+
+namespace {
+
+// ---- request protocol ------------------------------------------------------
+// The NDJSON schema lives in tools/README.md; this block turns one request
+// line into an AnalysisService call and renders the response line.
+
+/// Renders an echoed "id" value (scalars only; anything else is dropped).
+std::string render_id(const JsonValue& id) {
+  using Kind = JsonValue::Kind;
+  switch (id.kind()) {
+    case Kind::string: {
+      std::string quoted = "\"";
+      quoted += core::json_escape(id.as_string());
+      quoted += '"';
+      return quoted;
+    }
+    case Kind::number: {
+      const double number = id.as_number();
+      char buffer[32];
+      // The float-to-integer cast is only defined inside long long range;
+      // anything else (huge ids, fractions) is echoed as a double.
+      if (number >= -9.2e18 && number <= 9.2e18 &&
+          number == static_cast<double>(static_cast<long long>(number)))
+        std::snprintf(buffer, sizeof(buffer), "%lld",
+                      static_cast<long long>(number));
+      else
+        std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+      return buffer;
+    }
+    case Kind::boolean: return id.as_bool() ? "true" : "false";
+    default: return "";
+  }
+}
+
+/// Builds the service request from one parsed JSON request line.
+AnalysisRequest build_request(const JsonValue& json) {
+  AnalysisRequest request;
+  const JsonValue& design = json.get("design");
+  if (design.is_string()) {
+    const std::string& path = design.as_string();
+    request.name = path;
+    request.astg = read_text_file(path);
+    std::string eqn_path = json.string_or("eqn", "");
+    if (eqn_path.empty()) eqn_path = sibling_netlist_path(path);
+    if (!eqn_path.empty()) request.eqn = read_text_file(eqn_path);
+  } else if (design.is_object()) {
+    const std::string bench_name = design.string_or("bench", "");
+    if (!bench_name.empty()) {
+      const auto& bench = benchdata::benchmark(bench_name);
+      request.name = bench.name;
+      request.astg = bench.astg;
+      request.eqn = bench.eqn;
+    } else {
+      request.astg = design.string_or("astg", "");
+      if (request.astg.empty())
+        sitime::fail("request: design object needs 'astg' or 'bench'");
+      request.eqn = design.string_or("eqn", "");
+      request.name = design.string_or("name", "(inline)");
+    }
+  } else {
+    sitime::fail("request: 'design' must be a path or an object");
+  }
+  const std::string mode = json.string_or("mode", "derive");
+  if (mode == "verify")
+    request.mode = RequestMode::verify;
+  else if (mode == "derive")
+    request.mode = RequestMode::derive;
+  else
+    sitime::fail("request: unknown mode '" + mode + "'");
+  request.jobs = static_cast<int>(json.int_or("jobs", 0));
+  return request;
+}
+
+void append_cache_stats(std::ostringstream& out, const CacheStats& stats) {
+  out << "{\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+      << ",\"upgrades\":" << stats.upgrades
+      << ",\"coalesced\":" << stats.coalesced
+      << ",\"evictions\":" << stats.evictions
+      << ",\"failures\":" << stats.failures
+      << ",\"decompose_runs\":" << stats.decompose_runs
+      << ",\"verify_runs\":" << stats.verify_runs
+      << ",\"derive_runs\":" << stats.derive_runs
+      << ",\"entries\":" << stats.entries << ",\"bytes\":" << stats.bytes
+      << ",\"budget_bytes\":" << stats.budget_bytes
+      << ",\"sg_entries\":" << stats.sg_cache_entries
+      << ",\"sg_hits\":" << stats.sg_cache_hits
+      << ",\"sg_misses\":" << stats.sg_cache_misses << "}";
+}
+
+/// Handles one request line; never throws. Returns the response line
+/// (without the trailing newline).
+std::string handle_line(AnalysisService& service, const std::string& line) {
+  std::string id;
+  std::string name;
+  try {
+    const JsonValue json = parse_json(line);
+    id = render_id(json.get("id"));
+
+    // Control request: {"stats": true} returns the live counters without
+    // touching the design cache.
+    const JsonValue& stats_flag = json.get("stats");
+    if (!stats_flag.is_null()) {
+      if (!stats_flag.as_bool())
+        sitime::fail("request: 'stats' must be true when present");
+      std::ostringstream out;
+      out << "{";
+      if (!id.empty()) out << "\"id\":" << id << ",";
+      out << "\"ok\":true,\"stats\":";
+      append_cache_stats(out, service.stats());
+      out << "}";
+      return out.str();
+    }
+
+    AnalysisRequest request = build_request(json);
+    name = request.name;
+    const AnalysisResponse response = service.analyze(request);
+
+    std::ostringstream out;
+    out << "{";
+    if (!id.empty()) out << "\"id\":" << id << ",";
+    out << "\"design\":\"" << core::json_escape(name) << "\"";
+    if (!response.ok) {
+      out << ",\"ok\":false,\"error\":\""
+          << core::json_escape(response.error) << "\"}";
+      return out.str();
+    }
+    out << ",\"ok\":true,\"cache\":\"" << response.cache_state
+        << "\",\"phases_run\":\"" << core::json_escape(response.phases_run)
+        << "\",\"key\":\"" << response.key << "\"";
+    char seconds[32];
+    std::snprintf(seconds, sizeof(seconds), "%.6f", response.seconds);
+    out << ",\"seconds\":" << seconds;
+    out << ",\"speed_independent\":"
+        << (response.speed_independent ? "true" : "false");
+    if (!response.speed_independent)
+      out << ",\"offender\":\""
+          << core::json_escape(response.verify_offender) << "\"";
+    if (response.canonical_json != nullptr)
+      out << ",\"report\":" << *response.canonical_json;
+    out << ",\"cache_stats\":";
+    append_cache_stats(out, service.stats());
+    out << "}";
+    return out.str();
+  } catch (const std::exception& error) {
+    std::ostringstream out;
+    out << "{";
+    if (!id.empty()) out << "\"id\":" << id << ",";
+    if (!name.empty())
+      out << "\"design\":\"" << core::json_escape(name) << "\",";
+    out << "\"ok\":false,\"error\":\"" << core::json_escape(error.what())
+        << "\"}";
+    return out.str();
+  }
+}
+
+ServerOptions normalized(ServerOptions options) {
+  if (options.admit < 1) options.admit = 1;
+  return options;
+}
+
+}  // namespace
+
+// ---- Connection ------------------------------------------------------------
+
+/// One client connection: its transport channel plus the in-order
+/// emission state (responses finish out of order on the shared workers;
+/// each connection reorders its own).
+struct Server::Connection {
+  explicit Connection(std::unique_ptr<Channel> transport)
+      : channel(std::move(transport)) {}
+
+  std::unique_ptr<Channel> channel;
+  std::mutex mutex;
+  std::condition_variable window_open;  // an emission slot freed
+  std::map<long, std::string> ready;    // finished out-of-order responses
+  long next_emit = 0;
+  long sequence = 0;
+  bool emitting = false;  // one emitter at a time keeps lines in order
+};
+
+// ---- Server ----------------------------------------------------------------
+
+Server::Server(AnalysisService& service, ServerOptions options)
+    : service_(service), options_(normalized(std::move(options))) {}
+
+Server::~Server() {
+  stop();
+  wait();
+}
+
+void Server::add_transport(std::unique_ptr<Transport> transport) {
+  transports_.push_back(std::move(transport));
+}
+
+void Server::start() {
+  if (transports_.empty()) sitime::fail("svc::Server: no transports added");
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    if (started_) sitime::fail("svc::Server: already started");
+    started_ = true;
+  }
+  ChannelLimits limits;
+  limits.max_line_bytes = options_.max_line_bytes;
+  limits.idle_timeout_ms = options_.idle_timeout_ms;
+  limits.write_timeout_ms = options_.write_timeout_ms;
+  for (const auto& transport : transports_) {
+    transport->open(limits);
+    log("listening on " + transport->describe());
+  }
+  workers_.reserve(static_cast<std::size_t>(options_.admit));
+  for (int t = 0; t < options_.admit; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+  accept_threads_.reserve(transports_.size());
+  for (const auto& transport : transports_)
+    accept_threads_.emplace_back(
+        [this, raw = transport.get()] { accept_loop(*raw); });
+}
+
+void Server::wait() {
+  std::lock_guard<std::mutex> wait_lock(wait_mutex_);
+  // Accept threads exit when their transport is exhausted (stdio: the
+  // one connection handed out; sockets: stop()).
+  for (std::thread& acceptor : accept_threads_)
+    if (acceptor.joinable()) acceptor.join();
+  {
+    std::unique_lock<std::mutex> lock(conns_mutex_);
+    all_drained_.wait(lock, [&] { return active_ == 0; });
+  }
+  // Every reader has drained: the queue can only shrink now, and the
+  // workers drain it fully before exiting.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    workers_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+    // Unblock every reader: it observes EOF, drains its admitted
+    // responses (the workers keep running until wait()), and closes.
+    for (const auto& conn : conns_) conn->channel->shutdown_read();
+  }
+  for (const auto& transport : transports_) transport->shutdown();
+  log("shutting down: draining in-flight requests");
+}
+
+int Server::serve() {
+  start();
+  wait();
+  return 0;
+}
+
+int Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  return active_;
+}
+
+long long Server::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  return accepted_;
+}
+
+long long Server::connections_refused() const {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  return refused_;
+}
+
+void Server::accept_loop(Transport& transport) {
+  while (true) {
+    std::unique_ptr<Channel> channel = transport.accept();
+    if (channel == nullptr) return;  // transport exhausted
+    std::shared_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      if (stopping_) continue;  // refused; the channel closes right here
+      if (options_.max_connections > 0 &&
+          active_ >= options_.max_connections) {
+        ++refused_;
+        channel->write_line(
+            "{\"ok\":false,\"error\":\"server busy: connection limit " +
+            std::to_string(options_.max_connections) + " reached\"}");
+        continue;
+      }
+      ++active_;
+      ++accepted_;
+      conn = std::make_shared<Connection>(std::move(channel));
+      conns_.insert(conn);
+    }
+    // Reader threads are detached so a long-running server does not
+    // accumulate one joinable handle per connection ever served; the
+    // registry lets stop() reach them and wait() outlive them.
+    std::thread([this, conn] {
+      reader_loop(conn);
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.erase(conn);
+      if (--active_ == 0) all_drained_.notify_all();
+    }).detach();
+  }
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  std::string line;
+  long long admitted = 0;
+  std::string farewell;  // emitted after the drain, before closing
+  bool reading = true;
+  while (reading) {
+    switch (conn->channel->read_line(line)) {
+      case Channel::ReadStatus::eof:
+        reading = false;
+        continue;
+      case Channel::ReadStatus::idle:
+        reading = false;  // silently close an idle connection
+        continue;
+      case Channel::ReadStatus::oversized:
+        farewell =
+            "{\"ok\":false,\"error\":\"request line exceeds " +
+            std::to_string(options_.max_line_bytes) +
+            " bytes; closing connection\"}";
+        reading = false;
+        continue;
+      case Channel::ReadStatus::line:
+        break;
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    long seq;
+    {
+      std::unique_lock<std::mutex> lock(conn->mutex);
+      conn->window_open.wait(lock, [&] {
+        return conn->sequence - conn->next_emit < options_.admit;
+      });
+      seq = conn->sequence++;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      queue_.push_back(Job{conn, seq, std::move(line)});
+    }
+    work_ready_.notify_one();
+    if (options_.max_requests_per_connection > 0 &&
+        ++admitted >= options_.max_requests_per_connection) {
+      farewell =
+          "{\"ok\":false,\"error\":\"per-connection request cap " +
+          std::to_string(options_.max_requests_per_connection) +
+          " reached; closing connection\"}";
+      reading = false;
+    }
+  }
+  if (!farewell.empty()) {
+    // The farewell is sequenced like a response: emitted strictly after
+    // every admitted response of this connection, by whoever holds the
+    // emitter flag (writing it directly here could overtake a response
+    // whose emitter has claimed its slot but not yet written the bytes).
+    std::unique_lock<std::mutex> lock(conn->mutex);
+    conn->ready.emplace(conn->sequence++, std::move(farewell));
+    flush_ready(*conn, lock);
+  }
+  // Drain: the workers still hold admitted lines of this connection;
+  // every one of them (and the farewell) is emitted before the
+  // connection closes.
+  {
+    std::unique_lock<std::mutex> lock(conn->mutex);
+    conn->window_open.wait(lock,
+                           [&] { return conn->next_emit == conn->sequence; });
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      work_ready_.wait(lock,
+                       [&] { return workers_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::string response = handle_line(service_, job.line);
+    std::unique_lock<std::mutex> lock(job.conn->mutex);
+    job.conn->ready.emplace(job.seq, std::move(response));
+    flush_ready(*job.conn, lock);
+  }
+}
+
+/// Drains every consecutive ready response of one connection, WRITING
+/// OUTSIDE THE LOCK so a slow reader (a stalled socket client) cannot
+/// stall the shared workers beyond the one carrying its response. The
+/// `emitting` flag makes whoever holds it the sole writer; responses
+/// that become ready meanwhile are picked up by its next sweep.
+void Server::flush_ready(Connection& conn,
+                         std::unique_lock<std::mutex>& lock) {
+  if (conn.emitting) return;  // the active emitter will sweep ours up
+  conn.emitting = true;
+  while (!conn.ready.empty() &&
+         conn.ready.begin()->first == conn.next_emit) {
+    std::vector<std::string> batch;
+    while (!conn.ready.empty() &&
+           conn.ready.begin()->first == conn.next_emit) {
+      batch.push_back(std::move(conn.ready.begin()->second));
+      conn.ready.erase(conn.ready.begin());
+      ++conn.next_emit;
+    }
+    conn.window_open.notify_all();
+    lock.unlock();
+    for (const std::string& response : batch)
+      conn.channel->write_line(response);
+    lock.lock();
+  }
+  conn.emitting = false;
+  // The drain predicate (next_emit == sequence) may have just turned
+  // true with no further emission to signal it.
+  conn.window_open.notify_all();
+}
+
+void Server::log(const std::string& message) const {
+  if (!options_.log_lifecycle) return;
+  std::fprintf(stderr, "%s: %s\n", options_.log_prefix.c_str(),
+               message.c_str());
+}
+
+}  // namespace sitime::svc

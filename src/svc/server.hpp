@@ -1,0 +1,168 @@
+// svc::Server — the reusable connection-handling layer of the resident
+// analysis server (sitime_serve is flag parsing around this class).
+//
+// One Server owns the full serving machinery over an AnalysisService:
+//   - any number of Transports (stdio, Unix socket, TCP — simultaneously:
+//     one process can serve a Unix socket and a TCP listener at once,
+//     sharing one design cache), each with its own accept thread;
+//   - one reader thread per accepted connection, all feeding ONE shared
+//     bounded admission: `admit` worker threads drain a global request
+//     queue, so total analysis concurrency is bounded whatever the
+//     number of clients;
+//   - per-connection response ordering: requests finish out of order on
+//     the shared workers, each connection reorders its own responses and
+//     bounds its unemitted window to `admit` (no unbounded read-ahead or
+//     reorder buffering behind a slow head-of-line request);
+//   - the NDJSON request protocol itself, including the {"stats": true}
+//     control path (see tools/README.md for the schema);
+//   - abuse backstops: connection limit (excess connections get one busy
+//     line and are closed), per-connection request cap, maximum request
+//     line length (an oversized frame drains the connection's admitted
+//     responses, emits a notice and drops ONLY that connection), idle
+//     timeout;
+//   - graceful shutdown: stop() refuses new connections, lets every
+//     admitted request finish, emits its response, closes the drained
+//     connections and joins all threads. Callable from any thread (a
+//     signal watcher, a test), so SIGTERM can drain instead of dropping
+//     in-flight work.
+//
+// Lifecycle: construct → add_transport()... → start() → wait() (blocks
+// until every transport is exhausted and every connection drained — for
+// socket servers that means until stop()). The destructor stops and
+// waits. One Server serves once; it is not restartable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "svc/transport.hpp"
+
+namespace sitime::svc {
+
+class AnalysisService;
+
+/// Whole-file read for request building ({"design": "path"}); throws
+/// sitime::Error when the file cannot be opened. Shared with the tools
+/// via tools/design_io.hpp so the drivers cannot drift.
+std::string read_text_file(const std::string& path);
+
+/// Path of the sibling netlist of a design file (DESIGN.g ->
+/// DESIGN.eqn), or "" when none exists.
+std::string sibling_netlist_path(const std::string& design_path);
+
+struct ServerOptions {
+  /// Requests concurrently in flight across all connections (the worker
+  /// count of the shared admission); also each connection's unemitted
+  /// window. Clamped to >= 1.
+  int admit = 4;
+  /// Concurrent connections across all transports; an excess connection
+  /// is answered with one {"ok":false,...} busy line and closed.
+  /// 0 = unlimited.
+  int max_connections = 0;
+  /// DoS backstop: after this many requests a connection is drained
+  /// (every admitted response is emitted), told why, and closed.
+  /// 0 = unlimited.
+  long long max_requests_per_connection = 0;
+  /// Longest accepted request line; an oversized frame drops its
+  /// connection (after draining) without touching other connections.
+  /// 0 = unlimited.
+  std::size_t max_line_bytes = 4u << 20;
+  /// Socket connections that send nothing for this long are closed.
+  /// 0 = never.
+  int idle_timeout_ms = 0;
+  /// Longest a response write may block on a client that stopped
+  /// reading before the response is dropped and the shared worker
+  /// released (a never-reading client would otherwise pin one of the
+  /// `admit` workers and stall graceful shutdown). 0 = block forever.
+  int write_timeout_ms = 30000;
+  /// Lifecycle notices ("listening on tcp 127.0.0.1:45123", shutdown)
+  /// go to stderr under this prefix; log_lifecycle = false silences
+  /// them (tests).
+  std::string log_prefix = "svc::server";
+  bool log_lifecycle = true;
+};
+
+class Server {
+ public:
+  explicit Server(AnalysisService& service, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Adds a listener; call before start(). At least one is required.
+  void add_transport(std::unique_ptr<Transport> transport);
+
+  /// Opens every transport (throws sitime::Error on bind failure, with
+  /// nothing serving) and starts the accept/worker threads.
+  void start();
+
+  /// Blocks until every transport is exhausted and every connection has
+  /// drained: stdio servers return at stdin EOF, socket servers when
+  /// stop() fires. Then joins all threads. Safe to call once per
+  /// wait()-er at a time; the destructor calls it.
+  void wait();
+
+  /// Graceful shutdown from any thread: refuses new connections,
+  /// unblocks every connection's reader, lets admitted requests finish
+  /// and emit, then lets wait() return. Idempotent; does not block on
+  /// the drain itself (wait() does).
+  void stop();
+
+  /// start() + wait() for tools; returns a process exit code.
+  int serve();
+
+  int active_connections() const;
+  long long connections_accepted() const;
+  long long connections_refused() const;
+
+ private:
+  struct Connection;
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    long seq = 0;
+    std::string line;
+  };
+
+  void accept_loop(Transport& transport);
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void worker_loop();
+  static void flush_ready(Connection& conn,
+                          std::unique_lock<std::mutex>& lock);
+  void log(const std::string& message) const;
+
+  AnalysisService& service_;
+  const ServerOptions options_;  // admit pre-clamped by the constructor
+
+  std::vector<std::unique_ptr<Transport>> transports_;
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::thread> workers_;
+
+  // The shared bounded admission queue.
+  std::mutex queue_mutex_;
+  std::condition_variable work_ready_;
+  std::deque<Job> queue_;
+  bool workers_down_ = false;
+
+  // Connection registry: stop() sweeps it to unblock every reader; the
+  // drain condition (active_ == 0) gates wait().
+  mutable std::mutex conns_mutex_;
+  std::condition_variable all_drained_;
+  std::unordered_set<std::shared_ptr<Connection>> conns_;
+  int active_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+  long long accepted_ = 0;
+  long long refused_ = 0;
+
+  std::mutex wait_mutex_;  // serializes the joins in wait()
+};
+
+}  // namespace sitime::svc

@@ -1,0 +1,319 @@
+#include "svc/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "base/error.hpp"
+
+namespace sitime::svc {
+
+namespace {
+
+/// Line framing over the process stdin/stdout.
+class StdioChannel : public Channel {
+ public:
+  explicit StdioChannel(const ChannelLimits& limits) : limits_(limits) {}
+
+  ReadStatus read_line(std::string& line) override {
+    if (!std::getline(std::cin, line)) return ReadStatus::eof;
+    if (limits_.max_line_bytes != 0 && line.size() > limits_.max_line_bytes)
+      return ReadStatus::oversized;
+    return ReadStatus::line;
+  }
+
+  void write_line(const std::string& line) override {
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);  // stream responses as they become ready
+  }
+
+ private:
+  ChannelLimits limits_;
+};
+
+/// Line framing over one connected stream socket (Unix or TCP).
+class SocketChannel : public Channel {
+ public:
+  SocketChannel(int fd, const ChannelLimits& limits)
+      : fd_(fd), limits_(limits) {}
+  ~SocketChannel() override { ::close(fd_); }
+
+  ReadStatus read_line(std::string& line) override {
+    line.clear();
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line.assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        return over_limit(line.size()) ? ReadStatus::oversized
+                                       : ReadStatus::line;
+      }
+      // No newline yet: a buffer past the limit can only frame a line
+      // past the limit, so the offender is caught before it buffers
+      // arbitrarily much.
+      if (over_limit(buffer_.size())) return ReadStatus::oversized;
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got < 0 && errno == EINTR) continue;  // signal, not EOF
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return ReadStatus::idle;  // SO_RCVTIMEO window expired
+      if (got <= 0) {
+        if (buffer_.empty()) return ReadStatus::eof;
+        line.swap(buffer_);  // final unterminated line
+        return over_limit(line.size()) ? ReadStatus::oversized
+                                       : ReadStatus::line;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+  void write_line(const std::string& line) override {
+    std::string out = line;
+    out += '\n';
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t wrote =
+          ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (wrote < 0 && errno == EINTR) continue;
+      // <= 0 covers the client going away AND the SO_SNDTIMEO window
+      // expiring on a client that stopped reading (EAGAIN): either way
+      // the rest of the response is dropped so the shared worker
+      // carrying it is released.
+      if (wrote <= 0) return;
+      sent += static_cast<std::size_t>(wrote);
+    }
+  }
+
+  void shutdown_read() override { ::shutdown(fd_, SHUT_RD); }
+
+ private:
+  bool over_limit(std::size_t size) const {
+    return limits_.max_line_bytes != 0 && size > limits_.max_line_bytes;
+  }
+
+  int fd_;
+  ChannelLimits limits_;
+  std::string buffer_;
+};
+
+/// accept(2) with EINTR retry; -1 once the listener is gone (closed or
+/// shut down).
+int accept_retry(int listener) {
+  while (true) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+void set_socket_timeout(int fd, int option, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval window{};
+  window.tv_sec = timeout_ms / 1000;
+  window.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, option, &window, sizeof(window));
+}
+
+void apply_limits(int fd, const ChannelLimits& limits) {
+  set_socket_timeout(fd, SO_RCVTIMEO, limits.idle_timeout_ms);
+  set_socket_timeout(fd, SO_SNDTIMEO, limits.write_timeout_ms);
+}
+
+}  // namespace
+
+// ---- StdioTransport --------------------------------------------------------
+
+std::unique_ptr<Channel> StdioTransport::accept() {
+  if (down_.load() || handed_out_.exchange(true)) return nullptr;
+  return std::make_unique<StdioChannel>(limits_);
+}
+
+// ---- UnixSocketTransport ---------------------------------------------------
+
+UnixSocketTransport::~UnixSocketTransport() {
+  if (listener_ >= 0) {
+    ::close(listener_);
+    ::unlink(path_.c_str());
+  }
+}
+
+void UnixSocketTransport::open(const ChannelLimits& limits) {
+  limits_ = limits;
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(address.sun_path))
+    sitime::fail("unix socket path too long: " + path_);
+  std::memcpy(address.sun_path, path_.c_str(), path_.size() + 1);
+  ::unlink(path_.c_str());  // replace a stale socket file
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    sitime::fail(std::string("unix socket: ") + std::strerror(errno));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) !=
+          0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    sitime::fail("unix bind/listen " + path_ + ": " + reason);
+  }
+  listener_ = fd;
+}
+
+std::unique_ptr<Channel> UnixSocketTransport::accept() {
+  if (listener_ < 0) return nullptr;
+  const int fd = accept_retry(listener_);
+  if (fd < 0 || down_.load()) {
+    if (fd >= 0) ::close(fd);
+    return nullptr;
+  }
+  apply_limits(fd, limits_);
+  return std::make_unique<SocketChannel>(fd, limits_);
+}
+
+void UnixSocketTransport::shutdown() {
+  if (!down_.exchange(true) && listener_ >= 0)
+    ::shutdown(listener_, SHUT_RDWR);
+}
+
+// ---- TcpTransport ----------------------------------------------------------
+
+TcpTransport::~TcpTransport() {
+  if (listener_ >= 0) ::close(listener_);
+}
+
+void TcpTransport::open(const ChannelLimits& limits) {
+  limits_ = limits;
+  const std::string requested =
+      (options_.host.empty() ? "*" : options_.host) + ":" +
+      std::to_string(options_.port);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;  // IPv4 and IPv6 alike
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  char port_text[8];
+  std::snprintf(port_text, sizeof(port_text), "%u",
+                static_cast<unsigned>(options_.port));
+  addrinfo* found = nullptr;
+  const int resolve = ::getaddrinfo(
+      options_.host.empty() ? nullptr : options_.host.c_str(), port_text,
+      &hints, &found);
+  if (resolve != 0)
+    sitime::fail("tcp listen " + requested + ": " +
+                 ::gai_strerror(resolve));
+
+  std::string last_error = "no usable address";
+  for (addrinfo* info = found; info != nullptr; info = info->ai_next) {
+    const int fd =
+        ::socket(info->ai_family, info->ai_socktype, info->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    const int enable = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+    if (::bind(fd, info->ai_addr, info->ai_addrlen) == 0 &&
+        ::listen(fd, 64) == 0) {
+      listener_ = fd;
+      break;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(found);
+  if (listener_ < 0) sitime::fail("tcp listen " + requested + ": " +
+                                  last_error);
+
+  // Learn the bound address: host:0 asks the kernel for a port, and the
+  // startup line ("listening on tcp 127.0.0.1:45123") must name it so
+  // clients (and the CI smoke) can find the server.
+  sockaddr_storage bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listener_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    char host[INET6_ADDRSTRLEN] = "?";
+    char endpoint[INET6_ADDRSTRLEN + 16];
+    if (bound.ss_family == AF_INET) {
+      const auto* v4 = reinterpret_cast<const sockaddr_in*>(&bound);
+      ::inet_ntop(AF_INET, &v4->sin_addr, host, sizeof(host));
+      bound_port_ = ntohs(v4->sin_port);
+      std::snprintf(endpoint, sizeof(endpoint), "%s:%u", host,
+                    static_cast<unsigned>(bound_port_));
+      bound_text_ = endpoint;
+    } else if (bound.ss_family == AF_INET6) {
+      const auto* v6 = reinterpret_cast<const sockaddr_in6*>(&bound);
+      ::inet_ntop(AF_INET6, &v6->sin6_addr, host, sizeof(host));
+      bound_port_ = ntohs(v6->sin6_port);
+      std::snprintf(endpoint, sizeof(endpoint), "[%s]:%u", host,
+                    static_cast<unsigned>(bound_port_));
+      bound_text_ = endpoint;
+    }
+  }
+  if (bound_text_.empty()) bound_text_ = requested;
+}
+
+std::unique_ptr<Channel> TcpTransport::accept() {
+  if (listener_ < 0) return nullptr;
+  const int fd = accept_retry(listener_);
+  if (fd < 0 || down_.load()) {
+    if (fd >= 0) ::close(fd);
+    return nullptr;
+  }
+  apply_limits(fd, limits_);
+  return std::make_unique<SocketChannel>(fd, limits_);
+}
+
+void TcpTransport::shutdown() {
+  if (!down_.exchange(true) && listener_ >= 0)
+    ::shutdown(listener_, SHUT_RDWR);
+}
+
+std::string TcpTransport::describe() const {
+  if (!bound_text_.empty()) return "tcp " + bound_text_;
+  return "tcp " + (options_.host.empty() ? "*" : options_.host) + ":" +
+         std::to_string(options_.port);
+}
+
+// ---- --listen endpoint parsing ---------------------------------------------
+
+TcpTransport::Options parse_listen_endpoint(const std::string& text) {
+  TcpTransport::Options options;
+  std::string port_text;
+  if (!text.empty() && text.front() == '[') {
+    const std::size_t close = text.find("]:");
+    if (close == std::string::npos)
+      sitime::fail("listen endpoint '" + text +
+                   "': IPv6 needs the [addr]:port form");
+    options.host = text.substr(1, close - 1);
+    port_text = text.substr(close + 2);
+  } else {
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos || text.find(':') != colon)
+      sitime::fail("listen endpoint '" + text +
+                   "': expected host:port ([addr]:port for IPv6)");
+    options.host = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos ||
+      port_text.size() > 5)
+    sitime::fail("listen endpoint '" + text + "': bad port");
+  const long port = std::strtol(port_text.c_str(), nullptr, 10);
+  if (port > 65535)
+    sitime::fail("listen endpoint '" + text + "': port out of range");
+  options.port = static_cast<std::uint16_t>(port);
+  return options;
+}
+
+}  // namespace sitime::svc

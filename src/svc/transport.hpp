@@ -1,0 +1,155 @@
+// Transports for svc::Server: the connection-producing side of the
+// resident analysis server.
+//
+// A Transport owns one listener (or the process stdio pair) and hands the
+// server line-framed Channels, one per client connection. Three
+// implementations cover the deployment matrix:
+//   - StdioTransport      one connection over stdin/stdout (pipelines,
+//                         serve_replay_check.py, interactive use);
+//   - UnixSocketTransport a filesystem stream socket (same-host clients);
+//   - TcpTransport        an addressable host:port listener (IPv4/IPv6,
+//                         SO_REUSEADDR, kernel-assigned port for port 0)
+//                         for networked multi-client deployments.
+// Every accepted Channel enforces the shared ChannelLimits: a maximum
+// request-line length (oversized frames are reported, the connection is
+// dropped) and an idle timeout (socket transports only — a connection
+// that sends nothing for the window is closed).
+//
+// accept() blocks; shutdown() is callable from any thread and unblocks
+// it permanently (the graceful-shutdown hook: the listener stops taking
+// connections while live Channels keep draining).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sitime::svc {
+
+/// Per-connection limits every transport applies to the Channels it
+/// accepts. Zero disables the respective limit.
+struct ChannelLimits {
+  std::size_t max_line_bytes = 0;  // longest accepted request line
+  int idle_timeout_ms = 0;         // close a connection idle this long
+  /// Longest a single response write may block on a client that is not
+  /// reading; past it the response (and the rest of the line) is
+  /// dropped. Keeps a stalled client from pinning a shared admission
+  /// worker forever.
+  int write_timeout_ms = 0;
+};
+
+/// One line-framed client connection. read_line() strips the trailing
+/// newline; a final unterminated line before EOF is still delivered.
+/// write_line() appends the newline and streams immediately; a vanished
+/// client drops the response rather than erroring.
+class Channel {
+ public:
+  enum class ReadStatus {
+    line,       // `line` holds one request line
+    eof,        // client finished cleanly (or shutdown_read() fired)
+    oversized,  // the incoming line exceeds ChannelLimits::max_line_bytes
+    idle,       // nothing arrived within ChannelLimits::idle_timeout_ms
+  };
+
+  virtual ~Channel() = default;
+  virtual ReadStatus read_line(std::string& line) = 0;
+  virtual void write_line(const std::string& line) = 0;
+  /// Unblocks a reader stuck in read_line() from another thread (it
+  /// observes eof); writes still drain. Default: not supported (stdio).
+  virtual void shutdown_read() {}
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Binds/prepares the listener. Throws sitime::Error on failure
+  /// (address in use, bad path, ...). Must be called before accept().
+  virtual void open(const ChannelLimits& limits) = 0;
+  /// Blocks for the next client connection; nullptr once the transport
+  /// is exhausted (shutdown() was called, the listener failed, or a
+  /// one-shot transport already handed out its connection).
+  virtual std::unique_ptr<Channel> accept() = 0;
+  /// Refuses further connections and unblocks accept(). Idempotent,
+  /// callable from any thread.
+  virtual void shutdown() = 0;
+  /// Human-readable endpoint, e.g. "tcp 127.0.0.1:45123" — after open()
+  /// it names the actual bound address (the kernel-assigned port for
+  /// `--listen host:0`). Servers log it as their startup line.
+  virtual std::string describe() const = 0;
+};
+
+/// One connection over the process stdin/stdout; accept() hands it out
+/// exactly once. shutdown_read() is unsupported: a stdio server runs
+/// until EOF on stdin.
+class StdioTransport : public Transport {
+ public:
+  void open(const ChannelLimits& limits) override { limits_ = limits; }
+  std::unique_ptr<Channel> accept() override;
+  void shutdown() override { down_.store(true); }
+  std::string describe() const override { return "stdio"; }
+
+ private:
+  ChannelLimits limits_;
+  std::atomic<bool> handed_out_{false};
+  std::atomic<bool> down_{false};
+};
+
+/// Filesystem stream-socket listener. open() replaces a stale socket
+/// file; the destructor unlinks it.
+class UnixSocketTransport : public Transport {
+ public:
+  explicit UnixSocketTransport(std::string path) : path_(std::move(path)) {}
+  ~UnixSocketTransport() override;
+
+  void open(const ChannelLimits& limits) override;
+  std::unique_ptr<Channel> accept() override;
+  void shutdown() override;
+  std::string describe() const override { return "unix " + path_; }
+
+ private:
+  std::string path_;
+  ChannelLimits limits_;
+  int listener_ = -1;
+  std::atomic<bool> down_{false};
+};
+
+/// TCP listener on host:port. Binds the first usable address the
+/// resolver returns for the host (IPv4 or IPv6), with SO_REUSEADDR so a
+/// restarted server reclaims its port immediately.
+class TcpTransport : public Transport {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";  // "" = all interfaces
+    std::uint16_t port = 0;          // 0 = kernel-assigned
+  };
+
+  explicit TcpTransport(Options options) : options_(std::move(options)) {}
+  ~TcpTransport() override;
+
+  void open(const ChannelLimits& limits) override;
+  std::unique_ptr<Channel> accept() override;
+  void shutdown() override;
+  std::string describe() const override;
+
+  /// The actual listening port; meaningful after open() (resolves
+  /// Options::port == 0 to the kernel's choice).
+  std::uint16_t bound_port() const { return bound_port_; }
+
+ private:
+  Options options_;
+  ChannelLimits limits_;
+  int listener_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string bound_text_;  // "host:port" of the bound address
+  std::atomic<bool> down_{false};
+};
+
+/// Parses a --listen endpoint: "host:port", "[v6addr]:port", or ":port"
+/// (all interfaces). Port 0 asks the kernel for an ephemeral port.
+/// Throws sitime::Error on malformed input.
+TcpTransport::Options parse_listen_endpoint(const std::string& text);
+
+}  // namespace sitime::svc

@@ -1,33 +1,24 @@
 // File-loading helpers shared by the sitime tools (check_hazard,
 // sitime_serve): whole-file reads and the DESIGN.g -> DESIGN.eqn sibling
-// netlist convention, kept in one place so the two drivers cannot drift.
+// netlist convention. The implementations live in src/svc/server (the
+// request-building path of svc::Server uses them too); these aliases keep
+// the tools on the same definitions so the drivers cannot drift.
 #pragma once
 
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <string>
 
-#include "base/error.hpp"
+#include "svc/server.hpp"
 
 namespace sitime::tools {
 
 inline std::string read_file(const std::string& path) {
-  std::ifstream stream(path);
-  if (!stream) sitime::fail("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << stream.rdbuf();
-  return buffer.str();
+  return svc::read_text_file(path);
 }
 
 /// Path of the sibling netlist of a design file (DESIGN.g -> DESIGN.eqn),
 /// or "" when none exists.
 inline std::string sibling_eqn_path(const std::string& design_path) {
-  std::filesystem::path sibling(design_path);
-  sibling.replace_extension(".eqn");
-  std::error_code ignored;
-  if (!std::filesystem::exists(sibling, ignored)) return "";
-  return sibling.string();
+  return svc::sibling_netlist_path(design_path);
 }
 
 }  // namespace sitime::tools

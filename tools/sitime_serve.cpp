@@ -1,509 +1,91 @@
-// sitime_serve — resident analysis server over the svc::AnalysisService
-// design cache.
+// sitime_serve — resident analysis server: flag parsing around
+// svc::Server + svc::AnalysisService.
 //
-// Reads newline-delimited JSON requests on stdin (or a Unix stream socket
-// with --socket, any number of concurrent connections) and streams back one
-// JSON response line per request, in per-connection request order, while up
-// to --admit requests run concurrently on the shared thread pool (each
-// fanning its (component × gate) jobs — and their OR-causality expansion
-// subtasks — onto the same pool).
+// The serving machinery (transports, shared bounded admission,
+// per-connection response ordering, the {"stats": true} control path,
+// graceful shutdown) lives in src/svc/server; the NDJSON request and
+// response schema is documented there and in tools/README.md.
 //
-// Request schema (one object per line):
-//   {"design": "path/to/STG.g"}              file-based design; a sibling
-//                                            .eqn is picked up when present
-//   {"design": {"astg": "...", "eqn": "...", "name": "..."}}
-//                                            inline design (eqn optional ->
-//                                            synthesize)
-//   {"design": {"bench": "name"}}            embedded benchmark
-//   {"stats": true}                          control request: cache counters
-//                                            only, no analysis
-// Optional fields: "eqn" (netlist file path, overrides the sibling),
-// "mode" ("derive" default | "verify"), "jobs" (per-request override),
-// "id" (echoed back verbatim in the response).
-//
-// Response line:
-//   {"id": ..., "design": "...", "ok": true, "cache": "fresh"|"hit"|
-//    "upgraded"|"coalesced", "phases_run": "decompose+verify+derive",
-//    "key": "<content hash>", "seconds": ..., "speed_independent": true,
-//    "report": {<canonical report JSON>}, "cache_stats": {...}}
-// The "report" object is the deterministic canonical body: byte-identical
-// for cached and fresh runs at any worker count. "cache_stats" is the
-// live service counter block (volatile by nature); a {"stats": true}
-// request returns the same block as {"id": ..., "ok": true, "stats":
-// {...}} without touching the design cache. Failures come back as
-// {"ok": false, "error": "..."} on the same line number as the request.
+// Transports (combinable; no flag = stdin/stdout):
+//   --socket PATH        Unix stream socket
+//   --listen HOST:PORT   TCP (IPv4/IPv6; [addr]:port for IPv6 literals;
+//                        port 0 = kernel-assigned, printed on startup);
+//                        repeatable
+// A Unix socket and TCP listener(s) can serve simultaneously from one
+// process, sharing one design cache. Socket servers drain gracefully on
+// SIGINT/SIGTERM: new connections are refused, in-flight requests finish
+// and their responses are emitted before exit.
 //
 // Options:
-//   --jobs N        default per-request (component × gate) parallelism
-//                   (0 = one per hardware thread, default 1)
-//   --admit N       concurrent requests in flight, across all connections
-//                   (default 4)
-//   --cache-mb N    design-cache byte budget in MiB (default 256; 0
-//                   disables caching, single-flight still applies)
-//   --warm          preload the embedded benchmark suite before serving
-//   --socket PATH   serve connections on a Unix stream socket instead of
-//                   stdin; connections are accepted concurrently, each
-//                   with its own reader thread feeding the shared bounded
-//                   admission
-#include <sys/socket.h>
-#include <sys/un.h>
+//   --jobs N             default per-request (component × gate)
+//                        parallelism (0 = one per hardware thread,
+//                        default 1)
+//   --admit N            concurrent requests in flight, across all
+//                        connections (default 4)
+//   --cache-mb N         design-cache byte budget in MiB (default 256;
+//                        0 disables caching, single-flight still applies)
+//   --warm               preload the embedded benchmark suite
+//   --max-connections N  concurrent connection limit (default 256;
+//                        0 = unlimited)
+//   --max-requests N     per-connection request cap, a DoS backstop
+//                        (default 0 = unlimited)
+//   --idle-timeout-ms N  close socket connections idle this long
+//                        (default 0 = never)
+//   --write-timeout-ms N drop a response blocked this long on a client
+//                        that stopped reading (default 30000; 0 = block
+//                        forever)
+//   --max-line-bytes N   longest accepted request line (default 4 MiB)
 #include <unistd.h>
 
 #include <cerrno>
-#include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/error.hpp"
-#include "benchdata/benchmarks.hpp"
-#include "core/report.hpp"
 #include "svc/analysis_service.hpp"
-#include "svc/json.hpp"
-
-#include "design_io.hpp"  // shared tools helpers (sibling of this file)
+#include "svc/server.hpp"
+#include "svc/transport.hpp"
 
 namespace {
 
 struct ServeOptions {
   int jobs = 1;
-  int admit = 4;
   std::size_t cache_bytes = 256u << 20;
   bool warm = false;
   std::string socket_path;
+  std::vector<std::string> listen_endpoints;
+  sitime::svc::ServerOptions server;
 };
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: sitime_serve [--jobs N] [--admit N] [--cache-mb N]\n"
-               "                    [--warm] [--socket PATH]\n"
-               "reads one JSON request per line on stdin (or per socket\n"
-               "connection), writes one JSON response per line; see\n"
-               "tools/README.md\n");
+  std::fprintf(
+      stderr,
+      "usage: sitime_serve [--jobs N] [--admit N] [--cache-mb N] [--warm]\n"
+      "                    [--socket PATH] [--listen HOST:PORT]...\n"
+      "                    [--max-connections N] [--max-requests N]\n"
+      "                    [--idle-timeout-ms N] [--write-timeout-ms N]\n"
+      "                    [--max-line-bytes N]\n"
+      "reads one JSON request per line on stdin (or per socket/TCP\n"
+      "connection), writes one JSON response per line; see\n"
+      "tools/README.md\n");
   return 2;
 }
 
-/// Renders an echoed "id" value (scalars only; anything else is dropped).
-std::string render_id(const sitime::svc::JsonValue& id) {
-  using Kind = sitime::svc::JsonValue::Kind;
-  switch (id.kind()) {
-    case Kind::string:
-      return "\"" + sitime::core::json_escape(id.as_string()) + "\"";
-    case Kind::number: {
-      const double number = id.as_number();
-      char buffer[32];
-      // The float-to-integer cast is only defined inside long long range;
-      // anything else (huge ids, fractions) is echoed as a double.
-      if (number >= -9.2e18 && number <= 9.2e18 &&
-          number == static_cast<double>(static_cast<long long>(number)))
-        std::snprintf(buffer, sizeof(buffer), "%lld",
-                      static_cast<long long>(number));
-      else
-        std::snprintf(buffer, sizeof(buffer), "%.17g", number);
-      return buffer;
-    }
-    case Kind::boolean: return id.as_bool() ? "true" : "false";
-    default: return "";
-  }
-}
+// Graceful-shutdown plumbing: a signal handler cannot call
+// svc::Server::stop() itself (not async-signal-safe), so it writes one
+// byte into a self-pipe that a watcher thread blocks on.
+int g_signal_pipe[2] = {-1, -1};
 
-/// Builds the service request from one parsed JSON request line.
-sitime::svc::AnalysisRequest build_request(
-    const sitime::svc::JsonValue& json) {
-  using namespace sitime;
-  svc::AnalysisRequest request;
-  const svc::JsonValue& design = json.get("design");
-  if (design.is_string()) {
-    const std::string& path = design.as_string();
-    request.name = path;
-    request.astg = tools::read_file(path);
-    std::string eqn_path = json.string_or("eqn", "");
-    if (eqn_path.empty()) eqn_path = tools::sibling_eqn_path(path);
-    if (!eqn_path.empty()) request.eqn = tools::read_file(eqn_path);
-  } else if (design.is_object()) {
-    const std::string bench_name = design.string_or("bench", "");
-    if (!bench_name.empty()) {
-      const auto& bench = benchdata::benchmark(bench_name);
-      request.name = bench.name;
-      request.astg = bench.astg;
-      request.eqn = bench.eqn;
-    } else {
-      request.astg = design.string_or("astg", "");
-      if (request.astg.empty())
-        sitime::fail("request: design object needs 'astg' or 'bench'");
-      request.eqn = design.string_or("eqn", "");
-      request.name = design.string_or("name", "(inline)");
-    }
-  } else {
-    sitime::fail("request: 'design' must be a path or an object");
-  }
-  const std::string mode = json.string_or("mode", "derive");
-  if (mode == "verify")
-    request.mode = svc::RequestMode::verify;
-  else if (mode == "derive")
-    request.mode = svc::RequestMode::derive;
-  else
-    sitime::fail("request: unknown mode '" + mode + "'");
-  request.jobs = static_cast<int>(json.int_or("jobs", 0));
-  return request;
-}
-
-void append_cache_stats(std::ostringstream& out,
-                        const sitime::svc::CacheStats& stats) {
-  out << "{\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
-      << ",\"upgrades\":" << stats.upgrades
-      << ",\"coalesced\":" << stats.coalesced
-      << ",\"evictions\":" << stats.evictions
-      << ",\"failures\":" << stats.failures
-      << ",\"decompose_runs\":" << stats.decompose_runs
-      << ",\"verify_runs\":" << stats.verify_runs
-      << ",\"derive_runs\":" << stats.derive_runs
-      << ",\"entries\":" << stats.entries << ",\"bytes\":" << stats.bytes
-      << ",\"budget_bytes\":" << stats.budget_bytes
-      << ",\"sg_entries\":" << stats.sg_cache_entries
-      << ",\"sg_hits\":" << stats.sg_cache_hits
-      << ",\"sg_misses\":" << stats.sg_cache_misses << "}";
-}
-
-/// Handles one request line; never throws. Returns the response line
-/// (without the trailing newline).
-std::string handle_line(sitime::svc::AnalysisService& service,
-                        const std::string& line) {
-  using namespace sitime;
-  std::string id;
-  std::string name;
-  try {
-    const svc::JsonValue json = svc::parse_json(line);
-    id = render_id(json.get("id"));
-
-    // Control request: {"stats": true} returns the live counters without
-    // touching the design cache.
-    const svc::JsonValue& stats_flag = json.get("stats");
-    if (!stats_flag.is_null()) {
-      if (!stats_flag.as_bool())
-        sitime::fail("request: 'stats' must be true when present");
-      std::ostringstream out;
-      out << "{";
-      if (!id.empty()) out << "\"id\":" << id << ",";
-      out << "\"ok\":true,\"stats\":";
-      append_cache_stats(out, service.stats());
-      out << "}";
-      return out.str();
-    }
-
-    svc::AnalysisRequest request = build_request(json);
-    name = request.name;
-    const svc::AnalysisResponse response = service.analyze(request);
-
-    std::ostringstream out;
-    out << "{";
-    if (!id.empty()) out << "\"id\":" << id << ",";
-    out << "\"design\":\"" << core::json_escape(name) << "\"";
-    if (!response.ok) {
-      out << ",\"ok\":false,\"error\":\""
-          << core::json_escape(response.error) << "\"}";
-      return out.str();
-    }
-    out << ",\"ok\":true,\"cache\":\"" << response.cache_state
-        << "\",\"phases_run\":\"" << core::json_escape(response.phases_run)
-        << "\",\"key\":\"" << response.key << "\"";
-    char seconds[32];
-    std::snprintf(seconds, sizeof(seconds), "%.6f", response.seconds);
-    out << ",\"seconds\":" << seconds;
-    out << ",\"speed_independent\":"
-        << (response.speed_independent ? "true" : "false");
-    if (!response.speed_independent)
-      out << ",\"offender\":\""
-          << core::json_escape(response.verify_offender) << "\"";
-    if (response.canonical_json != nullptr)
-      out << ",\"report\":" << *response.canonical_json;
-    out << ",\"cache_stats\":";
-    append_cache_stats(out, service.stats());
-    out << "}";
-    return out.str();
-  } catch (const std::exception& error) {
-    std::ostringstream out;
-    out << "{";
-    if (!id.empty()) out << "\"id\":" << id << ",";
-    if (!name.empty())
-      out << "\"design\":\"" << core::json_escape(name) << "\",";
-    out << "\"ok\":false,\"error\":\"" << core::json_escape(error.what())
-        << "\"}";
-    return out.str();
-  }
-}
-
-/// A line-oriented request/response transport (stdin/stdout or one
-/// accepted socket connection).
-class Channel {
- public:
-  virtual ~Channel() = default;
-  virtual bool read_line(std::string& line) = 0;
-  virtual void write_line(const std::string& line) = 0;
-};
-
-class StdioChannel : public Channel {
- public:
-  bool read_line(std::string& line) override {
-    return static_cast<bool>(std::getline(std::cin, line));
-  }
-  void write_line(const std::string& line) override {
-    std::fputs(line.c_str(), stdout);
-    std::fputc('\n', stdout);
-    std::fflush(stdout);  // stream responses as they become ready
-  }
-};
-
-class SocketChannel : public Channel {
- public:
-  explicit SocketChannel(int fd) : fd_(fd) {}
-  ~SocketChannel() override { ::close(fd_); }
-
-  bool read_line(std::string& line) override {
-    line.clear();
-    while (true) {
-      const std::size_t newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        line.assign(buffer_, 0, newline);
-        buffer_.erase(0, newline + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (got < 0 && errno == EINTR) continue;  // signal, not EOF
-      if (got <= 0) {
-        if (buffer_.empty()) return false;
-        line.swap(buffer_);  // final unterminated line
-        return true;
-      }
-      buffer_.append(chunk, static_cast<std::size_t>(got));
-    }
-  }
-
-  void write_line(const std::string& line) override {
-    std::string out = line;
-    out += '\n';
-    std::size_t sent = 0;
-    while (sent < out.size()) {
-      const ssize_t wrote =
-          ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-      if (wrote <= 0) return;  // client went away; drop the response
-      sent += static_cast<std::size_t>(wrote);
-    }
-  }
-
- private:
-  int fd_;
-  std::string buffer_;
-};
-
-/// One client connection: its transport plus the in-order emission state
-/// (responses finish out of order on the shared workers; each connection
-/// reorders its own).
-struct Connection {
-  explicit Connection(std::unique_ptr<Channel> transport)
-      : channel(std::move(transport)) {}
-
-  std::unique_ptr<Channel> channel;
-  std::mutex mutex;
-  std::condition_variable window_open;  // an emission slot freed
-  std::map<long, std::string> ready;    // finished out-of-order responses
-  long next_emit = 0;
-  long sequence = 0;
-  bool emitting = false;  // one emitter at a time keeps lines in order
-};
-
-/// The shared bounded admission: `admit` worker threads drain one global
-/// request queue fed by every connection's reader thread, so total
-/// concurrency is bounded whatever the number of clients. Each connection
-/// additionally bounds its *unemitted* window to `admit`, so neither the
-/// reorder buffers nor the read-ahead can grow without bound behind a slow
-/// head-of-line request.
-class AdmissionLoop {
- public:
-  AdmissionLoop(sitime::svc::AnalysisService& service, int admit)
-      : service_(service), admit_(admit < 1 ? 1 : admit) {
-    workers_.reserve(admit_);
-    for (int t = 0; t < admit_; ++t)
-      workers_.emplace_back([this] { worker_loop(); });
-  }
-
-  ~AdmissionLoop() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      shutdown_ = true;
-    }
-    work_ready_.notify_all();
-    for (std::thread& worker : workers_) worker.join();
-  }
-
-  /// The reader loop of one connection: admits its lines into the shared
-  /// queue and returns once EOF is reached AND every admitted response has
-  /// been emitted. Runs on the caller's thread; any number of connections
-  /// may be served concurrently.
-  void serve(const std::shared_ptr<Connection>& conn) {
-    std::string line;
-    while (conn->channel->read_line(line)) {
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      long seq;
-      {
-        std::unique_lock<std::mutex> lock(conn->mutex);
-        conn->window_open.wait(lock, [&] {
-          return conn->sequence - conn->next_emit < admit_;
-        });
-        seq = conn->sequence++;
-      }
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        queue_.emplace_back(Job{conn, seq, std::move(line)});
-      }
-      work_ready_.notify_one();
-    }
-    // Drain: the workers still hold admitted lines of this connection.
-    std::unique_lock<std::mutex> lock(conn->mutex);
-    conn->window_open.wait(
-        lock, [&] { return conn->next_emit == conn->sequence; });
-  }
-
- private:
-  struct Job {
-    std::shared_ptr<Connection> conn;
-    long seq = 0;
-    std::string line;
-  };
-
-  void worker_loop() {
-    while (true) {
-      Job job;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_ready_.wait(lock,
-                         [&] { return shutdown_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // shutdown and drained
-        job = std::move(queue_.front());
-        queue_.pop_front();
-      }
-      std::string response = handle_line(service_, job.line);
-      std::unique_lock<std::mutex> lock(job.conn->mutex);
-      job.conn->ready.emplace(job.seq, std::move(response));
-      flush_ready(*job.conn, lock);
-    }
-  }
-
-  /// Drains every consecutive ready response of one connection, WRITING
-  /// OUTSIDE THE LOCK so a slow reader (a stalled socket client) cannot
-  /// stall the shared workers beyond the one carrying its response. The
-  /// `emitting` flag makes whoever holds it the sole writer; responses
-  /// that become ready meanwhile are picked up by its next sweep.
-  static void flush_ready(Connection& conn,
-                          std::unique_lock<std::mutex>& lock) {
-    if (conn.emitting) return;  // the active emitter will sweep ours up
-    conn.emitting = true;
-    while (!conn.ready.empty() &&
-           conn.ready.begin()->first == conn.next_emit) {
-      std::vector<std::string> batch;
-      while (!conn.ready.empty() &&
-             conn.ready.begin()->first == conn.next_emit) {
-        batch.push_back(std::move(conn.ready.begin()->second));
-        conn.ready.erase(conn.ready.begin());
-        ++conn.next_emit;
-      }
-      conn.window_open.notify_all();
-      lock.unlock();
-      for (const std::string& response : batch)
-        conn.channel->write_line(response);
-      lock.lock();
-    }
-    conn.emitting = false;
-    // The drain predicate (next_emit == sequence) may have just turned
-    // true with no further emission to signal it.
-    conn.window_open.notify_all();
-  }
-
-  sitime::svc::AnalysisService& service_;
-  const int admit_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::deque<Job> queue_;
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
-};
-
-int serve_socket(sitime::svc::AnalysisService& service,
-                 const std::string& path, int admit) {
-  ::unlink(path.c_str());
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("sitime_serve: socket");
-    return 1;
-  }
-  sockaddr_un address{};
-  address.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(address.sun_path)) {
-    std::fprintf(stderr, "sitime_serve: socket path too long\n");
-    ::close(listener);
-    return 2;
-  }
-  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&address),
-             sizeof(address)) != 0 ||
-      ::listen(listener, 8) != 0) {
-    std::perror("sitime_serve: bind/listen");
-    ::close(listener);
-    return 1;
-  }
-  std::fprintf(stderr, "sitime_serve: listening on %s\n", path.c_str());
-  AdmissionLoop admission(service, admit);
-  // Reader threads are detached so a long-running server does not
-  // accumulate one joinable handle (stack + TCB) per connection ever
-  // served; the tracker lets shutdown wait until every reader has left
-  // `admission` before it is destroyed. The tracker is shared so a reader
-  // finishing after the accept loop exits still has somewhere to signal.
-  struct ReaderTracker {
-    std::mutex mutex;
-    std::condition_variable all_done;
-    int active = 0;
-  };
-  const auto tracker = std::make_shared<ReaderTracker>();
-  while (true) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;  // signal, not a listener failure
-      break;
-    }
-    // One reader thread per connection; all of them feed the same bounded
-    // admission, so concurrent clients share the --admit budget instead of
-    // queueing behind each other.
-    auto conn = std::make_shared<Connection>(
-        std::make_unique<SocketChannel>(fd));
-    {
-      std::lock_guard<std::mutex> lock(tracker->mutex);
-      ++tracker->active;
-    }
-    std::thread([&admission, conn, tracker] {
-      admission.serve(conn);
-      std::lock_guard<std::mutex> lock(tracker->mutex);
-      if (--tracker->active == 0) tracker->all_done.notify_all();
-    }).detach();
-  }
-  {
-    std::unique_lock<std::mutex> lock(tracker->mutex);
-    tracker->all_done.wait(lock, [&] { return tracker->active == 0; });
-  }
-  ::close(listener);
-  ::unlink(path.c_str());
-  return 0;
+void notify_signal_pipe(int) {
+  const char byte = 0;
+  [[maybe_unused]] const ssize_t wrote =
+      ::write(g_signal_pipe[1], &byte, 1);
 }
 
 }  // namespace
@@ -511,6 +93,8 @@ int serve_socket(sitime::svc::AnalysisService& service,
 int main(int argc, char** argv) {
   using namespace sitime;
   ServeOptions options;
+  options.server.max_connections = 256;
+  options.server.log_prefix = "sitime_serve";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -536,7 +120,8 @@ int main(int argc, char** argv) {
     if (arg == "--jobs" || arg == "-j") {
       options.jobs = static_cast<int>(int_value("--jobs", 0, 4096));
     } else if (arg == "--admit") {
-      options.admit = static_cast<int>(int_value("--admit", 1, 4096));
+      options.server.admit =
+          static_cast<int>(int_value("--admit", 1, 4096));
     } else if (arg == "--cache-mb") {
       options.cache_bytes = static_cast<std::size_t>(
                                 int_value("--cache-mb", 0, 1 << 20))
@@ -545,6 +130,23 @@ int main(int argc, char** argv) {
       options.warm = true;
     } else if (arg == "--socket") {
       options.socket_path = value("--socket");
+    } else if (arg == "--listen") {
+      options.listen_endpoints.push_back(value("--listen"));
+    } else if (arg == "--max-connections") {
+      options.server.max_connections =
+          static_cast<int>(int_value("--max-connections", 0, 1 << 20));
+    } else if (arg == "--max-requests") {
+      options.server.max_requests_per_connection =
+          int_value("--max-requests", 0, 1L << 40);
+    } else if (arg == "--idle-timeout-ms") {
+      options.server.idle_timeout_ms =
+          static_cast<int>(int_value("--idle-timeout-ms", 0, 1 << 30));
+    } else if (arg == "--write-timeout-ms") {
+      options.server.write_timeout_ms =
+          static_cast<int>(int_value("--write-timeout-ms", 0, 1 << 30));
+    } else if (arg == "--max-line-bytes") {
+      options.server.max_line_bytes = static_cast<std::size_t>(
+          int_value("--max-line-bytes", 0, 1L << 32));
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -567,12 +169,46 @@ int main(int argc, char** argv) {
                  loaded, stats.entries, stats.bytes);
   }
 
-  if (!options.socket_path.empty())
-    return serve_socket(service, options.socket_path, options.admit);
+  svc::Server server(service, options.server);
+  bool has_listener = false;
+  try {
+    if (!options.socket_path.empty()) {
+      server.add_transport(
+          std::make_unique<svc::UnixSocketTransport>(options.socket_path));
+      has_listener = true;
+    }
+    for (const std::string& endpoint : options.listen_endpoints) {
+      server.add_transport(std::make_unique<svc::TcpTransport>(
+          svc::parse_listen_endpoint(endpoint)));
+      has_listener = true;
+    }
+    if (!has_listener)
+      server.add_transport(std::make_unique<svc::StdioTransport>());
+    server.start();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sitime_serve: %s\n", error.what());
+    return 1;
+  }
 
-  AdmissionLoop admission(service, options.admit);
-  const auto conn =
-      std::make_shared<Connection>(std::make_unique<StdioChannel>());
-  admission.serve(conn);
+  // Socket servers run until a signal asks for the graceful drain; a
+  // stdio server simply ends at stdin EOF (its reader cannot be
+  // unblocked, so no handler is installed).
+  std::thread signal_watcher;
+  if (has_listener && ::pipe(g_signal_pipe) == 0) {
+    std::signal(SIGINT, notify_signal_pipe);
+    std::signal(SIGTERM, notify_signal_pipe);
+    signal_watcher = std::thread([&server] {
+      char byte;
+      while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+      }
+      server.stop();
+    });
+  }
+
+  server.wait();
+  if (signal_watcher.joinable()) {
+    notify_signal_pipe(0);  // wake the watcher if no signal ever fired
+    signal_watcher.join();
+  }
   return 0;
 }

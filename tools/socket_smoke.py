@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Exercise sitime_serve --socket with concurrent connections.
+"""Exercise sitime_serve with concurrent connections over a parameterized
+transport (Unix socket or loopback TCP).
 
-Starts the server on a Unix socket, connects CLIENTS clients at once, and
-has each send the same benchmark requests plus a {"stats": true} control
-request. Asserts:
+Starts the server on the chosen transport, connects CLIENTS clients at
+once, and has each send the same benchmark requests plus a
+{"stats": true} control request. Asserts:
   - every connection gets one response per request, in ITS OWN request
     order (the "id" echoes must come back monotonically per connection);
   - the server accepted the connections concurrently (all clients hold
@@ -14,12 +15,24 @@ request. Asserts:
     run (misses == number of distinct designs) — the rest were hits or
     coalesced on the shared cache;
   - every design response carries the canonical report, byte-identical
-    across connections.
+    across connections AND byte-identical to a stdin-transport run of the
+    same requests;
+  - SIGTERM drains gracefully: the server exits 0, not by being killed.
 
-Usage: socket_smoke.py SERVE_BINARY [--clients N]
+For TCP the server is started on 127.0.0.1:0 and the kernel-assigned port
+is parsed from its "listening on tcp 127.0.0.1:PORT" startup line —
+exactly how a deployment against an ephemeral port would find it.
+
+A watchdog kills the server and fails loudly if the whole run exceeds the
+deadline, instead of hanging the CI job when a response never arrives.
+
+Usage: socket_smoke.py SERVE_BINARY [--transport unix|tcp] [--clients N]
+       [--deadline SECONDS]
 """
 import json
 import os
+import re
+import signal
 import socket
 import subprocess
 import sys
@@ -30,26 +43,87 @@ import time
 DESIGNS = ["imec-ram-read-sbuf", "adfast", "ebergen"]
 
 
-def client(path: str, barrier: threading.Barrier, out: list, index: int):
-    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+def start_watchdog(proc, deadline_s: float) -> threading.Timer:
+    """Fail the whole run loudly if it outlives the deadline."""
+
+    def fire():
+        sys.stderr.write(
+            f"socket_smoke: WATCHDOG: no result after {deadline_s}s; "
+            "killing the server and failing\n"
+        )
+        sys.stderr.flush()
+        try:
+            proc.kill()
+        except OSError:
+            pass
+        os._exit(3)
+
+    timer = threading.Timer(deadline_s, fire)
+    timer.daemon = True
+    timer.start()
+    return timer
+
+
+def wait_for_listening(proc, transport: str):
+    """Reads the server's startup line; returns the TCP port (or None for
+    unix) and leaves a drain thread on the remaining stderr."""
+    port = None
+    pattern = re.compile(r"listening on tcp \S*?:(\d+)\s*$")
+    while True:
+        line = proc.stderr.readline()
+        if not line:
+            raise RuntimeError("server exited before listening")
+        sys.stderr.write(line)
+        if transport == "tcp":
+            match = pattern.search(line)
+            if match:
+                port = int(match.group(1))
+                break
+        elif "listening on unix" in line:
+            break
+    # Keep stderr flowing so the server can never block on a full pipe.
+    drain = threading.Thread(
+        target=lambda: [None for _ in proc.stderr], daemon=True
+    )
+    drain.start()
+    return port
+
+
+def connect(transport: str, address):
+    if transport == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     for _ in range(100):
         try:
-            sock.connect(path)
-            break
+            sock.connect(address)
+            return sock
         except (FileNotFoundError, ConnectionRefusedError):
             time.sleep(0.05)
-    else:
-        raise RuntimeError("server socket never came up")
-    # Everyone connects before anyone sends: a one-connection-at-a-time
-    # server cannot pass this barrier for every client.
-    barrier.wait(timeout=30)
+    raise RuntimeError("server never came up")
+
+
+def request_payload(index: int) -> str:
     requests = [
         {"id": f"c{index}-{i}", "design": {"bench": name}}
         for i, name in enumerate(DESIGNS)
     ]
     requests.append({"id": f"c{index}-stats", "stats": True})
-    payload = "".join(json.dumps(r) + "\n" for r in requests)
-    sock.sendall(payload.encode())
+    return "".join(json.dumps(r) + "\n" for r in requests)
+
+
+def client(
+    transport: str,
+    address,
+    barrier: threading.Barrier,
+    out: list,
+    index: int,
+):
+    sock = connect(transport, address)
+    # Everyone connects before anyone sends: a one-connection-at-a-time
+    # server cannot pass this barrier for every client.
+    barrier.wait(timeout=30)
+    sock.sendall(request_payload(index).encode())
     sock.shutdown(socket.SHUT_WR)
     data = b""
     while True:
@@ -61,24 +135,82 @@ def client(path: str, barrier: threading.Barrier, out: list, index: int):
     out[index] = [json.loads(line) for line in data.decode().splitlines()]
 
 
+def one_shot(transport: str, address, payload: str) -> list:
+    sock = connect(transport, address)
+    sock.sendall(payload.encode())
+    sock.shutdown(socket.SHUT_WR)
+    data = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    sock.close()
+    return [json.loads(line) for line in data.decode().splitlines()]
+
+
+def stdin_reports(serve: str) -> dict:
+    """The canonical reports of a stdin-transport run of the same designs:
+    the byte-identity reference for every other transport."""
+    payload = "".join(
+        json.dumps({"id": i, "design": {"bench": name}}) + "\n"
+        for i, name in enumerate(DESIGNS)
+    )
+    run = subprocess.run(
+        [serve, "--jobs", "2"],
+        input=payload,
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=120,
+    )
+    reports = {}
+    for line in run.stdout.splitlines():
+        response = json.loads(line)
+        assert response["ok"], response
+        reports[response["design"]] = json.dumps(
+            response["report"], sort_keys=True
+        )
+    assert sorted(reports) == sorted(DESIGNS), reports
+    return reports
+
+
 def main() -> int:
     serve = sys.argv[1]
+    transport = "unix"
     clients = 4
+    deadline = 240.0
+    if "--transport" in sys.argv:
+        transport = sys.argv[sys.argv.index("--transport") + 1]
     if "--clients" in sys.argv:
         clients = int(sys.argv[sys.argv.index("--clients") + 1])
+    if "--deadline" in sys.argv:
+        deadline = float(sys.argv[sys.argv.index("--deadline") + 1])
+    assert transport in ("unix", "tcp"), transport
 
     with tempfile.TemporaryDirectory() as tmp:
-        path = os.path.join(tmp, "serve.sock")
+        if transport == "unix":
+            address = os.path.join(tmp, "serve.sock")
+            flags = ["--socket", address]
+        else:
+            flags = ["--listen", "127.0.0.1:0"]
         proc = subprocess.Popen(
-            [serve, "--jobs", "2", "--admit", "4", "--socket", path],
-            stderr=subprocess.DEVNULL,
+            [serve, "--jobs", "2", "--admit", "4"] + flags,
+            stderr=subprocess.PIPE,
+            text=True,
         )
+        watchdog = start_watchdog(proc, deadline)
         try:
+            port = wait_for_listening(proc, transport)
+            if transport == "tcp":
+                address = ("127.0.0.1", port)
+
             barrier = threading.Barrier(clients)
             results = [None] * clients
             threads = [
                 threading.Thread(
-                    target=client, args=(path, barrier, results, i)
+                    target=client,
+                    args=(transport, address, barrier, results, i),
                 )
                 for i in range(clients)
             ]
@@ -89,21 +221,18 @@ def main() -> int:
                 assert not t.is_alive(), "client hung (serial accept loop?)"
             # Every client finished: one final connection reads the settled
             # counters (a per-client stats snapshot races with the others).
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.connect(path)
-            sock.sendall(b'{"stats": true}\n')
-            sock.shutdown(socket.SHUT_WR)
-            data = b""
-            while True:
-                chunk = sock.recv(65536)
-                if not chunk:
-                    break
-                data += chunk
-            sock.close()
-            final_stats = json.loads(data.decode())["stats"]
+            final_stats = one_shot(transport, address, '{"stats": true}\n')[
+                0
+            ]["stats"]
+
+            # Graceful shutdown: SIGTERM must drain and exit 0.
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=60)
+            assert returncode == 0, f"non-graceful exit: {returncode}"
         finally:
-            proc.terminate()
-            proc.wait()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
 
     reports = {}
     for i, lines in enumerate(results):
@@ -129,6 +258,10 @@ def main() -> int:
     # Byte-identical canonical reports across every connection.
     for design, variants in reports.items():
         assert len(variants) == 1, f"report drift for {design}"
+    # ... and byte-identical to the stdin transport serving the same
+    # designs (a fresh process: same canonical bytes from a cold cache).
+    for design, report in stdin_reports(serve).items():
+        assert reports[design] == {report}, f"transport drift for {design}"
     # One fresh flow run per distinct design, however many clients raced.
     stats = final_stats
     assert stats["misses"] == len(DESIGNS), stats
@@ -138,9 +271,11 @@ def main() -> int:
         == (clients - 1) * len(DESIGNS)
     ), stats
 
+    watchdog.cancel()
     print(
-        f"socket smoke OK: {clients} concurrent connections, "
+        f"socket smoke OK ({transport}): {clients} concurrent connections, "
         f"{len(DESIGNS)} designs, per-connection order preserved, "
+        f"stdin-identical reports, graceful SIGTERM, "
         f"misses={stats['misses']} hits={stats['hits']} "
         f"coalesced={stats['coalesced']}"
     )
