@@ -1,0 +1,14 @@
+#include "base/cancel.hpp"
+
+namespace sitime::base {
+
+void CancelToken::throw_cancelled(const char* during,
+                                  bool deadline_exceeded) {
+  const std::string what =
+      std::string(deadline_exceeded ? "deadline exceeded during "
+                                    : "cancelled during ") +
+      during;
+  throw CancelledError(what, deadline_exceeded);
+}
+
+}  // namespace sitime::base

@@ -150,7 +150,15 @@ void ThreadPool::parallel_for(int begin, int end,
     for (int low = next.fetch_add(grain, std::memory_order_relaxed);
          low < end; low = next.fetch_add(grain, std::memory_order_relaxed)) {
       const int high = std::min(end, low + grain);
-      for (int i = low; i < high; ++i) fn(i);
+      try {
+        for (int i = low; i < high; ++i) fn(i);
+      } catch (...) {
+        // ANY body stopping (helper or caller) must stop chunk handout,
+        // or a cancelled parallel region would keep pool workers busy
+        // on remaining chunks until the range drained naturally.
+        next.store(end, std::memory_order_relaxed);
+        throw;
+      }
     }
   };
   if (helpers <= 0) {

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "base/error.hpp"
+#include "base/fault.hpp"
 #include "core/local_stg.hpp"
 #include "sg/regions.hpp"
 
@@ -138,14 +139,22 @@ void Expander::expand_children(std::vector<stg::MgStg> subs,
                depth] {
       if (i > first_error.load(std::memory_order_acquire)) return;
       BodyGauge gauge(options_);
-      try {
-        expand_inner(std::move(subs[i]), gate, slots[i], depth);
-      } catch (...) {
+      auto record_error = [&errors, &first_error, i]() {
         errors[i] = std::current_exception();
         std::size_t current = first_error.load(std::memory_order_relaxed);
         while (i < current &&
                !first_error.compare_exchange_weak(current, i)) {
         }
+      };
+      try {
+        expand_inner(std::move(subs[i]), gate, slots[i], depth);
+      } catch (const base::CancelledError&) {
+        if (options_.cancelled_subtasks != nullptr)
+          options_.cancelled_subtasks->fetch_add(1,
+                                                 std::memory_order_relaxed);
+        record_error();
+      } catch (...) {
+        record_error();
       }
     });
   }
@@ -174,6 +183,7 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
   // computed once here and recomputed on acceptance instead of per trial.
   PrerequisiteMap epre = prerequisites(local, gate.output);
   while (true) {
+    options_.cancel.poll("expand relaxation");
     const std::vector<int> candidates = relaxable_arcs(local, gate.output);
     if (candidates.empty()) return;
     const int mine = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -195,7 +205,7 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
     stg::MgStg::ArcSnapshot pre_relax = local.arc_snapshot();
     local.relax(x, y);
     const std::shared_ptr<const sg::StateGraph> graph =
-        cache_->get_or_build(local);
+        cache_->get_or_build(local, options_.cancel);
     CheckResult result = check_relaxation(*graph, local, gate, x, epre);
 
     // The thesis analyses one premature output transition per relaxation;
@@ -258,7 +268,7 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
                 stg::ArcKind::normal)
           local.relax(x, problem.output_transition);
         const std::shared_ptr<const sg::StateGraph> graph2 =
-            cache_->get_or_build(local);
+            cache_->get_or_build(local, options_.cancel);
         if (timing_conformant(*graph2, local, gate)) {
           trace("  made " + local.transition_text(x) +
                 " concurrent with the output; accepted");
@@ -287,6 +297,10 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
           return;
         } catch (const ExpandLimitError&) {
           throw;  // resource bounds fail the flow, never become constraints
+        } catch (const base::CancelledError&) {
+          throw;  // a cancel aborts the run; it is not a timing constraint
+        } catch (const base::FaultInjectedError&) {
+          throw;  // injected faults must surface as faults
         } catch (const Error&) {
           emit_constraint();
           break;
@@ -314,6 +328,10 @@ void Expander::expand_inner(stg::MgStg local, const circuit::Gate& gate,
           return;
         } catch (const ExpandLimitError&) {
           throw;  // resource bounds fail the flow, never become constraints
+        } catch (const base::CancelledError&) {
+          throw;  // a cancel aborts the run; it is not a timing constraint
+        } catch (const base::FaultInjectedError&) {
+          throw;  // injected faults must surface as faults
         } catch (const Error&) {
           emit_constraint();
           break;

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <memory>
 
+#include "base/cancel.hpp"
 #include "base/error.hpp"
 #include "base/thread_pool.hpp"
 #include "circuit/adversary.hpp"
@@ -60,6 +61,16 @@ struct ExpandOptions {
   /// across many Expanders (the flow passes one pair to every job).
   std::atomic<int>* active_bodies = nullptr;
   std::atomic<int>* peak_bodies = nullptr;
+  /// Cooperative cancellation: polled once per relaxation attempt and
+  /// inside every SG build. Like ExpandLimitError, base::CancelledError is
+  /// rethrown past the OR-causality fallback — a cancelled subSTG must
+  /// abort the run, never turn into a timing constraint (the answer of a
+  /// completed run cannot depend on when a cancel landed).
+  base::CancelToken cancel;
+  /// When set, counts subSTG subtasks that observed the cancel and
+  /// unwound (the service exposes this as the `cancelled_subtasks` stats
+  /// counter).
+  std::atomic<long long>* cancelled_subtasks = nullptr;
 };
 
 /// Thrown when a defensive resource bound (max_steps, max_depth) trips.

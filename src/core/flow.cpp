@@ -48,9 +48,11 @@ int effective_jobs(int jobs) {
 }  // namespace
 
 FlowDecomposition decompose_flow(const stg::Stg& impl,
-                                 const circuit::Circuit& circuit) {
+                                 const circuit::Circuit& circuit,
+                                 const CancelToken& cancel) {
   FlowDecomposition decomposition;
-  const sg::GlobalSg global = sg::build_global_sg(impl);
+  const sg::GlobalSg global =
+      sg::build_global_sg(impl, /*state_limit=*/1 << 20, cancel);
   decomposition.state_count = global.state_count();
   decomposition.initial_values = sg::initial_values(impl, global);
 
@@ -73,10 +75,11 @@ FlowDecomposition decompose_flow(const stg::Stg& impl,
 void for_each_local_stg(
     const FlowDecomposition& decomposition, const circuit::Circuit& circuit,
     const std::function<bool(const FlowJob&, stg::MgStg)>& visit, int jobs,
-    base::ThreadPool* pool) {
+    base::ThreadPool* pool, const CancelToken& cancel) {
   jobs = effective_jobs(jobs);
   const int job_count = static_cast<int>(decomposition.jobs.size());
   auto run_job = [&](int index) -> bool {
+    cancel.poll("flow job dispatch");
     const FlowJob& job = decomposition.jobs[index];
     const circuit::Gate& gate = circuit.gates()[job.gate];
     return visit(job,
@@ -110,7 +113,8 @@ FlowResult derive_timing_constraints(const stg::Stg& impl,
                                      const circuit::Circuit& circuit,
                                      const FlowOptions& options) {
   const auto start = std::chrono::steady_clock::now();
-  const FlowDecomposition decomposition = decompose_flow(impl, circuit);
+  const FlowDecomposition decomposition =
+      decompose_flow(impl, circuit, options.cancel);
   const double decompose_seconds = seconds_since(start);
   FlowResult result =
       derive_timing_constraints(decomposition, impl, circuit, options);
@@ -158,6 +162,8 @@ FlowResult derive_timing_constraints(const FlowDecomposition& decomposition,
   std::atomic<int> active_bodies{0};
   std::atomic<int> peak_bodies{0};
   ExpandOptions expand_options = options.expand;
+  if (options.cancel.cancellable() && !expand_options.cancel.cancellable())
+    expand_options.cancel = options.cancel;
   if (result.jobs > 1) {
     expand_options.subtask_pool =
         options.pool != nullptr ? options.pool : &base::ThreadPool::shared();
@@ -194,7 +200,7 @@ FlowResult derive_timing_constraints(const FlowDecomposition& decomposition,
         out.subtasks = expander.subtasks();
         return true;
       },
-      result.jobs, options.pool);
+      result.jobs, options.pool, options.cancel);
   result.expand_seconds = seconds_since(expand_start);
 
   for (const JobOutput& out : outputs) {
@@ -226,14 +232,16 @@ FlowResult derive_timing_constraints(const stg::Stg& impl,
 
 std::string verify_speed_independent(const stg::Stg& impl,
                                      const circuit::Circuit& circuit,
-                                     int jobs, base::ThreadPool* pool) {
-  return verify_speed_independent(decompose_flow(impl, circuit), circuit,
-                                  jobs, pool);
+                                     int jobs, base::ThreadPool* pool,
+                                     const CancelToken& cancel) {
+  return verify_speed_independent(decompose_flow(impl, circuit, cancel),
+                                  circuit, jobs, pool, cancel);
 }
 
 std::string verify_speed_independent(const FlowDecomposition& decomposition,
                                      const circuit::Circuit& circuit,
-                                     int jobs, base::ThreadPool* pool) {
+                                     int jobs, base::ThreadPool* pool,
+                                     const CancelToken& cancel) {
   // The smallest offending job index wins, so the answer is stable for any
   // schedule (and matches the serial early-exit order).
   std::atomic<int> first_bad{std::numeric_limits<int>::max()};
@@ -243,7 +251,9 @@ std::string verify_speed_independent(const FlowDecomposition& decomposition,
         if (job.index > first_bad.load(std::memory_order_relaxed))
           return true;  // cannot improve the answer
         const circuit::Gate& gate = circuit.gates()[job.gate];
-        const sg::StateGraph graph = sg::build_state_graph(local);
+        const sg::StateGraph graph = sg::build_state_graph(
+            local, sg::kDefaultSgStateLimit, sg::kDefaultSgTokenLimit,
+            cancel);
         if (timing_conformant(graph, local, gate)) return true;
         int current = first_bad.load(std::memory_order_relaxed);
         while (job.index < current &&
@@ -253,7 +263,7 @@ std::string verify_speed_independent(const FlowDecomposition& decomposition,
         // already-dispatched jobs still complete and may lower the index.
         return false;
       },
-      jobs, pool);
+      jobs, pool, cancel);
   const int bad = first_bad.load(std::memory_order_relaxed);
   if (bad == std::numeric_limits<int>::max()) return "";
   return circuit.signals().name(

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cancel.hpp"
 #include "base/thread_pool.hpp"
 #include "circuit/adversary.hpp"
 #include "circuit/circuit.hpp"
@@ -26,6 +27,14 @@
 #include "stg/stg.hpp"
 
 namespace sitime::core {
+
+// The cancellation vocabulary the flow hands down to the leaves lives in
+// base/ (layering); aliased here because the service layer speaks of
+// core::Deadline / core::CancelToken.
+using base::CancelledError;
+using base::CancelSource;
+using base::CancelToken;
+using base::Deadline;
 
 struct FlowResult {
   ConstraintSet before;  // adversary-path baseline, with weights
@@ -73,6 +82,13 @@ struct FlowOptions {
   /// run's delta, which is exact for a private cache and approximate when
   /// other concurrent runs share the same cache.
   sg::SgCache* sg_cache = nullptr;
+  /// Cooperative cancellation, polled in every hot loop of the flow (job
+  /// dispatch, SG BFS frontiers, Expand relaxation steps). A cancelled
+  /// flow throws base::CancelledError; it never returns a partial result,
+  /// and the shared SgCache only ever holds fully built graphs, so a
+  /// later uncancelled run yields the canonical answer. Also copied into
+  /// expand.cancel (an explicitly set expand.cancel wins).
+  CancelToken cancel;
 };
 
 /// One (MG component × gate) unit of flow work.
@@ -92,9 +108,11 @@ struct FlowDecomposition {
 
 /// Builds the global SG, checks consistency, and enumerates the MG
 /// components and (component × gate) jobs. Throws on malformed inputs
-/// (inconsistent STG, non-free-choice net).
+/// (inconsistent STG, non-free-choice net) and base::CancelledError when
+/// `cancel` fires during the global-SG BFS.
 FlowDecomposition decompose_flow(const stg::Stg& impl,
-                                 const circuit::Circuit& circuit);
+                                 const circuit::Circuit& circuit,
+                                 const CancelToken& cancel = {});
 
 /// Calls visit(job, local_stg) for every job, handing each gate's local STG
 /// (Algorithm 1 projection) by value. Returning false from visit stops the
@@ -105,10 +123,14 @@ FlowDecomposition decompose_flow(const stg::Stg& impl,
 /// otherwise the jobs run on `pool` (null = the shared pool) with at most
 /// `jobs` of them in flight (0 = one per hardware thread, as in
 /// FlowOptions), and `visit` must be thread-safe.
+/// `cancel` is polled before every job dispatch (serial and parallel); a
+/// fired token unwinds with base::CancelledError instead of visiting the
+/// remaining jobs.
 void for_each_local_stg(
     const FlowDecomposition& decomposition, const circuit::Circuit& circuit,
     const std::function<bool(const FlowJob&, stg::MgStg)>& visit,
-    int jobs = 1, base::ThreadPool* pool = nullptr);
+    int jobs = 1, base::ThreadPool* pool = nullptr,
+    const CancelToken& cancel = {});
 
 /// Runs the whole flow. Throws on malformed inputs (inconsistent STG,
 /// non-free-choice net, missing gates).
@@ -135,13 +157,15 @@ FlowResult derive_timing_constraints(const FlowDecomposition& decomposition,
 std::string verify_speed_independent(const stg::Stg& impl,
                                      const circuit::Circuit& circuit,
                                      int jobs = 1,
-                                     base::ThreadPool* pool = nullptr);
+                                     base::ThreadPool* pool = nullptr,
+                                     const CancelToken& cancel = {});
 
 /// verify_speed_independent on a prebuilt decomposition (same contract).
 std::string verify_speed_independent(const FlowDecomposition& decomposition,
                                      const circuit::Circuit& circuit,
                                      int jobs = 1,
-                                     base::ThreadPool* pool = nullptr);
+                                     base::ThreadPool* pool = nullptr,
+                                     const CancelToken& cancel = {});
 
 /// Renders the two constraint lists in the format of the thesis tool
 /// Check_hazard (Section 7.3.1).

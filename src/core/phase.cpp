@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "base/error.hpp"
+#include "base/fault.hpp"
 #include "sg/state_graph.hpp"
 #include "synth/synthesis.hpp"
 
@@ -39,30 +40,36 @@ std::string phase_range_text(Phase from, Phase to) {
   return text;
 }
 
-void run_decompose_phase(PhaseArtifacts& artifacts) {
+void run_decompose_phase(PhaseArtifacts& artifacts,
+                         const CancelToken& cancel) {
   check(artifacts.completed == Phase::parsed,
         "run_decompose_phase: artifact is not at the parsed phase");
   check(artifacts.stg != nullptr, "run_decompose_phase: no parsed STG");
+  if (base::fault_fires(base::FaultPoint::decompose))
+    base::injected_failure(base::FaultPoint::decompose);
+  cancel.poll("decompose phase");
   const auto start = std::chrono::steady_clock::now();
   if (artifacts.circuit == nullptr) {
-    const sg::GlobalSg global = sg::build_global_sg(*artifacts.stg);
+    const sg::GlobalSg global =
+        sg::build_global_sg(*artifacts.stg, /*state_limit=*/1 << 20, cancel);
     artifacts.circuit = std::make_unique<circuit::Circuit>(
         circuit::Circuit::from_synthesis(
             &artifacts.stg->signals,
             synth::synthesize(*artifacts.stg, global)));
   }
   artifacts.decomposition =
-      decompose_flow(*artifacts.stg, *artifacts.circuit);
+      decompose_flow(*artifacts.stg, *artifacts.circuit, cancel);
   artifacts.decompose_seconds = seconds_since(start);
   artifacts.completed = Phase::decomposed;
 }
 
-void run_verify_phase(PhaseArtifacts& artifacts, int jobs,
-                      base::ThreadPool* pool) {
+void run_verify_phase(PhaseArtifacts& artifacts,
+                      const FlowOptions& options) {
   check(artifacts.completed == Phase::decomposed,
         "run_verify_phase: artifact is not at the decomposed phase");
   artifacts.verify_offender = verify_speed_independent(
-      artifacts.decomposition, *artifacts.circuit, jobs, pool);
+      artifacts.decomposition, *artifacts.circuit, options.jobs,
+      options.pool, options.cancel);
   artifacts.completed = Phase::verified;
 }
 
@@ -84,9 +91,9 @@ void run_derive_phase(PhaseArtifacts& artifacts,
 void advance_to_phase(PhaseArtifacts& artifacts, Phase target,
                       const FlowOptions& options) {
   if (artifacts.completed < Phase::decomposed && target >= Phase::decomposed)
-    run_decompose_phase(artifacts);
+    run_decompose_phase(artifacts, options.cancel);
   if (artifacts.completed < Phase::verified && target >= Phase::verified)
-    run_verify_phase(artifacts, options.jobs, options.pool);
+    run_verify_phase(artifacts, options);
   if (artifacts.completed < Phase::derived && target >= Phase::derived)
     run_derive_phase(artifacts, options);
 }

@@ -72,13 +72,17 @@ struct PhaseArtifacts {
 /// the FlowDecomposition. Throws on malformed inputs; the artifact is
 /// unchanged on failure except that a successfully synthesized circuit is
 /// retained (callers report the netlist even when decomposition fails).
-void run_decompose_phase(PhaseArtifacts& artifacts);
+/// A cancelled phase (base::CancelledError) likewise leaves `completed`
+/// untouched, so a later run with a larger budget redoes only this phase.
+void run_decompose_phase(PhaseArtifacts& artifacts,
+                         const CancelToken& cancel = {});
 
 /// decomposed -> verified: the isochronic-fork timing-conformance check
-/// over the (component × gate) jobs. `jobs`/`pool` follow the
-/// FlowOptions conventions; the verdict is identical for every value.
-void run_verify_phase(PhaseArtifacts& artifacts, int jobs = 1,
-                      base::ThreadPool* pool = nullptr);
+/// over the (component × gate) jobs. Only `options.jobs`, `options.pool`
+/// and `options.cancel` participate; the verdict is identical for every
+/// jobs value.
+void run_verify_phase(PhaseArtifacts& artifacts,
+                      const FlowOptions& options = {});
 
 /// verified -> derived: the Expand relaxation over the cached
 /// decomposition. On a design that is not speed independent this is a

@@ -16,7 +16,8 @@ int ReachabilityGraph::successor(int s, int transition) const {
 }
 
 ReachabilityGraph reachability(const PetriNet& net, int state_limit,
-                               int token_limit) {
+                               int token_limit,
+                               const base::CancelToken& cancel) {
   ReachabilityGraph graph;
   const int transitions = net.transition_count();
   // Headroom: one firing may add up to `max_mult` tokens to a place before
@@ -50,6 +51,7 @@ ReachabilityGraph reachability(const PetriNet& net, int state_limit,
   std::vector<std::uint64_t> current(words);
   std::vector<std::uint64_t> next(words);
   for (int state = 0; state < graph.state_count(); ++state) {
+    if ((state & 0xff) == 0) cancel.poll("reachability");
     graph.edge_offsets.push_back(static_cast<int>(graph.edge_data.size()));
     // Copy out of the arena: insert_packed below may reallocate it.
     const std::uint64_t* packed = graph.states.packed(state);

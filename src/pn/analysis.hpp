@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/cancel.hpp"
 #include "base/marking_set.hpp"
 #include "pn/petri_net.hpp"
 
@@ -46,9 +47,11 @@ struct ReachabilityGraph {
 
 /// Exhaustive reachability from the initial marking. Throws when the number
 /// of markings exceeds `state_limit` (defensive bound for unbounded nets) or
-/// any place accumulates more than `token_limit` tokens.
+/// any place accumulates more than `token_limit` tokens. The BFS polls
+/// `cancel` every 256 states (base::CancelledError).
 ReachabilityGraph reachability(const PetriNet& net, int state_limit = 1 << 20,
-                               int token_limit = 8);
+                               int token_limit = 8,
+                               const base::CancelToken& cancel = {});
 
 /// Every reachable marking puts at most one token in each place.
 bool is_safe(const PetriNet& net, const ReachabilityGraph& graph);

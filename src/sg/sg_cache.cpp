@@ -61,7 +61,8 @@ std::vector<std::uint64_t> make_key(const stg::MgStg& mg) {
 
 }  // namespace
 
-std::shared_ptr<const StateGraph> SgCache::get_or_build(const stg::MgStg& mg) {
+std::shared_ptr<const StateGraph> SgCache::get_or_build(
+    const stg::MgStg& mg, const base::CancelToken& cancel) {
   std::vector<std::uint64_t> key = make_key(mg);
   const std::uint64_t hash = base::MarkingSet::hash_words(
       key.data(), static_cast<int>(key.size()));
@@ -82,7 +83,8 @@ std::shared_ptr<const StateGraph> SgCache::get_or_build(const stg::MgStg& mg) {
   // unless a racing builder beat us to it — adopt its graph in that case so
   // one canonical graph per key circulates.
   misses_.fetch_add(1, std::memory_order_relaxed);
-  auto graph = std::make_shared<const StateGraph>(build_state_graph(mg));
+  auto graph = std::make_shared<const StateGraph>(build_state_graph(
+      mg, kDefaultSgStateLimit, kDefaultSgTokenLimit, cancel));
   std::lock_guard<std::mutex> lock(shard.mutex);
   std::vector<Entry>& bucket = shard.buckets[hash];
   for (const Entry& entry : bucket)

@@ -36,7 +36,11 @@ namespace sitime::sg {
 class SgCache {
  public:
   /// The SG of `mg`, built on miss via build_state_graph(mg). Thread-safe.
-  std::shared_ptr<const StateGraph> get_or_build(const stg::MgStg& mg);
+  /// `cancel` is polled only during a miss's build: a cancelled build
+  /// throws before anything is inserted, so the cache never holds a
+  /// partial graph.
+  std::shared_ptr<const StateGraph> get_or_build(
+      const stg::MgStg& mg, const base::CancelToken& cancel = {});
 
   // 64-bit: a resident service (svc::AnalysisService) keeps one cache for
   // the process lifetime, where 32-bit counters would wrap under traffic.

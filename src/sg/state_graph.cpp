@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "base/error.hpp"
+#include "base/fault.hpp"
 
 namespace sitime::sg {
 
@@ -27,7 +28,10 @@ bool StateGraph::excites(const stg::MgStg& mg, int state, int signal,
 }
 
 StateGraph build_state_graph(const stg::MgStg& mg, int state_limit,
-                             int token_limit) {
+                             int token_limit,
+                             const base::CancelToken& cancel) {
+  if (base::fault_fires(base::FaultPoint::sg_build))
+    base::injected_failure(base::FaultPoint::sg_build);
   const auto& arcs = mg.arcs();
   const int arc_count = static_cast<int>(arcs.size());
 
@@ -77,6 +81,7 @@ StateGraph build_state_graph(const stg::MgStg& mg, int state_limit,
   std::vector<std::uint64_t> current(words);
   std::vector<std::uint64_t> next(words);
   for (int state = 0; state < graph.state_count(); ++state) {
+    if ((state & 0xff) == 0) cancel.poll("state graph build");
     graph.out_offsets.push_back(static_cast<int>(graph.out_data.size()));
     // Copy out of the arena: insert_packed below may reallocate it.
     const std::uint64_t* packed = graph.states.packed(state);
@@ -111,9 +116,10 @@ StateGraph build_state_graph(const stg::MgStg& mg, int state_limit,
   return graph;
 }
 
-GlobalSg build_global_sg(const stg::Stg& stg, int state_limit) {
+GlobalSg build_global_sg(const stg::Stg& stg, int state_limit,
+                         const base::CancelToken& cancel) {
   GlobalSg sg;
-  sg.reach = pn::reachability(stg.net, state_limit);
+  sg.reach = pn::reachability(stg.net, state_limit, /*token_limit=*/8, cancel);
   const int states = sg.reach.state_count();
   const int signal_count = stg.signals.count();
   check(signal_count <= 64, "build_global_sg: too many signals");

@@ -66,13 +66,19 @@ struct StateGraph {
                bool rising) const;
 };
 
+inline constexpr int kDefaultSgStateLimit = 200000;
+inline constexpr int kDefaultSgTokenLimit = 6;
+
 /// Exhaustive reachability of the local STG. `mg.initial_values` must be set
 /// for every signal that has an alive transition. Throws on inconsistent
 /// firing (a+ from a state where a = 1), when a state/token bound is
 /// exceeded (a symptom of relaxing a gate with redundant literals, Lemma 2),
-/// or when a transition has no input arc.
-StateGraph build_state_graph(const stg::MgStg& mg, int state_limit = 200000,
-                             int token_limit = 6);
+/// or when a transition has no input arc. The BFS polls `cancel` every 256
+/// states (base::CancelledError).
+StateGraph build_state_graph(const stg::MgStg& mg,
+                             int state_limit = kDefaultSgStateLimit,
+                             int token_limit = kDefaultSgTokenLimit,
+                             const base::CancelToken& cancel = {});
 
 /// State graph of the full STG: Petri-net reachability plus inferred codes.
 struct GlobalSg {
@@ -88,7 +94,8 @@ struct GlobalSg {
 /// Builds the global SG and infers a consistent binary code per state.
 /// Throws when the STG is inconsistent (no consistent value assignment
 /// exists) or when some signal never transitions.
-GlobalSg build_global_sg(const stg::Stg& stg, int state_limit = 1 << 20);
+GlobalSg build_global_sg(const stg::Stg& stg, int state_limit = 1 << 20,
+                         const base::CancelToken& cancel = {});
 
 /// Signal values at the initial marking of `stg` (index = signal id).
 std::vector<int> initial_values(const stg::Stg& stg, const GlobalSg& sg);

@@ -17,6 +17,18 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Wire error class of a flow failure. CancelledError maps to the two
+/// cancellation codes; everything else (parse errors excepted — those are
+/// classified at the call site) is an analysis error, injected faults
+/// included.
+const char* error_code_of(const std::exception& exception) {
+  if (const auto* cancelled =
+          dynamic_cast<const base::CancelledError*>(&exception))
+    return cancelled->deadline_exceeded() ? "deadline_exceeded"
+                                          : "cancelled";
+  return "analysis_error";
+}
+
 /// FNV-1a 64 over the canonical content, rendered as 16 hex digits — the
 /// public content-address. The cache map itself is keyed on the full
 /// canonical string, so hash collisions cannot alias two designs.
@@ -154,6 +166,8 @@ struct AnalysisService::Parsed {
 
 AnalysisService::Parsed AnalysisService::parse_request(
     const AnalysisRequest& request, const core::ExpandOptions& expand) {
+  if (base::fault_fires(base::FaultPoint::parse))
+    base::injected_failure(base::FaultPoint::parse);
   Parsed parsed;
   parsed.stg = std::make_unique<stg::Stg>(stg::parse_astg(request.astg));
   if (!request.eqn.empty())
@@ -214,6 +228,7 @@ struct AnalysisService::Entry {
   core::Phase completed = core::Phase::parsed;
   core::Phase target = core::Phase::parsed;
   std::string run_error;  // failure of the active run, for its waiters
+  std::string run_error_code;  // wire class of run_error ("cancelled", ...)
 
   core::PhaseArtifacts artifacts;
   std::shared_ptr<const std::string> netlist_eqn;   // set at decomposed
@@ -264,21 +279,26 @@ AnalysisService::AnalysisService(ServiceOptions options)
 
 AnalysisService::~AnalysisService() = default;
 
-core::FlowOptions AnalysisService::flow_options(int request_jobs) {
+core::FlowOptions AnalysisService::flow_options(
+    int request_jobs, const core::CancelToken& cancel) {
   core::FlowOptions options;
   options.expand = options_.expand;
+  options.expand.cancelled_subtasks = &cancelled_subtasks_;
   options.jobs = request_jobs > 0 ? request_jobs : options_.jobs;
   options.pool = options_.pool;
   options.sg_cache = &sg_cache_;
+  options.cancel = cancel;
   return options;
 }
 
 bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
-                                 int jobs, std::string& error,
-                                 int& decomposes, int& verifies,
-                                 int& derives, core::Phase& achieved,
+                                 int jobs, const core::CancelToken& cancel,
+                                 std::string& error,
+                                 std::string& error_code, int& decomposes,
+                                 int& verifies, int& derives,
+                                 core::Phase& achieved,
                                  std::size_t& footprint) {
-  const core::FlowOptions options = flow_options(jobs);
+  const core::FlowOptions options = flow_options(jobs, cancel);
   while (true) {
     core::Phase next;
     {
@@ -300,14 +320,13 @@ bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
     try {
       switch (next) {
         case core::Phase::decomposed:
-          core::run_decompose_phase(entry->artifacts);
+          core::run_decompose_phase(entry->artifacts, options.cancel);
           netlist = std::make_shared<const std::string>(
               entry->artifacts.circuit->to_eqn());
           ++decomposes;
           break;
         case core::Phase::verified:
-          core::run_verify_phase(entry->artifacts, options.jobs,
-                                 options.pool);
+          core::run_verify_phase(entry->artifacts, options);
           ++verifies;
           break;
         case core::Phase::derived:
@@ -335,6 +354,7 @@ bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
       }
     } catch (const std::exception& exception) {
       error = exception.what();
+      error_code = error_code_of(exception);
       std::lock_guard<std::mutex> lock(entry->mutex);
       // The legacy check_hazard contract reports the synthesized netlist
       // even when decomposition then failed.
@@ -343,6 +363,7 @@ bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
         entry->netlist_eqn = std::make_shared<const std::string>(
             entry->artifacts.circuit->to_eqn());
       entry->run_error = error;
+      entry->run_error_code = error_code;
       entry->target = entry->completed;  // park; keep finished phases
       // Still the last thread that touched the artifacts: capture the
       // retention data before the lock goes and a new runner can claim.
@@ -435,6 +456,11 @@ void AnalysisService::finish_run(const std::shared_ptr<Entry>& entry,
   // parse is not worth a slot. An entry larger than the whole budget is
   // served but never retained.
   if (!mine_inflight) return;  // superseded or budget-0 duplicate
+  // Injected cache_insert fault: serve the response but skip retention —
+  // the entry vanishes as if evicted the instant it finished, exercising
+  // the eviction-during-single-flight path without touching correctness
+  // (retention is always optional).
+  if (base::fault_fires(base::FaultPoint::cache_insert)) return;
   if (achieved == core::Phase::parsed) return;
   if (options_.cache_budget_bytes == 0) return;
   if (footprint_now > options_.cache_budget_bytes) return;
@@ -467,14 +493,40 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
   const auto start = std::chrono::steady_clock::now();
   AnalysisResponse response;
 
+  // Fills an error response, keeping the deadline_exceeded counter in
+  // step with every response that carries that code (runner, waiter or
+  // bypass alike). failures_ is counted per-site: the runner path counts
+  // it in finish_run, the others here.
+  auto fail_with = [&](const std::string& message, const std::string& code,
+                       bool count_failure) {
+    if (count_failure) failures_.fetch_add(1, std::memory_order_relaxed);
+    if (code == "deadline_exceeded")
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    response.ok = false;
+    response.error = message;
+    response.error_code = code;
+    response.seconds = seconds_since(start);
+  };
+
+  // A request whose budget is already gone skips even the parse: the
+  // deadline answer is known and parsing large designs is not free.
+  if (request.cancel.deadline_expired()) {
+    fail_with("deadline exceeded before analysis started",
+              "deadline_exceeded", /*count_failure=*/true);
+    return response;
+  }
+
   Parsed parsed;
   try {
     parsed = parse_request(request, options_.expand);
     response.key = parsed.key_hex;
   } catch (const std::exception& error) {
-    failures_.fetch_add(1, std::memory_order_relaxed);
-    response.error = error.what();
-    response.seconds = seconds_since(start);
+    // Injected parse faults are infrastructure failures, not malformed
+    // designs; everything else parse_request throws is bad input.
+    const bool injected =
+        dynamic_cast<const FaultInjectedError*>(&error) != nullptr;
+    fail_with(error.what(), injected ? "analysis_error" : "invalid_request",
+              /*count_failure=*/true);
     return response;
   }
 
@@ -529,16 +581,35 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
       // case it already covers us); whatever it leaves missing we claim
       // ourselves on a later iteration. Deliberately NOT extending the
       // runner's goal: a verify runner must not pay for a coalescing
-      // derive request's phases before it can answer its own.
+      // derive request's phases before it can answer its own. A
+      // cancellable waiter sleeps only until its own budget fires — a
+      // waiter must not outlive its deadline just because another
+      // request's run does.
       waited = true;
-      entry->cv.wait(elock);
+      if (request.cancel.cancellable()) {
+        entry->cv.wait_until(elock, request.cancel.wait_point());
+        if (request.cancel.cancelled() && !entry->satisfies(needed)) {
+          const bool deadline = request.cancel.deadline_expired();
+          elock.unlock();
+          fail_with(deadline ? "deadline exceeded while coalesced on an "
+                               "in-flight run"
+                             : "cancelled while coalesced on an in-flight "
+                               "run",
+                    deadline ? "deadline_exceeded" : "cancelled",
+                    /*count_failure=*/true);
+          return response;
+        }
+      } else {
+        entry->cv.wait(elock);
+      }
       if (!entry->satisfies(needed) && entry->target < needed &&
           !entry->run_error.empty()) {
         const std::string error = entry->run_error;
+        const std::string code = entry->run_error_code.empty()
+                                     ? "analysis_error"
+                                     : entry->run_error_code;
         elock.unlock();
-        failures_.fetch_add(1, std::memory_order_relaxed);
-        response.error = error;
-        response.seconds = seconds_since(start);
+        fail_with(error, code, /*count_failure=*/true);
         return response;
       }
       continue;  // served (or a new runner took over) — re-evaluate
@@ -548,14 +619,17 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
     const core::Phase from = entry->completed;
     entry->target = needed;
     entry->run_error.clear();
+    entry->run_error_code.clear();
     elock.unlock();
 
     std::string error;
+    std::string error_code;
     int decomposes = 0, verifies = 0, derives = 0;
     core::Phase achieved = from;
     std::size_t footprint = 0;
-    const bool ok = run_phases(entry, request.jobs, error, decomposes,
-                               verifies, derives, achieved, footprint);
+    const bool ok =
+        run_phases(entry, request.jobs, request.cancel, error, error_code,
+                   decomposes, verifies, derives, achieved, footprint);
     finish_run(entry, /*from_scratch=*/from == core::Phase::parsed, ok,
                achieved, footprint, decomposes, verifies, derives);
     if (!ok) {
@@ -563,8 +637,7 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
         std::lock_guard<std::mutex> lock(entry->mutex);
         response.netlist_eqn = entry->netlist_eqn;
       }
-      response.error = error;
-      response.seconds = seconds_since(start);
+      fail_with(error, error_code, /*count_failure=*/false);
       return response;
     }
     {
@@ -584,6 +657,7 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
   core::PhaseArtifacts artifacts;
   bool ok = true;
   std::string error;
+  std::string error_code;
   try {
     if (parsed.stg == nullptr) {
       // We created the entry and donated our parse to it before another
@@ -592,10 +666,12 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
     }
     artifacts.stg = std::move(parsed.stg);
     artifacts.circuit = std::move(parsed.circuit);
-    core::advance_to_phase(artifacts, needed, flow_options(request.jobs));
+    core::advance_to_phase(artifacts, needed,
+                           flow_options(request.jobs, request.cancel));
   } catch (const std::exception& exception) {
     ok = false;
     error = exception.what();
+    error_code = error_code_of(exception);
   }
   if (artifacts.circuit != nullptr)
     response.netlist_eqn =
@@ -605,11 +681,10 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
     decompose_runs_ += artifacts.completed >= core::Phase::decomposed;
     verify_runs_ += artifacts.completed >= core::Phase::verified;
     derive_runs_ += artifacts.has_result ? 1 : 0;
-    ok ? ++misses_ : ++failures_;  // a real flow run, never a wait
+    if (ok) ++misses_;  // a real flow run, never a wait
   }
   if (!ok) {
-    response.error = error;
-    response.seconds = seconds_since(start);
+    fail_with(error, error_code, /*count_failure=*/true);
     return response;
   }
   response.ok = true;
@@ -631,9 +706,10 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
   return response;
 }
 
-int AnalysisService::warm_benchmark_suite() {
+int AnalysisService::warm_benchmark_suite(const std::atomic<bool>* stop) {
   int loaded = 0;
   for (const auto& bench : benchdata::all_benchmarks()) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
     AnalysisRequest request;
     request.name = bench.name;
     request.astg = bench.astg;
@@ -653,6 +729,8 @@ CacheStats AnalysisService::stats() const {
   stats.coalesced = coalesced_;
   stats.evictions = evictions_;
   stats.failures = failures_;
+  stats.deadline_exceeded = deadline_exceeded_;
+  stats.cancelled_subtasks = cancelled_subtasks_;
   stats.decompose_runs = decompose_runs_;
   stats.verify_runs = verify_runs_;
   stats.derive_runs = derive_runs_;

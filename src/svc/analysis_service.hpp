@@ -39,6 +39,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "base/fault.hpp"
 #include "base/thread_pool.hpp"
 #include "circuit/circuit.hpp"
 #include "core/flow.hpp"
@@ -48,6 +49,14 @@
 #include "stg/stg.hpp"
 
 namespace sitime::svc {
+
+// The deterministic fault-injection harness lives in base/ (layering:
+// sg/core poll it too); the service layer is its main consumer, so the
+// test-facing names are re-exported here.
+using base::FaultInjectedError;
+using base::FaultInjector;
+using base::FaultPoint;
+using base::FaultScope;
 
 /// What the flow should compute for a request.
 enum class RequestMode {
@@ -63,11 +72,22 @@ struct AnalysisRequest {
   /// Parallel (component × gate) jobs for a fresh run; 0 = the service
   /// default. Never part of the cache key (output is jobs-independent).
   int jobs = 0;
+  /// Cooperative cancellation budget for THIS request. Polled by every hot
+  /// loop the request's phase runs enter; also bounds how long the request
+  /// waits on another request's in-flight run of the same design. Never
+  /// part of the cache key.
+  core::CancelToken cancel;
 };
 
 struct AnalysisResponse {
   bool ok = false;            // false: `error` holds the failure
   std::string error;
+  /// Machine-readable failure class, set exactly when ok == false:
+  /// "invalid_request" (the design text failed to parse),
+  /// "deadline_exceeded" (the request's deadline budget fired),
+  /// "cancelled" (explicit cancel flag), "analysis_error" (the flow threw
+  /// for any other reason, injected faults included).
+  std::string error_code;
   std::string key;            // content-address (hex) of the design
   /// How this response was produced: "fresh" (this request ran every phase
   /// from the parsed design), "hit" (every phase it needed was already
@@ -108,6 +128,13 @@ struct CacheStats {
   long long coalesced = 0;   // waited on another request's phase run
   long long evictions = 0;   // entries dropped by the byte budget
   long long failures = 0;    // requests that ended in an error
+  /// Requests answered with error_code == "deadline_exceeded" (a subset
+  /// of failures; coalesced waiters inheriting the runner's deadline
+  /// error count too — every affected response counts once).
+  long long deadline_exceeded = 0;
+  /// OR-causality subSTG subtasks that observed a cancel and unwound
+  /// early (freed pool workers), summed over all requests.
+  long long cancelled_subtasks = 0;
   // Phase executions (single-flight bypass runs included). A verify
   // followed by a derive on one design shows decompose_runs == 1: the
   // acceptance probe of the lazy-upgrade design.
@@ -166,8 +193,10 @@ class AnalysisService {
 
   /// Runs every bundled benchmark through the cache (mode derive), so a
   /// server answers the known suite warm from the first request. Returns
-  /// the number of designs that loaded cleanly.
-  int warm_benchmark_suite();
+  /// the number of designs that loaded cleanly. `stop` (when non-null) is
+  /// checked between designs, so a shutdown signal interrupts the warm
+  /// loop promptly instead of finishing the whole suite.
+  int warm_benchmark_suite(const std::atomic<bool>* stop = nullptr);
 
   CacheStats stats() const;
 
@@ -180,16 +209,19 @@ class AnalysisService {
 
   static Parsed parse_request(const AnalysisRequest& request,
                               const core::ExpandOptions& expand);
-  core::FlowOptions flow_options(int request_jobs);
+  core::FlowOptions flow_options(int request_jobs,
+                                 const core::CancelToken& cancel);
   /// Advances `entry` to its claimed target phase as the single-flight
   /// runner (the caller already claimed the run by raising entry->target,
   /// which stays fixed for the run's duration). Returns true on success;
-  /// on failure fills `error`, parks the entry at its last completed phase
-  /// and wakes the waiters. `achieved` and `footprint` report the final
-  /// phase and resident size, both captured before runnership is released
-  /// (afterwards another runner may be mutating the artifacts).
+  /// on failure fills `error`/`error_code`, parks the entry at its last
+  /// completed phase and wakes the waiters. `achieved` and `footprint`
+  /// report the final phase and resident size, both captured before
+  /// runnership is released (afterwards another runner may be mutating
+  /// the artifacts).
   bool run_phases(const std::shared_ptr<Entry>& entry, int jobs,
-                  std::string& error, int& decomposes, int& verifies,
+                  const core::CancelToken& cancel, std::string& error,
+                  std::string& error_code, int& decomposes, int& verifies,
                   int& derives, core::Phase& achieved,
                   std::size_t& footprint);
   /// Runner epilogue under mutex_: retention (inflight -> LRU or resident
@@ -222,6 +254,8 @@ class AnalysisService {
   std::atomic<long long> coalesced_{0};
   long long evictions_ = 0;
   std::atomic<long long> failures_{0};
+  std::atomic<long long> deadline_exceeded_{0};
+  std::atomic<long long> cancelled_subtasks_{0};
   long long decompose_runs_ = 0;
   long long verify_runs_ = 0;
   long long derive_runs_ = 0;

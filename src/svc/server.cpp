@@ -1,13 +1,16 @@
 #include "svc/server.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "base/error.hpp"
+#include "base/fault.hpp"
 #include "benchdata/benchmarks.hpp"
 #include "core/report.hpp"
 #include "svc/analysis_service.hpp"
@@ -65,8 +68,55 @@ std::string render_id(const JsonValue& id) {
   }
 }
 
+/// Rejects design text the flow could never parse but whose failure mode
+/// would be confusing (or worse) downstream: embedded NUL bytes (a JSON
+/// "\u0000" escape decodes to a raw NUL, which C-string plumbing silently
+/// truncates at) and truncated or invalid UTF-8 (raw bytes >= 0x80 pass
+/// the JSON string layer unvalidated). Throwing here turns both into a
+/// structured per-request error that leaves the connection serving.
+void validate_design_text(const char* field, const std::string& text) {
+  for (std::size_t i = 0; i < text.size();) {
+    const unsigned char byte = static_cast<unsigned char>(text[i]);
+    if (byte == 0)
+      sitime::fail(std::string("request: '") + field +
+                   "' contains an embedded NUL byte at offset " +
+                   std::to_string(i));
+    if (byte < 0x80) {
+      ++i;
+      continue;
+    }
+    int extra = 0;
+    if ((byte & 0xe0) == 0xc0)
+      extra = 1;
+    else if ((byte & 0xf0) == 0xe0)
+      extra = 2;
+    else if ((byte & 0xf8) == 0xf0)
+      extra = 3;
+    else
+      sitime::fail(std::string("request: '") + field +
+                   "' is not valid UTF-8 (stray continuation byte at "
+                   "offset " +
+                   std::to_string(i) + ")");
+    if (i + static_cast<std::size_t>(extra) >= text.size())
+      sitime::fail(std::string("request: '") + field +
+                   "' is not valid UTF-8 (truncated sequence at offset " +
+                   std::to_string(i) + ")");
+    for (int k = 1; k <= extra; ++k)
+      if ((static_cast<unsigned char>(text[i + static_cast<std::size_t>(
+                                               k)]) &
+           0xc0) != 0x80)
+        sitime::fail(std::string("request: '") + field +
+                     "' is not valid UTF-8 (truncated sequence at offset " +
+                     std::to_string(i) + ")");
+    i += 1 + static_cast<std::size_t>(extra);
+  }
+}
+
 /// Builds the service request from one parsed JSON request line.
-AnalysisRequest build_request(const JsonValue& json) {
+/// `arrival` is when the request line came off the wire: a "deadline_ms"
+/// budget counts from there, so queueing time spends the budget too.
+AnalysisRequest build_request(const JsonValue& json,
+                              std::chrono::steady_clock::time_point arrival) {
   AnalysisRequest request;
   const JsonValue& design = json.get("design");
   if (design.is_string()) {
@@ -101,15 +151,25 @@ AnalysisRequest build_request(const JsonValue& json) {
   else
     sitime::fail("request: unknown mode '" + mode + "'");
   request.jobs = static_cast<int>(json.int_or("jobs", 0));
+  validate_design_text("astg", request.astg);
+  validate_design_text("eqn", request.eqn);
+  const long long deadline_ms = json.int_or("deadline_ms", 0);
+  if (deadline_ms < 0) sitime::fail("request: 'deadline_ms' must be >= 0");
+  request.cancel =
+      core::CancelToken(core::Deadline::after_ms(deadline_ms, arrival));
   return request;
 }
 
-void append_cache_stats(std::ostringstream& out, const CacheStats& stats) {
+void append_cache_stats(std::ostringstream& out, const CacheStats& stats,
+                        long long shed) {
   out << "{\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
       << ",\"upgrades\":" << stats.upgrades
       << ",\"coalesced\":" << stats.coalesced
       << ",\"evictions\":" << stats.evictions
       << ",\"failures\":" << stats.failures
+      << ",\"deadline_exceeded\":" << stats.deadline_exceeded
+      << ",\"cancelled_subtasks\":" << stats.cancelled_subtasks
+      << ",\"shed\":" << shed
       << ",\"decompose_runs\":" << stats.decompose_runs
       << ",\"verify_runs\":" << stats.verify_runs
       << ",\"derive_runs\":" << stats.derive_runs
@@ -118,72 +178,6 @@ void append_cache_stats(std::ostringstream& out, const CacheStats& stats) {
       << ",\"sg_entries\":" << stats.sg_cache_entries
       << ",\"sg_hits\":" << stats.sg_cache_hits
       << ",\"sg_misses\":" << stats.sg_cache_misses << "}";
-}
-
-/// Handles one request line; never throws. Returns the response line
-/// (without the trailing newline).
-std::string handle_line(AnalysisService& service, const std::string& line) {
-  std::string id;
-  std::string name;
-  try {
-    const JsonValue json = parse_json(line);
-    id = render_id(json.get("id"));
-
-    // Control request: {"stats": true} returns the live counters without
-    // touching the design cache.
-    const JsonValue& stats_flag = json.get("stats");
-    if (!stats_flag.is_null()) {
-      if (!stats_flag.as_bool())
-        sitime::fail("request: 'stats' must be true when present");
-      std::ostringstream out;
-      out << "{";
-      if (!id.empty()) out << "\"id\":" << id << ",";
-      out << "\"ok\":true,\"stats\":";
-      append_cache_stats(out, service.stats());
-      out << "}";
-      return out.str();
-    }
-
-    AnalysisRequest request = build_request(json);
-    name = request.name;
-    const AnalysisResponse response = service.analyze(request);
-
-    std::ostringstream out;
-    out << "{";
-    if (!id.empty()) out << "\"id\":" << id << ",";
-    out << "\"design\":\"" << core::json_escape(name) << "\"";
-    if (!response.ok) {
-      out << ",\"ok\":false,\"error\":\""
-          << core::json_escape(response.error) << "\"}";
-      return out.str();
-    }
-    out << ",\"ok\":true,\"cache\":\"" << response.cache_state
-        << "\",\"phases_run\":\"" << core::json_escape(response.phases_run)
-        << "\",\"key\":\"" << response.key << "\"";
-    char seconds[32];
-    std::snprintf(seconds, sizeof(seconds), "%.6f", response.seconds);
-    out << ",\"seconds\":" << seconds;
-    out << ",\"speed_independent\":"
-        << (response.speed_independent ? "true" : "false");
-    if (!response.speed_independent)
-      out << ",\"offender\":\""
-          << core::json_escape(response.verify_offender) << "\"";
-    if (response.canonical_json != nullptr)
-      out << ",\"report\":" << *response.canonical_json;
-    out << ",\"cache_stats\":";
-    append_cache_stats(out, service.stats());
-    out << "}";
-    return out.str();
-  } catch (const std::exception& error) {
-    std::ostringstream out;
-    out << "{";
-    if (!id.empty()) out << "\"id\":" << id << ",";
-    if (!name.empty())
-      out << "\"design\":\"" << core::json_escape(name) << "\",";
-    out << "\"ok\":false,\"error\":\"" << core::json_escape(error.what())
-        << "\"}";
-    return out.str();
-  }
 }
 
 ServerOptions normalized(ServerOptions options) {
@@ -361,6 +355,10 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
         break;
     }
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    // The request "arrives" when its line comes off the wire: deadline_ms
+    // budgets and the queue-age shedding valve both start here, so time
+    // spent waiting for an emission slot or a worker spends the budget.
+    const auto arrival = std::chrono::steady_clock::now();
     long seq;
     {
       std::unique_lock<std::mutex> lock(conn->mutex);
@@ -369,11 +367,28 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
       });
       seq = conn->sequence++;
     }
+    bool shed_at_admission = false;
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      queue_.push_back(Job{conn, seq, std::move(line)});
+      if (options_.max_queue_depth > 0 &&
+          static_cast<int>(queue_.size()) >= options_.max_queue_depth)
+        shed_at_admission = true;  // respond outside queue_mutex_
+      else
+        queue_.push_back(Job{conn, seq, std::move(line), arrival});
     }
-    work_ready_.notify_one();
+    if (shed_at_admission) {
+      // The depth watermark fired: answer immediately through the same
+      // per-connection ordering machinery a worker would use, so the
+      // overloaded line cannot overtake an earlier admitted response.
+      std::string response = overload_response(
+          line, "server overloaded: admission queue depth limit " +
+                    std::to_string(options_.max_queue_depth) + " reached");
+      std::unique_lock<std::mutex> lock(conn->mutex);
+      conn->ready.emplace(seq, std::move(response));
+      flush_ready(*conn, lock);
+    } else {
+      work_ready_.notify_one();
+    }
     if (options_.max_requests_per_connection > 0 &&
         ++admitted >= options_.max_requests_per_connection) {
       farewell =
@@ -413,11 +428,131 @@ void Server::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    std::string response = handle_line(service_, job.line);
+    // The dequeue-side shedding valve: a request that sat in the queue
+    // past max_queue_ms is already late — answering it with an immediate
+    // overloaded line keeps the backlog from compounding (every stale
+    // request the workers skip is analysis time given to a fresh one).
+    std::string response;
+    if (options_.max_queue_ms > 0) {
+      const auto waited = std::chrono::steady_clock::now() - job.arrival;
+      const long long waited_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+              .count();
+      if (waited_ms > options_.max_queue_ms)
+        response = overload_response(
+            job.line, "server overloaded: request waited " +
+                          std::to_string(waited_ms) +
+                          " ms in the admission queue (limit " +
+                          std::to_string(options_.max_queue_ms) + " ms)");
+    }
+    if (response.empty()) {
+      // Fault point: the handler stalls before the analysis runs,
+      // simulating a slow request pinning a shared worker. The
+      // queue-timing tests (deadline spent in the queue, the age valve,
+      // the depth watermark) use a one-shot stall as a deterministic
+      // plug instead of racing a real design's runtime.
+      if (base::fault_fires(base::FaultPoint::worker_stall))
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      response = handle_line(job.line, job.arrival);
+    }
     std::unique_lock<std::mutex> lock(job.conn->mutex);
     job.conn->ready.emplace(job.seq, std::move(response));
     flush_ready(*job.conn, lock);
   }
+}
+
+/// Handles one request line; never throws. Returns the response line
+/// (without the trailing newline). Error responses always carry a
+/// machine-readable "code": "bad_request" for anything the server itself
+/// rejects (unparseable line, malformed design text, bad fields), the
+/// AnalysisResponse error_code ("deadline_exceeded", "cancelled",
+/// "invalid_request", "analysis_error") for failures from the service.
+std::string Server::handle_line(
+    const std::string& line, std::chrono::steady_clock::time_point arrival) {
+  std::string id;
+  std::string name;
+  try {
+    const JsonValue json = parse_json(line);
+    id = render_id(json.get("id"));
+
+    // Control request: {"stats": true} returns the live counters without
+    // touching the design cache.
+    const JsonValue& stats_flag = json.get("stats");
+    if (!stats_flag.is_null()) {
+      if (!stats_flag.as_bool())
+        sitime::fail("request: 'stats' must be true when present");
+      std::ostringstream out;
+      out << "{";
+      if (!id.empty()) out << "\"id\":" << id << ",";
+      out << "\"ok\":true,\"stats\":";
+      append_cache_stats(out, service_.stats(), requests_shed());
+      out << "}";
+      return out.str();
+    }
+
+    AnalysisRequest request = build_request(json, arrival);
+    name = request.name;
+    const AnalysisResponse response = service_.analyze(request);
+
+    std::ostringstream out;
+    out << "{";
+    if (!id.empty()) out << "\"id\":" << id << ",";
+    out << "\"design\":\"" << core::json_escape(name) << "\"";
+    if (!response.ok) {
+      out << ",\"ok\":false,\"code\":\""
+          << core::json_escape(response.error_code.empty()
+                                   ? "analysis_error"
+                                   : response.error_code)
+          << "\",\"error\":\"" << core::json_escape(response.error)
+          << "\"}";
+      return out.str();
+    }
+    out << ",\"ok\":true,\"cache\":\"" << response.cache_state
+        << "\",\"phases_run\":\"" << core::json_escape(response.phases_run)
+        << "\",\"key\":\"" << response.key << "\"";
+    char seconds[32];
+    std::snprintf(seconds, sizeof(seconds), "%.6f", response.seconds);
+    out << ",\"seconds\":" << seconds;
+    out << ",\"speed_independent\":"
+        << (response.speed_independent ? "true" : "false");
+    if (!response.speed_independent)
+      out << ",\"offender\":\""
+          << core::json_escape(response.verify_offender) << "\"";
+    if (response.canonical_json != nullptr)
+      out << ",\"report\":" << *response.canonical_json;
+    out << ",\"cache_stats\":";
+    append_cache_stats(out, service_.stats(), requests_shed());
+    out << "}";
+    return out.str();
+  } catch (const std::exception& error) {
+    std::ostringstream out;
+    out << "{";
+    if (!id.empty()) out << "\"id\":" << id << ",";
+    if (!name.empty())
+      out << "\"design\":\"" << core::json_escape(name) << "\",";
+    out << "\"ok\":false,\"code\":\"bad_request\",\"error\":\""
+        << core::json_escape(error.what()) << "\"}";
+    return out.str();
+  }
+}
+
+std::string Server::overload_response(const std::string& line,
+                                      const std::string& why) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  std::string id;
+  try {
+    id = render_id(parse_json(line).get("id"));
+  } catch (const std::exception&) {
+    // A line too malformed to echo an id from still gets the overloaded
+    // response: under shedding the server never spends parse-error
+    // handling on a request it will not serve anyway.
+  }
+  std::ostringstream out;
+  out << "{";
+  if (!id.empty()) out << "\"id\":" << id << ",";
+  out << "\"ok\":false,\"code\":\"overloaded\",\"error\":\""
+      << core::json_escape(why) << "\"}";
+  return out.str();
 }
 
 /// Drains every consecutive ready response of one connection, WRITING

@@ -32,6 +32,8 @@
 // waits. One Server serves once; it is not restartable.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -82,6 +84,15 @@ struct ServerOptions {
   /// released (a never-reading client would otherwise pin one of the
   /// `admit` workers and stall graceful shutdown). 0 = block forever.
   int write_timeout_ms = 30000;
+  /// Load shedding by queue age: a request that waited in the shared
+  /// admission queue longer than this is answered with an immediate
+  /// {"ok":false,"code":"overloaded",...} line instead of being analyzed
+  /// (bounded latency beats completeness under saturation). 0 = never.
+  int max_queue_ms = 0;
+  /// Load shedding by queue depth: a request arriving while the shared
+  /// queue already holds this many waiting requests is shed at admission
+  /// with the same overloaded response. 0 = unbounded.
+  int max_queue_depth = 0;
   /// Lifecycle notices ("listening on tcp 127.0.0.1:45123", shutdown)
   /// go to stderr under this prefix; log_lifecycle = false silences
   /// them (tests).
@@ -122,6 +133,11 @@ class Server {
   int active_connections() const;
   long long connections_accepted() const;
   long long connections_refused() const;
+  /// Requests answered with the overloaded response by either shedding
+  /// valve (queue depth at admission, queue age at dequeue).
+  long long requests_shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Connection;
@@ -129,11 +145,22 @@ class Server {
     std::shared_ptr<Connection> conn;
     long seq = 0;
     std::string line;
+    /// When the request line was read off the wire; deadline_ms budgets
+    /// and the queue-age shedding valve both count from here.
+    std::chrono::steady_clock::time_point arrival;
   };
 
   void accept_loop(Transport& transport);
   void reader_loop(const std::shared_ptr<Connection>& conn);
   void worker_loop();
+  /// Handles one request line (never throws); returns the response line
+  /// without the trailing newline.
+  std::string handle_line(const std::string& line,
+                          std::chrono::steady_clock::time_point arrival);
+  /// The immediate {"ok":false,"code":"overloaded"} line for a shed
+  /// request (echoing its id when the line parses).
+  std::string overload_response(const std::string& line,
+                                const std::string& why);
   static void flush_ready(Connection& conn,
                           std::unique_lock<std::mutex>& lock);
   void log(const std::string& message) const;
@@ -161,6 +188,7 @@ class Server {
   bool stopping_ = false;
   long long accepted_ = 0;
   long long refused_ = 0;
+  std::atomic<long long> shed_{0};
 
   std::mutex wait_mutex_;  // serializes the joins in wait()
 };

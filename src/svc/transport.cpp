@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "base/error.hpp"
+#include "base/fault.hpp"
 
 namespace sitime::svc {
 
@@ -79,6 +80,11 @@ class SocketChannel : public Channel {
   }
 
   void write_line(const std::string& line) override {
+    // Fault point: a dropped response (the connection stays up, the line
+    // never reaches the client) — the failure mode of a peer that dies
+    // mid-write. Tests assert later responses on the same connection are
+    // unaffected.
+    if (base::fault_fires(base::FaultPoint::transport_write)) return;
     std::string out = line;
     out += '\n';
     std::size_t sent = 0;

@@ -13,6 +13,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -558,6 +559,237 @@ TEST(Server, Ipv6LoopbackListenerServes) {
 
   server.stop();
   server.wait();
+}
+
+// Sanitizer builds inflate wall times severalfold; timing assertions get
+// a wider budget there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SITIME_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SITIME_TEST_SANITIZED 1
+#endif
+#endif
+
+TEST(Server, DeadlineExceededIsStructuredFastAndLeavesTheServerServing) {
+  if (!base::fault_injection_compiled_in())
+    GTEST_SKIP() << "built without SITIME_FAULTS";
+  svc::ServerOptions options = quiet_options();
+  options.admit = 1;  // one worker, so the probe queues behind the plug
+  TcpHarness harness(options);
+
+  // A one-shot worker_stall pins the single worker for ~40 ms while it
+  // carries the plug request, so the deadline_ms=1 probe provably spends
+  // more than its whole budget queued — the deadline counts from
+  // arrival, queueing time spends it, and the worker answers without
+  // starting the analysis. (A real slow design would race the test
+  // machine's speed; the stall is deterministic.)
+  TestClient plug = TestClient::connect_tcp(harness.port);
+  TestClient probe = TestClient::connect_tcp(harness.port);
+  ASSERT_TRUE(plug.connected());
+  ASSERT_TRUE(probe.connected());
+  svc::FaultScope stall(svc::FaultPoint::worker_stall, /*nth=*/1);
+  plug.send(bench_request_line("plug", "adfast"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto start = std::chrono::steady_clock::now();
+  probe.send(
+      "{\"id\":\"probe\",\"design\":{\"bench\":\"adfast\"},"
+      "\"deadline_ms\":1}\n");
+
+  std::string line;
+  ASSERT_TRUE(probe.read_line(line));
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_EQ(id_of(line), "probe");
+  EXPECT_FALSE(response_ok(line)) << line;
+  EXPECT_NE(line.find("\"code\":\"deadline_exceeded\""), std::string::npos)
+      << line;
+#if defined(SITIME_TEST_SANITIZED)
+  EXPECT_LT(elapsed_ms, 2000.0);
+#else
+  EXPECT_LT(elapsed_ms, 100.0);  // the acceptance bound
+#endif
+  ASSERT_TRUE(plug.read_line(line));
+  EXPECT_TRUE(response_ok(line)) << line;  // the plug was never affected
+
+  // The server keeps serving: a request on another connection succeeds,
+  // and the stats counters report the deadline event.
+  TestClient after = TestClient::connect_tcp(harness.port);
+  ASSERT_TRUE(after.connected());
+  after.send(bench_request_line("after", "adfast") +
+             "{\"id\":\"stats\",\"stats\":true}\n");
+  ASSERT_TRUE(after.read_line(line));
+  EXPECT_EQ(id_of(line), "after");
+  EXPECT_TRUE(response_ok(line)) << line;
+  ASSERT_TRUE(after.read_line(line));
+  EXPECT_NE(line.find("\"deadline_exceeded\":1"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"shed\":0"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"cancelled_subtasks\":"), std::string::npos)
+      << line;
+}
+
+TEST(Server, QueueDepthWatermarkShedsWithAnOverloadedResponse) {
+  if (!base::fault_injection_compiled_in())
+    GTEST_SKIP() << "built without SITIME_FAULTS";
+  svc::ServerOptions options = quiet_options();
+  options.admit = 1;
+  options.max_queue_depth = 1;
+  TcpHarness harness(options);
+
+  TestClient plug = TestClient::connect_tcp(harness.port);
+  TestClient second = TestClient::connect_tcp(harness.port);
+  TestClient third = TestClient::connect_tcp(harness.port);
+  ASSERT_TRUE(plug.connected());
+  ASSERT_TRUE(second.connected());
+  ASSERT_TRUE(third.connected());
+
+  // The stalled plug occupies the single worker; the next request fills
+  // the one-deep queue; whichever of the two followers arrives last is
+  // shed at admission with the structured overloaded line.
+  svc::FaultScope stall(svc::FaultPoint::worker_stall, /*nth=*/1);
+  plug.send(bench_request_line("plug", "adfast"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  second.send(bench_request_line("q1", "adfast"));
+  third.send(bench_request_line("q2", "adfast"));
+
+  std::string second_line, third_line;
+  ASSERT_TRUE(second.read_line(second_line));
+  ASSERT_TRUE(third.read_line(third_line));
+  const bool second_shed =
+      second_line.find("\"code\":\"overloaded\"") != std::string::npos;
+  const bool third_shed =
+      third_line.find("\"code\":\"overloaded\"") != std::string::npos;
+  EXPECT_TRUE(second_shed || third_shed) << second_line << "\n"
+                                         << third_line;
+  EXPECT_FALSE(second_shed && third_shed)
+      << "both followers shed with a one-deep queue";
+  EXPECT_TRUE(second_shed ? response_ok(third_line)
+                          : response_ok(second_line));
+  EXPECT_EQ(harness.server.requests_shed(), 1);
+
+  // A shed connection is still a connection: the same client's next
+  // request is served once the pressure is gone.
+  std::string line;
+  ASSERT_TRUE(plug.read_line(line));
+  EXPECT_TRUE(response_ok(line));
+  TestClient& shed_client = second_shed ? second : third;
+  shed_client.send(bench_request_line("again", "ebergen"));
+  ASSERT_TRUE(shed_client.read_line(line));
+  EXPECT_EQ(id_of(line), "again");
+  EXPECT_TRUE(response_ok(line)) << line;
+}
+
+TEST(Server, QueueAgeValveShedsStaleRequestsAtDequeue) {
+  if (!base::fault_injection_compiled_in())
+    GTEST_SKIP() << "built without SITIME_FAULTS";
+  svc::ServerOptions options = quiet_options();
+  options.admit = 1;
+  options.max_queue_ms = 2;
+  TcpHarness harness(options);
+
+  TestClient plug = TestClient::connect_tcp(harness.port);
+  TestClient stale = TestClient::connect_tcp(harness.port);
+  ASSERT_TRUE(plug.connected());
+  ASSERT_TRUE(stale.connected());
+
+  // The follower queues behind the stalled (~40 ms) plug, so by the time
+  // the worker reaches it, it has aged far past the 2 ms valve.
+  svc::FaultScope stall(svc::FaultPoint::worker_stall, /*nth=*/1);
+  plug.send(bench_request_line("plug", "adfast"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stale.send(bench_request_line("stale", "adfast"));
+
+  std::string line;
+  ASSERT_TRUE(stale.read_line(line));
+  EXPECT_EQ(id_of(line), "stale");
+  EXPECT_NE(line.find("\"code\":\"overloaded\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("waited"), std::string::npos) << line;
+  EXPECT_GE(harness.server.requests_shed(), 1);
+  ASSERT_TRUE(plug.read_line(line));
+  EXPECT_TRUE(response_ok(line)) << line;
+
+  // With the pressure gone a request passes the valve (a couple of tries
+  // tolerate a scheduler hiccup inflating an idle dequeue past 2 ms).
+  bool served = false;
+  for (int attempt = 0; attempt < 3 && !served; ++attempt) {
+    stale.send(bench_request_line("retry", "adfast"));
+    ASSERT_TRUE(stale.read_line(line));
+    served = response_ok(line);
+  }
+  EXPECT_TRUE(served) << line;
+}
+
+TEST(Server, EmbeddedNulInDesignTextGetsAStructuredErrorAndSurvives) {
+  TcpHarness harness;
+  TestClient client = TestClient::connect_tcp(harness.port);
+  ASSERT_TRUE(client.connected());
+  // A JSON \u0000 escape decodes to a raw NUL inside the design text — the request
+  // must fail structured, and the connection must keep serving.
+  client.send(
+      "{\"id\":\"nul\",\"design\":{\"astg\":\"a\\u0000b\","
+      "\"name\":\"nul-design\"}}\n" +
+      bench_request_line("after", "adfast"));
+  client.shutdown_write();
+  const std::vector<std::string> lines = client.read_all();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(id_of(lines[0]), "nul");
+  EXPECT_FALSE(response_ok(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find("\"code\":\"bad_request\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("NUL"), std::string::npos) << lines[0];
+  EXPECT_EQ(id_of(lines[1]), "after");
+  EXPECT_TRUE(response_ok(lines[1])) << lines[1];
+}
+
+TEST(Server, TruncatedUtf8InDesignTextGetsAStructuredErrorAndSurvives) {
+  TcpHarness harness;
+  TestClient client = TestClient::connect_tcp(harness.port);
+  ASSERT_TRUE(client.connected());
+  // A raw 0xC3 lead byte with no continuation passes the JSON string
+  // layer unvalidated; the request decode must catch it.
+  client.send("{\"id\":\"trunc\",\"design\":{\"astg\":\"a\xC3x\","
+              "\"name\":\"trunc-design\"}}\n" +
+              bench_request_line("after", "adfast"));
+  client.shutdown_write();
+  const std::vector<std::string> lines = client.read_all();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(id_of(lines[0]), "trunc");
+  EXPECT_FALSE(response_ok(lines[0])) << lines[0];
+  EXPECT_NE(lines[0].find("\"code\":\"bad_request\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("UTF-8"), std::string::npos) << lines[0];
+  EXPECT_EQ(id_of(lines[1]), "after");
+  EXPECT_TRUE(response_ok(lines[1])) << lines[1];
+}
+
+TEST(Server, DroppedResponseWriteAffectsOnlyThatResponse) {
+  if (!base::fault_injection_compiled_in())
+    GTEST_SKIP() << "built without SITIME_FAULTS";
+  TcpHarness harness;
+  TestClient client = TestClient::connect_tcp(harness.port);
+  ASSERT_TRUE(client.connected());
+  // Warm the design (and finish all writes) before arming the fault.
+  client.send(bench_request_line("warm", "adfast"));
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  ASSERT_TRUE(response_ok(line));
+  {
+    svc::FaultScope drop(svc::FaultPoint::transport_write, /*nth=*/1);
+    client.send(bench_request_line("d1", "adfast") +
+                bench_request_line("d2", "adfast"));
+    // d1's response write was dropped on the floor; d2's went through
+    // unaffected, byte-identical to the warm response's report.
+    ASSERT_TRUE(client.read_line(line));
+    EXPECT_EQ(id_of(line), "d2") << line;
+    EXPECT_TRUE(response_ok(line)) << line;
+  }
+  client.send(bench_request_line("d3", "adfast"));
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_EQ(id_of(line), "d3");
+  EXPECT_TRUE(response_ok(line)) << line;
 }
 
 TEST(Server, StartRequiresATransportAndStopsCleanlyWithoutTraffic) {

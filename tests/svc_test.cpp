@@ -6,6 +6,10 @@
 // reader the serve loop parses requests with.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -432,6 +436,235 @@ TEST(AnalysisService, WarmBenchmarkSuiteMakesTheWholeSuiteResident) {
   for (const auto& bench : benchdata::all_benchmarks())
     EXPECT_EQ(service.analyze(bench_request(bench.name)).cache_state, "hit")
         << bench.name;
+}
+
+// ---- cancellation and deadlines ------------------------------------------
+
+TEST(AnalysisServiceCancel, ExpiredDeadlineFailsFastWithStructuredCode) {
+  svc::AnalysisService service;
+  svc::AnalysisRequest request = bench_request("adfast");
+  request.cancel = core::CancelToken(core::Deadline::after_ms(
+      1, std::chrono::steady_clock::now() - std::chrono::milliseconds(50)));
+  const auto start = std::chrono::steady_clock::now();
+  const svc::AnalysisResponse response = service.analyze(request);
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "deadline_exceeded");
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_LT(elapsed_ms, 100.0);
+  const svc::CacheStats stats = service.stats();
+  EXPECT_EQ(stats.failures, 1);
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.entries, 0);
+  // A retry with no budget runs clean.
+  const svc::AnalysisResponse retry =
+      service.analyze(bench_request("adfast"));
+  ASSERT_TRUE(retry.ok) << retry.error;
+  EXPECT_EQ(retry.cache_state, "fresh");
+}
+
+TEST(AnalysisServiceCancel, PreCancelledFlagFailsWithCancelledCode) {
+  svc::AnalysisService service;
+  core::CancelSource source;
+  source.request_cancel();
+  svc::AnalysisRequest request = bench_request("adfast");
+  request.cancel = source.token();
+  const svc::AnalysisResponse response = service.analyze(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "cancelled");
+  EXPECT_NE(response.error.find("cancelled during"), std::string::npos)
+      << response.error;
+  // An entry with nothing past the parse is not retained.
+  EXPECT_EQ(service.stats().entries, 0);
+  ASSERT_TRUE(service.analyze(bench_request("adfast")).ok);
+}
+
+TEST(AnalysisServiceCancel, CancelledUpgradeParksEntryAndRerunsOnlyDerive) {
+  // A verify entry whose derive upgrade is cancelled must keep its
+  // decomposition + verdict, and the larger-budget retry runs ONLY the
+  // derive phase — the resume-from-completed-phases contract.
+  svc::AnalysisService service;
+  const svc::AnalysisResponse verified = service.analyze(
+      bench_request("imec-ram-read-sbuf", svc::RequestMode::verify));
+  ASSERT_TRUE(verified.ok) << verified.error;
+
+  core::CancelSource source;
+  source.request_cancel();
+  svc::AnalysisRequest cancelled = bench_request("imec-ram-read-sbuf");
+  cancelled.cancel = source.token();
+  const svc::AnalysisResponse failed = service.analyze(cancelled);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.error_code, "cancelled");
+
+  EXPECT_EQ(service.analyze(bench_request("imec-ram-read-sbuf",
+                                          svc::RequestMode::verify))
+                .cache_state,
+            "hit");
+  const svc::AnalysisResponse retry =
+      service.analyze(bench_request("imec-ram-read-sbuf"));
+  ASSERT_TRUE(retry.ok) << retry.error;
+  EXPECT_EQ(retry.cache_state, "upgraded");
+  EXPECT_EQ(retry.phases_run, "derive");
+  EXPECT_EQ(service.stats().decompose_runs, 1);
+
+  // Byte-identical to a never-cancelled service's report.
+  svc::AnalysisService reference;
+  const svc::AnalysisResponse clean =
+      reference.analyze(bench_request("imec-ram-read-sbuf"));
+  ASSERT_TRUE(clean.ok);
+  ASSERT_NE(retry.canonical_json, nullptr);
+  ASSERT_NE(clean.canonical_json, nullptr);
+  EXPECT_EQ(*retry.canonical_json, *clean.canonical_json);
+}
+
+TEST(CancellationStress, MidRunCancelNeverChangesTheRerunReport) {
+  // A cancel landing anywhere inside a jobs=4 run must never leak
+  // partial state (SgCache entries, half-advanced phases) into the
+  // answer: whatever the interleaving, the rerun's canonical report is
+  // byte-identical to a serial never-cancelled run's. This is the
+  // TSan-targeted stress: the cancel flag races every hot-loop poll.
+  svc::ServiceOptions serial;
+  serial.jobs = 1;
+  svc::AnalysisService reference(serial);
+  const svc::AnalysisResponse clean =
+      reference.analyze(bench_request("imec-ram-read-sbuf"));
+  ASSERT_TRUE(clean.ok) << clean.error;
+  ASSERT_NE(clean.canonical_json, nullptr);
+
+  for (int round = 0; round < 6; ++round) {
+    svc::ServiceOptions options;
+    options.jobs = 4;
+    svc::AnalysisService service(options);
+    core::CancelSource source;
+    svc::AnalysisRequest request = bench_request("imec-ram-read-sbuf");
+    request.cancel = source.token();
+    svc::AnalysisResponse raced;
+    std::thread runner([&] { raced = service.analyze(request); });
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+    source.request_cancel();
+    runner.join();
+    if (!raced.ok)
+      EXPECT_EQ(raced.error_code, "cancelled") << raced.error;
+
+    const svc::AnalysisResponse rerun =
+        service.analyze(bench_request("imec-ram-read-sbuf"));
+    ASSERT_TRUE(rerun.ok) << "round " << round << ": " << rerun.error;
+    ASSERT_NE(rerun.canonical_json, nullptr);
+    EXPECT_EQ(*rerun.canonical_json, *clean.canonical_json)
+        << "round " << round;
+  }
+}
+
+TEST(AnalysisService, WarmStopFlagExitsBetweenDesigns) {
+  svc::AnalysisService service;
+  std::atomic<bool> stop{true};
+  EXPECT_EQ(service.warm_benchmark_suite(&stop), 0);
+  EXPECT_EQ(service.stats().entries, 0);
+}
+
+// ---- deterministic fault injection ---------------------------------------
+
+TEST(FaultInjection, EveryFlowPointFailsStructuredAndRecovers) {
+  if (!base::fault_injection_compiled_in())
+    GTEST_SKIP() << "built without SITIME_FAULTS";
+  svc::AnalysisService reference;
+  const svc::AnalysisResponse clean =
+      reference.analyze(bench_request("imec-ram-read-sbuf"));
+  ASSERT_TRUE(clean.ok);
+  ASSERT_NE(clean.canonical_json, nullptr);
+
+  for (const svc::FaultPoint point :
+       {svc::FaultPoint::parse, svc::FaultPoint::decompose,
+        svc::FaultPoint::sg_build}) {
+    svc::AnalysisService service;
+    {
+      svc::FaultScope fault(point, /*nth=*/1);
+      const svc::AnalysisResponse failed =
+          service.analyze(bench_request("imec-ram-read-sbuf"));
+      EXPECT_FALSE(failed.ok) << base::fault_point_name(point);
+      EXPECT_EQ(failed.error_code, "analysis_error")
+          << base::fault_point_name(point);
+      EXPECT_NE(failed.error.find("injected fault"), std::string::npos)
+          << failed.error;
+    }
+    // Out of scope the injector is inert; the service recovered and the
+    // rerun's report is byte-identical to the fault-free reference.
+    const svc::AnalysisResponse recovered =
+        service.analyze(bench_request("imec-ram-read-sbuf"));
+    ASSERT_TRUE(recovered.ok)
+        << base::fault_point_name(point) << ": " << recovered.error;
+    ASSERT_NE(recovered.canonical_json, nullptr);
+    EXPECT_EQ(*recovered.canonical_json, *clean.canonical_json)
+        << base::fault_point_name(point);
+  }
+}
+
+TEST(FaultInjection, CacheInsertFaultServesTheResponseButSkipsRetention) {
+  if (!base::fault_injection_compiled_in())
+    GTEST_SKIP() << "built without SITIME_FAULTS";
+  svc::AnalysisService service;
+  {
+    svc::FaultScope fault(svc::FaultPoint::cache_insert, /*nth=*/1);
+    const svc::AnalysisResponse served =
+        service.analyze(bench_request("adfast"));
+    ASSERT_TRUE(served.ok) << served.error;  // the response is unaffected
+    EXPECT_EQ(service.stats().entries, 0);   // retention was skipped
+  }
+  const svc::AnalysisResponse rerun =
+      service.analyze(bench_request("adfast"));
+  ASSERT_TRUE(rerun.ok);
+  EXPECT_EQ(rerun.cache_state, "fresh");  // nothing was resident
+  EXPECT_EQ(service.stats().entries, 1);
+}
+
+TEST(FaultInjection, SeededFaultStormKeepsEveryResponseWellFormed) {
+  if (!base::fault_injection_compiled_in())
+    GTEST_SKIP() << "built without SITIME_FAULTS";
+  // Reference canonicals from a fault-free service.
+  std::map<std::string, std::string> reference;
+  {
+    svc::AnalysisService clean;
+    for (const auto& bench : benchdata::all_benchmarks()) {
+      const svc::AnalysisResponse response =
+          clean.analyze(bench_request(bench.name));
+      ASSERT_TRUE(response.ok) << bench.name << ": " << response.error;
+      ASSERT_NE(response.canonical_json, nullptr);
+      reference[bench.name] = *response.canonical_json;
+    }
+  }
+  // CI sweeps SITIME_FAULT_SEED over several seeds; 1 is the default.
+  const std::uint64_t seed = base::fault_env_seed(1);
+  long long failures = 0;
+  {
+    base::FaultScope storm(seed, /*period=*/3);
+    svc::AnalysisService service;
+    for (int round = 0; round < 3; ++round)
+      for (const auto& bench : benchdata::all_benchmarks()) {
+        const svc::AnalysisResponse response =
+            service.analyze(bench_request(bench.name));
+        if (response.ok) {
+          // A response that made it out must be byte-identical to the
+          // fault-free answer — faults fail requests, never skew them.
+          if (response.canonical_json != nullptr)
+            EXPECT_EQ(*response.canonical_json, reference[bench.name])
+                << "seed " << seed << " perturbed " << bench.name;
+        } else {
+          ++failures;
+          EXPECT_FALSE(response.error.empty()) << bench.name;
+          EXPECT_FALSE(response.error_code.empty()) << bench.name;
+        }
+      }
+  }
+  EXPECT_GT(failures, 0) << "storm at period 3 never fired";
+  // Out of scope the injector is inert again: a clean service matches.
+  svc::AnalysisService after;
+  const svc::AnalysisResponse response =
+      after.analyze(bench_request("imec-ram-read-sbuf"));
+  ASSERT_TRUE(response.ok) << response.error;
+  ASSERT_NE(response.canonical_json, nullptr);
+  EXPECT_EQ(*response.canonical_json, reference["imec-ram-read-sbuf"]);
 }
 
 // ---- decomposition reuse (the flow API the service is built on) ---------

@@ -35,8 +35,14 @@
 //                        that stopped reading (default 30000; 0 = block
 //                        forever)
 //   --max-line-bytes N   longest accepted request line (default 4 MiB)
+//   --max-queue-ms N     shed requests that waited longer than this in
+//                        the shared admission queue with an immediate
+//                        "overloaded" response (default 0 = never)
+//   --max-queue-depth N  shed requests arriving while this many are
+//                        already queued (default 0 = unbounded)
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -70,7 +76,8 @@ int usage() {
       "                    [--socket PATH] [--listen HOST:PORT]...\n"
       "                    [--max-connections N] [--max-requests N]\n"
       "                    [--idle-timeout-ms N] [--write-timeout-ms N]\n"
-      "                    [--max-line-bytes N]\n"
+      "                    [--max-line-bytes N] [--max-queue-ms N]\n"
+      "                    [--max-queue-depth N]\n"
       "reads one JSON request per line on stdin (or per socket/TCP\n"
       "connection), writes one JSON response per line; see\n"
       "tools/README.md\n");
@@ -79,10 +86,14 @@ int usage() {
 
 // Graceful-shutdown plumbing: a signal handler cannot call
 // svc::Server::stop() itself (not async-signal-safe), so it writes one
-// byte into a self-pipe that a watcher thread blocks on.
+// byte into a self-pipe that a watcher thread blocks on. The flag lets
+// phases that run before the server exists (the --warm preload) observe
+// the shutdown request too.
 int g_signal_pipe[2] = {-1, -1};
+std::atomic<bool> g_shutdown{false};
 
 void notify_signal_pipe(int) {
+  g_shutdown.store(true, std::memory_order_relaxed);
   const char byte = 0;
   [[maybe_unused]] const ssize_t wrote =
       ::write(g_signal_pipe[1], &byte, 1);
@@ -147,6 +158,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-line-bytes") {
       options.server.max_line_bytes = static_cast<std::size_t>(
           int_value("--max-line-bytes", 0, 1L << 32));
+    } else if (arg == "--max-queue-ms") {
+      options.server.max_queue_ms =
+          static_cast<int>(int_value("--max-queue-ms", 0, 1 << 30));
+    } else if (arg == "--max-queue-depth") {
+      options.server.max_queue_depth =
+          static_cast<int>(int_value("--max-queue-depth", 0, 1 << 30));
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -156,32 +173,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool has_listener =
+      !options.socket_path.empty() || !options.listen_endpoints.empty();
+
+  // Socket servers run until a signal asks for the graceful drain; a
+  // stdio server simply ends at stdin EOF (its reader cannot be
+  // unblocked, so no handler is installed). The handlers go in BEFORE
+  // the --warm preload, so a shutdown signal during warm stops between
+  // designs instead of loading the rest of the suite first — the byte it
+  // writes stays in the self-pipe, so a signal at any later point (even
+  // before the watcher thread exists) still reaches server.stop().
+  const bool handle_signals = has_listener && ::pipe(g_signal_pipe) == 0;
+  if (handle_signals) {
+    std::signal(SIGINT, notify_signal_pipe);
+    std::signal(SIGTERM, notify_signal_pipe);
+  }
+
   svc::ServiceOptions service_options;
   service_options.cache_budget_bytes = options.cache_bytes;
   service_options.jobs = options.jobs;
   svc::AnalysisService service(service_options);
 
   if (options.warm) {
-    const int loaded = service.warm_benchmark_suite();
+    const int loaded = service.warm_benchmark_suite(
+        handle_signals ? &g_shutdown : nullptr);
     const svc::CacheStats stats = service.stats();
     std::fprintf(stderr,
                  "sitime_serve: warmed %d designs (%d resident, %zu bytes)\n",
                  loaded, stats.entries, stats.bytes);
+    if (g_shutdown.load(std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "sitime_serve: shutdown requested during warm; exiting\n");
+      return 0;
+    }
   }
 
   svc::Server server(service, options.server);
-  bool has_listener = false;
   try {
-    if (!options.socket_path.empty()) {
+    if (!options.socket_path.empty())
       server.add_transport(
           std::make_unique<svc::UnixSocketTransport>(options.socket_path));
-      has_listener = true;
-    }
-    for (const std::string& endpoint : options.listen_endpoints) {
+    for (const std::string& endpoint : options.listen_endpoints)
       server.add_transport(std::make_unique<svc::TcpTransport>(
           svc::parse_listen_endpoint(endpoint)));
-      has_listener = true;
-    }
     if (!has_listener)
       server.add_transport(std::make_unique<svc::StdioTransport>());
     server.start();
@@ -190,13 +224,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Socket servers run until a signal asks for the graceful drain; a
-  // stdio server simply ends at stdin EOF (its reader cannot be
-  // unblocked, so no handler is installed).
   std::thread signal_watcher;
-  if (has_listener && ::pipe(g_signal_pipe) == 0) {
-    std::signal(SIGINT, notify_signal_pipe);
-    std::signal(SIGTERM, notify_signal_pipe);
+  if (handle_signals) {
     signal_watcher = std::thread([&server] {
       char byte;
       while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
