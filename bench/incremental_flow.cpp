@@ -1,0 +1,187 @@
+// Editor-loop benchmark for the gate-level slice cache: mutate one gate
+// per iteration and re-run the flow, comparing cold (no gate store —
+// every edit re-expands every (component × gate) job) against delta (a
+// warm svc::GateCache — only the edited gate's jobs re-expand). Emits one
+// JSON document (committed as BENCH_incremental.json at the repo root).
+//
+// The loop models a designer iterating on one gate of a finished design:
+// the STG is parsed once and stays fixed; each iteration re-parses the
+// edited netlist, re-decomposes, and re-derives the constraints. The edit
+// is the one tests/incremental_test.cpp uses — duplicate the first cube
+// of the target gate's equation — so the gate's function (and with it the
+// constraint sets) is unchanged while its job keys, and the whole-design
+// key, differ on every iteration.
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchdata/benchmarks.hpp"
+#include "circuit/circuit.hpp"
+#include "core/flow.hpp"
+#include "svc/gate_cache.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Output names of the canonical netlist, in equation order.
+std::vector<std::string> gate_names(const std::string& eqn) {
+  std::vector<std::string> names;
+  std::size_t at = 0;
+  while (at < eqn.size()) {
+    const auto eq = eqn.find(" = ", at);
+    if (eq == std::string::npos) break;
+    auto line = eqn.rfind('\n', eq);
+    line = line == std::string::npos ? 0 : line + 1;
+    names.push_back(eqn.substr(line, eq - line));
+    at = eqn.find('\n', eq);
+    if (at == std::string::npos) break;
+    ++at;
+  }
+  return names;
+}
+
+/// Duplicates the first cube of `gate`'s equation `copies` times — one
+/// distinct edit per (gate, copies) pair, so the edit stream never
+/// repeats a netlist text.
+std::string mutate(const std::string& eqn, const std::string& gate,
+                   int copies) {
+  const std::string lhs = gate + " = ";
+  const auto at = eqn.find(lhs);
+  if (at == std::string::npos) return eqn;
+  const auto rhs = at + lhs.size();
+  auto end = eqn.find('+', rhs);
+  const auto semi = eqn.find(';', rhs);
+  if (end == std::string::npos || semi < end) end = semi;
+  const std::string first = eqn.substr(rhs, end - rhs);
+  std::string mutated = eqn;
+  for (int c = 0; c < copies; ++c) mutated.insert(rhs, first + " + ");
+  return mutated;
+}
+
+struct DesignRow {
+  std::string design;
+  int gates = 0;
+  int edits = 0;
+  double cold_seconds = 0.0;
+  double delta_seconds = 0.0;
+  double hit_rate = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sitime;
+  constexpr int kRounds = 5;  // edit stream: kRounds distinct edits per gate
+
+  // Gate store for the delta runs: the real service cache with nothing
+  // reserved for whole-design entries, so the whole budget is slices.
+  static const std::atomic<std::size_t> kNoDesignBytes{0};
+
+  std::vector<DesignRow> rows;
+  for (const auto& bench : benchdata::all_benchmarks()) {
+    const stg::Stg stg = benchdata::load_stg(bench);
+    const circuit::Circuit circuit = benchdata::load_circuit(bench, stg);
+    if (!core::verify_speed_independent(stg, circuit).empty()) continue;
+    const std::string eqn = circuit.to_eqn();
+    const std::vector<std::string> gates = gate_names(eqn);
+    if (gates.size() < 2) continue;
+
+    DesignRow row;
+    row.design = bench.name;
+    row.gates = static_cast<int>(gates.size());
+    row.edits = kRounds * row.gates;
+
+    const auto run_edit = [&](const std::string& gate, int round,
+                              core::GateSliceStore* store) {
+      const circuit::Circuit edited = circuit::Circuit::from_equations(
+          &stg.signals, mutate(eqn, gate, round));
+      const core::FlowDecomposition decomposition =
+          core::decompose_flow(stg, edited);
+      core::FlowOptions options;
+      options.gate_store = store;
+      return core::derive_timing_constraints(decomposition, stg, edited,
+                                             options);
+    };
+
+    // Cold: every edit pays netlist parse + decompose + full expansion.
+    const auto cold_start = Clock::now();
+    for (int round = 1; round <= kRounds; ++round)
+      for (const std::string& gate : gates)
+        run_edit(gate, round, nullptr);
+    row.cold_seconds = seconds_since(cold_start);
+
+    // Delta: prime the store with the unedited design, then replay the
+    // same edit stream — unchanged gates hit their cached slices.
+    svc::GateCache store(64 * 1024 * 1024, &kNoDesignBytes);
+    {
+      const core::FlowDecomposition decomposition =
+          core::decompose_flow(stg, circuit);
+      core::FlowOptions options;
+      options.gate_store = &store;
+      core::derive_timing_constraints(decomposition, stg, circuit, options);
+    }
+    const long long primed_hits = store.hits();
+    const long long primed_misses = store.misses();
+    const auto delta_start = Clock::now();
+    for (int round = 1; round <= kRounds; ++round)
+      for (const std::string& gate : gates)
+        run_edit(gate, round, &store);
+    row.delta_seconds = seconds_since(delta_start);
+    const long long hits = store.hits() - primed_hits;
+    const long long misses = store.misses() - primed_misses;
+    row.hit_rate = hits + misses > 0
+                       ? static_cast<double>(hits) /
+                             static_cast<double>(hits + misses)
+                       : 0.0;
+    rows.push_back(row);
+  }
+
+  // Aggregate: every benchmarked design, plus the multi-gate slice (5+
+  // gates) where per-edit reuse has room to pay off.
+  double cold_all = 0.0, delta_all = 0.0;
+  double cold_multi = 0.0, delta_multi = 0.0;
+  for (const DesignRow& row : rows) {
+    cold_all += row.cold_seconds;
+    delta_all += row.delta_seconds;
+    if (row.gates >= 5) {
+      cold_multi += row.cold_seconds;
+      delta_multi += row.delta_seconds;
+    }
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"incremental_flow\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"edit_model\": \"duplicate one cube of one gate per "
+              "iteration\",\n");
+  std::printf("  \"rounds_per_gate\": %d,\n", kRounds);
+  std::printf("  \"designs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DesignRow& row = rows[i];
+    std::printf("    {\"design\": \"%s\", \"gates\": %d, \"edits\": %d, "
+                "\"cold_seconds\": %.6f, \"delta_seconds\": %.6f, "
+                "\"speedup\": %.2f, \"gate_hit_rate\": %.4f}%s\n",
+                row.design.c_str(), row.gates, row.edits, row.cold_seconds,
+                row.delta_seconds,
+                row.delta_seconds > 0 ? row.cold_seconds / row.delta_seconds
+                                      : 0.0,
+                row.hit_rate, i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"all_designs_speedup\": %.2f,\n",
+              delta_all > 0 ? cold_all / delta_all : 0.0);
+  std::printf("  \"multi_gate_speedup\": %.2f\n",
+              delta_multi > 0 ? cold_multi / delta_multi : 0.0);
+  std::printf("}\n");
+  return 0;
+}

@@ -3,11 +3,14 @@
 // unless CMake defines SITIME_FAULT_INJECTION (option SITIME_FAULTS,
 // default ON so the checked-in test suites exercise the paths).
 //
-// Six injection points cover the layers a request crosses:
+// Seven injection points cover the layers a request crosses:
 //   parse           AnalysisService request parsing
 //   decompose       core::run_decompose_phase entry
 //   sg_build        sg::build_state_graph entry
 //   cache_insert    AnalysisService::finish_run retention
+//   gate_cache_insert  svc::GateCache::insert retention (the slice is
+//                   still served to its own flow, it just is not kept —
+//                   mirrors cache_insert one level down)
 //   transport_write SocketChannel::write_line (drops the response,
 //                   simulating a client that vanished mid-write)
 //   worker_stall    svc::Server worker_loop before the handler runs
@@ -45,10 +48,11 @@ enum class FaultPoint : int {
   decompose,
   sg_build,
   cache_insert,
+  gate_cache_insert,
   transport_write,
   worker_stall,
 };
-inline constexpr int kFaultPointCount = 6;
+inline constexpr int kFaultPointCount = 7;
 
 /// Thrown by throwing injection points. Deliberately NOT a subclass of
 /// any analysis error: core/expand.cpp rethrows it past the OR-causality

@@ -72,18 +72,21 @@ FlowDecomposition decompose_flow(const stg::Stg& impl,
   return decomposition;
 }
 
-void for_each_local_stg(
-    const FlowDecomposition& decomposition, const circuit::Circuit& circuit,
-    const std::function<bool(const FlowJob&, stg::MgStg)>& visit, int jobs,
-    base::ThreadPool* pool, const CancelToken& cancel) {
+namespace {
+
+/// The dispatch skeleton under for_each_local_stg, minus the projection:
+/// derive/verify consult the gate-slice store *before* projecting (a hit
+/// skips the projection, the dominant per-job cost on warm runs), so they
+/// drive this directly and project inside `visit` only on a miss.
+void for_each_flow_job(const FlowDecomposition& decomposition,
+                       const std::function<bool(const FlowJob&)>& visit,
+                       int jobs, base::ThreadPool* pool,
+                       const CancelToken& cancel) {
   jobs = effective_jobs(jobs);
   const int job_count = static_cast<int>(decomposition.jobs.size());
   auto run_job = [&](int index) -> bool {
     cancel.poll("flow job dispatch");
-    const FlowJob& job = decomposition.jobs[index];
-    const circuit::Gate& gate = circuit.gates()[job.gate];
-    return visit(job,
-                 local_stg(decomposition.component_stgs[job.component], gate));
+    return visit(decomposition.jobs[index]);
   };
   if (jobs == 1 || job_count <= 1) {
     for (int index = 0; index < job_count; ++index)
@@ -107,6 +110,22 @@ void for_each_local_stg(
         }
       },
       /*grain=*/1, /*max_tasks=*/jobs);
+}
+
+}  // namespace
+
+void for_each_local_stg(
+    const FlowDecomposition& decomposition, const circuit::Circuit& circuit,
+    const std::function<bool(const FlowJob&, stg::MgStg)>& visit, int jobs,
+    base::ThreadPool* pool, const CancelToken& cancel) {
+  for_each_flow_job(
+      decomposition,
+      [&](const FlowJob& job) {
+        return visit(job,
+                     local_stg(decomposition.component_stgs[job.component],
+                               circuit.gates()[job.gate]));
+      },
+      jobs, pool, cancel);
 }
 
 FlowResult derive_timing_constraints(const stg::Stg& impl,
@@ -180,12 +199,54 @@ FlowResult derive_timing_constraints(const FlowDecomposition& decomposition,
     int subtasks = 0;
   };
   std::vector<JobOutput> outputs(decomposition.jobs.size());
+  // A relaxation trace records the actual loop, which a cached slice would
+  // skip wholesale — tracing runs bypass the gate store entirely.
+  GateSliceStore* gate_store =
+      options.expand.trace == nullptr ? options.gate_store : nullptr;
+  std::atomic<int> gate_hits{0};
+  std::atomic<int> gate_misses{0};
+  // One key base per component, stamped into every job key below: jobs of
+  // one component share everything but the gate suffix, and computing the
+  // base here keeps the per-job lookup cheap enough that a hit skips the
+  // projection itself.
+  std::vector<ComponentKeyBase> derive_bases;
+  if (gate_store != nullptr) {
+    derive_bases.reserve(decomposition.component_stgs.size());
+    for (const stg::MgStg& component : decomposition.component_stgs)
+      derive_bases.push_back(component_key_base(
+          component, &adversary, static_cast<int>(expand_options.order),
+          expand_options.max_steps, expand_options.max_depth));
+  }
   const auto expand_start = std::chrono::steady_clock::now();
-  for_each_local_stg(
-      decomposition, circuit,
-      [&](const FlowJob& job, stg::MgStg local) {
+  for_each_flow_job(
+      decomposition,
+      [&](const FlowJob& job) {
         JobOutput& out = outputs[job.index];
         const circuit::Gate& gate = circuit.gates()[job.gate];
+        GateJobKey key;
+        if (gate_store != nullptr) {
+          key = gate_job_key(derive_bases[job.component], gate);
+          if (auto slice = gate_store->lookup(key);
+              slice != nullptr && slice->has_constraints) {
+            out.before = slice->before;
+            out.after = slice->after;
+            out.steps = slice->steps;
+            out.subtasks = slice->subtasks;
+            // Re-charge the producing run's steps so a warm flow faces the
+            // same per-flow max_steps bound a cold one did — reuse must
+            // never let a design sneak under a budget it would trip cold.
+            if (step_budget.fetch_add(slice->steps,
+                                      std::memory_order_relaxed) +
+                    slice->steps >
+                expand_options.max_steps)
+              throw ExpandLimitError("expand: step limit exceeded");
+            gate_hits.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          }
+          gate_misses.fetch_add(1, std::memory_order_relaxed);
+        }
+        stg::MgStg local = local_stg(
+            decomposition.component_stgs[job.component], gate);
         // Baseline: every type-4 arc is an adversary-path condition.
         for (int index : relaxable_arcs(local, gate.output)) {
           const stg::MgArc& arc = local.arcs()[index];
@@ -198,10 +259,21 @@ FlowResult derive_timing_constraints(const FlowDecomposition& decomposition,
         expander.expand(std::move(local), gate, out.after);
         out.steps = expander.steps();
         out.subtasks = expander.subtasks();
+        if (gate_store != nullptr) {
+          auto slice = std::make_shared<GateSlice>();
+          slice->has_constraints = true;
+          slice->before = out.before;
+          slice->after = out.after;
+          slice->steps = out.steps;
+          slice->subtasks = out.subtasks;
+          gate_store->insert(key, std::move(slice));
+        }
         return true;
       },
       result.jobs, options.pool, options.cancel);
   result.expand_seconds = seconds_since(expand_start);
+  result.gate_hits = gate_hits.load(std::memory_order_relaxed);
+  result.gate_misses = gate_misses.load(std::memory_order_relaxed);
 
   for (const JobOutput& out : outputs) {
     // emplace keeps the first weight seen for a duplicate constraint,
@@ -242,19 +314,58 @@ std::string verify_speed_independent(const FlowDecomposition& decomposition,
                                      const circuit::Circuit& circuit,
                                      int jobs, base::ThreadPool* pool,
                                      const CancelToken& cancel) {
+  FlowOptions options;
+  options.jobs = jobs;
+  options.pool = pool;
+  options.cancel = cancel;
+  return verify_speed_independent(decomposition, circuit, options);
+}
+
+std::string verify_speed_independent(const FlowDecomposition& decomposition,
+                                     const circuit::Circuit& circuit,
+                                     const FlowOptions& options) {
   // The smallest offending job index wins, so the answer is stable for any
   // schedule (and matches the serial early-exit order).
   std::atomic<int> first_bad{std::numeric_limits<int>::max()};
-  for_each_local_stg(
-      decomposition, circuit,
-      [&](const FlowJob& job, stg::MgStg local) {
+  GateSliceStore* gate_store = options.gate_store;
+  std::vector<ComponentKeyBase> verify_bases;
+  if (gate_store != nullptr) {
+    verify_bases.reserve(decomposition.component_stgs.size());
+    for (const stg::MgStg& component : decomposition.component_stgs)
+      verify_bases.push_back(
+          component_key_base(component, /*adversary=*/nullptr));
+  }
+  for_each_flow_job(
+      decomposition,
+      [&](const FlowJob& job) {
         if (job.index > first_bad.load(std::memory_order_relaxed))
           return true;  // cannot improve the answer
         const circuit::Gate& gate = circuit.gates()[job.gate];
-        const sg::StateGraph graph = sg::build_state_graph(
-            local, sg::kDefaultSgStateLimit, sg::kDefaultSgTokenLimit,
-            cancel);
-        if (timing_conformant(graph, local, gate)) return true;
+        bool conformant;
+        GateJobKey key;
+        std::shared_ptr<const GateSlice> cached;
+        if (gate_store != nullptr) {
+          key = gate_job_key(verify_bases[job.component], gate);
+          cached = gate_store->lookup(key);
+          if (cached != nullptr && !cached->has_verify) cached = nullptr;
+        }
+        if (cached != nullptr) {
+          conformant = cached->conformant;
+        } else {
+          const stg::MgStg local = local_stg(
+              decomposition.component_stgs[job.component], gate);
+          const sg::StateGraph graph = sg::build_state_graph(
+              local, sg::kDefaultSgStateLimit, sg::kDefaultSgTokenLimit,
+              options.cancel);
+          conformant = timing_conformant(graph, local, gate);
+          if (gate_store != nullptr) {
+            auto slice = std::make_shared<GateSlice>();
+            slice->has_verify = true;
+            slice->conformant = conformant;
+            gate_store->insert(key, std::move(slice));
+          }
+        }
+        if (conformant) return true;
         int current = first_bad.load(std::memory_order_relaxed);
         while (job.index < current &&
                !first_bad.compare_exchange_weak(current, job.index)) {
@@ -263,7 +374,7 @@ std::string verify_speed_independent(const FlowDecomposition& decomposition,
         // already-dispatched jobs still complete and may lower the index.
         return false;
       },
-      jobs, pool, cancel);
+      options.jobs, options.pool, options.cancel);
   const int bad = first_bad.load(std::memory_order_relaxed);
   if (bad == std::numeric_limits<int>::max()) return "";
   return circuit.signals().name(

@@ -24,6 +24,7 @@
 #include "circuit/adversary.hpp"
 #include "circuit/circuit.hpp"
 #include "core/expand.hpp"
+#include "core/local_stg.hpp"
 #include "stg/stg.hpp"
 
 namespace sitime::core {
@@ -61,6 +62,14 @@ struct FlowResult {
   int peak_active_bodies = 1;
   int cache_hits = 0;       // shared SgCache statistics
   int cache_misses = 0;
+  /// Gate-slice cache statistics of THIS run (0 when FlowOptions has no
+  /// gate_store): jobs whose constraint slice was served from the store vs
+  /// jobs that ran their expansion. A reused slice still contributes its
+  /// recorded expand_steps/expand_subtasks to the counters above — and
+  /// re-charges the shared step budget — so a warm run reads (and is
+  /// bounded) like the cold run that produced the slices.
+  int gate_hits = 0;
+  int gate_misses = 0;
   double seconds = 0.0;     // end to end
   double decompose_seconds = 0.0;  // global SG + MG decomposition
   double expand_seconds = 0.0;     // the (component × gate) job graph
@@ -89,6 +98,16 @@ struct FlowOptions {
   /// later uncancelled run yields the canonical answer. Also copied into
   /// expand.cancel (an explicitly set expand.cancel wins).
   CancelToken cancel;
+  /// Per-(component × gate) slice cache consulted before every expansion
+  /// and verify job (null = none). Keys are computed from the component
+  /// and the gate — never from the projection — so a job whose
+  /// gate_job_key() hits reuses the cached slice without even building
+  /// its local STG; misses project and publish their product
+  /// after the job completes, so even a later-cancelled flow leaves its
+  /// finished jobs' slices behind for an incremental retry. The stable
+  /// job-order merge makes a flow mixing cached and fresh slices
+  /// byte-identical to a fully cold run at any worker count.
+  GateSliceStore* gate_store = nullptr;
 };
 
 /// One (MG component × gate) unit of flow work.
@@ -166,6 +185,15 @@ std::string verify_speed_independent(const FlowDecomposition& decomposition,
                                      int jobs = 1,
                                      base::ThreadPool* pool = nullptr,
                                      const CancelToken& cancel = {});
+
+/// Same, honouring options.gate_store: each job's conformance verdict is
+/// looked up before its state graph is built and published afterwards (the
+/// verify-phase keys exclude adversary weights and expand knobs — the
+/// verdict depends on neither). Only jobs/pool/cancel/gate_store of
+/// `options` participate.
+std::string verify_speed_independent(const FlowDecomposition& decomposition,
+                                     const circuit::Circuit& circuit,
+                                     const FlowOptions& options);
 
 /// Renders the two constraint lists in the format of the thesis tool
 /// Check_hazard (Section 7.3.1).

@@ -68,8 +68,7 @@ void run_verify_phase(PhaseArtifacts& artifacts,
   check(artifacts.completed == Phase::decomposed,
         "run_verify_phase: artifact is not at the decomposed phase");
   artifacts.verify_offender = verify_speed_independent(
-      artifacts.decomposition, *artifacts.circuit, options.jobs,
-      options.pool, options.cancel);
+      artifacts.decomposition, *artifacts.circuit, options);
   artifacts.completed = Phase::verified;
 }
 

@@ -78,9 +78,9 @@ void run_decompose_phase(PhaseArtifacts& artifacts,
                          const CancelToken& cancel = {});
 
 /// decomposed -> verified: the isochronic-fork timing-conformance check
-/// over the (component × gate) jobs. Only `options.jobs`, `options.pool`
-/// and `options.cancel` participate; the verdict is identical for every
-/// jobs value.
+/// over the (component × gate) jobs. Only `options.jobs`, `options.pool`,
+/// `options.cancel` and `options.gate_store` participate; the verdict is
+/// identical for every jobs value and whether or not slices were cached.
 void run_verify_phase(PhaseArtifacts& artifacts,
                       const FlowOptions& options = {});
 

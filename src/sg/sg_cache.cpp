@@ -15,8 +15,16 @@ constexpr int kMaxEntriesPerShard = 256;
 /// values.
 std::vector<std::uint64_t> make_key(const stg::MgStg& mg) {
   std::vector<std::uint64_t> key;
+  append_sg_key_words(mg, key);
+  return key;
+}
+
+}  // namespace
+
+void append_sg_key_words(const stg::MgStg& mg,
+                         std::vector<std::uint64_t>& key) {
   const auto& arcs = mg.arcs();
-  key.reserve(2 * arcs.size() + 3 + mg.transition_count() / 64 +
+  key.reserve(key.size() + 2 * arcs.size() + 3 + mg.transition_count() / 64 +
               mg.signals().count() / 16);
   key.push_back((static_cast<std::uint64_t>(mg.transition_count()) << 32) |
                 static_cast<std::uint64_t>(arcs.size()));
@@ -56,10 +64,7 @@ std::vector<std::uint64_t> make_key(const stg::MgStg& mg) {
     }
   }
   key.push_back(word);
-  return key;
 }
-
-}  // namespace
 
 std::shared_ptr<const StateGraph> SgCache::get_or_build(
     const stg::MgStg& mg, const base::CancelToken& cancel) {

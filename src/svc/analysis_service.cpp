@@ -275,7 +275,9 @@ struct AnalysisService::Entry {
 };
 
 AnalysisService::AnalysisService(ServiceOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      gate_cache_(options_.gate_cache ? options_.cache_budget_bytes : 0,
+                  &design_bytes_) {}
 
 AnalysisService::~AnalysisService() = default;
 
@@ -287,6 +289,8 @@ core::FlowOptions AnalysisService::flow_options(
   options.jobs = request_jobs > 0 ? request_jobs : options_.jobs;
   options.pool = options_.pool;
   options.sg_cache = &sg_cache_;
+  if (options_.gate_cache && options_.cache_budget_bytes > 0)
+    options.gate_store = &gate_cache_;
   options.cancel = cancel;
   return options;
 }
@@ -394,6 +398,13 @@ bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
 }
 
 void AnalysisService::evict_overflow_locked() {
+  // Designs take budget priority over gate slices: publish the new design
+  // bytes and shed gate entries down to whatever the designs leave free,
+  // BEFORE considering a design eviction. Only when the designs alone
+  // overflow the budget does the design LRU give ground — so a gate-slice
+  // burst can never push a resident whole-design entry out.
+  design_bytes_.store(bytes_, std::memory_order_relaxed);
+  gate_cache_.shed_to_fit();
   while (bytes_ > options_.cache_budget_bytes && !lru_.empty()) {
     const std::shared_ptr<Entry>& victim = lru_.back();
     bytes_ -= victim->charged_bytes;
@@ -401,6 +412,7 @@ void AnalysisService::evict_overflow_locked() {
     lru_.pop_back();
     ++evictions_;
   }
+  design_bytes_.store(bytes_, std::memory_order_relaxed);
 }
 
 void AnalysisService::finish_run(const std::shared_ptr<Entry>& entry,
@@ -443,6 +455,7 @@ void AnalysisService::finish_run(const std::shared_ptr<Entry>& entry,
       lru_.erase(resident->second);
       cache_.erase(resident);
       ++evictions_;
+      design_bytes_.store(bytes_, std::memory_order_relaxed);
     } else if (footprint_now != entry->charged_bytes) {
       bytes_ = bytes_ - entry->charged_bytes + footprint_now;
       entry->charged_bytes = footprint_now;
@@ -740,6 +753,11 @@ CacheStats AnalysisService::stats() const {
   stats.sg_cache_entries = sg_cache_.entries();
   stats.sg_cache_hits = sg_cache_.hits();
   stats.sg_cache_misses = sg_cache_.misses();
+  stats.gate_hits = gate_cache_.hits();
+  stats.gate_misses = gate_cache_.misses();
+  stats.gate_evictions = gate_cache_.evictions();
+  stats.gate_entries = gate_cache_.entries();
+  stats.gate_bytes = gate_cache_.bytes();
   return stats;
 }
 

@@ -47,6 +47,7 @@
 #include "core/report.hpp"
 #include "sg/sg_cache.hpp"
 #include "stg/stg.hpp"
+#include "svc/gate_cache.hpp"
 
 namespace sitime::svc {
 
@@ -147,6 +148,15 @@ struct CacheStats {
   int sg_cache_entries = 0;  // cross-request state-graph cache
   long long sg_cache_hits = 0;
   long long sg_cache_misses = 0;
+  // Gate-level slice cache (the second addressing level; see
+  // svc::GateCache). hits/misses count per-job lookups across every flow
+  // the service ran; bytes are charged against the SAME budget_bytes as
+  // the design entries above, with designs taking priority.
+  long long gate_hits = 0;
+  long long gate_misses = 0;
+  long long gate_evictions = 0;
+  int gate_entries = 0;
+  std::size_t gate_bytes = 0;
 };
 
 struct ServiceOptions {
@@ -169,6 +179,12 @@ struct ServiceOptions {
   /// diverse traffic would grow without bound even under the design-cache
   /// byte budget. 0 = unbounded.
   int sg_cache_max_entries = 1 << 16;
+  /// Enables the gate-level slice cache (svc::GateCache): per-(component ×
+  /// gate) expansion products content-addressed independently of the
+  /// whole-design key, so an edited design re-expands only its delta. Its
+  /// bytes share cache_budget_bytes (designs take priority); disabled
+  /// automatically when cache_budget_bytes == 0.
+  bool gate_cache = true;
 };
 
 class AnalysisService {
@@ -236,6 +252,11 @@ class AnalysisService {
 
   ServiceOptions options_;
   sg::SgCache sg_cache_;  // cross-request SG memoization
+  /// Lock-free mirror of bytes_ (updated wherever bytes_ changes) so the
+  /// gate cache can size its dynamic allowance — budget minus resident
+  /// design bytes — without taking mutex_ on the job hot path.
+  std::atomic<std::size_t> design_bytes_{0};
+  GateCache gate_cache_;  // per-(component × gate) slice cache
 
   mutable std::mutex mutex_;
   LruList lru_;  // most-recently-used first

@@ -177,7 +177,12 @@ void append_cache_stats(std::ostringstream& out, const CacheStats& stats,
       << ",\"budget_bytes\":" << stats.budget_bytes
       << ",\"sg_entries\":" << stats.sg_cache_entries
       << ",\"sg_hits\":" << stats.sg_cache_hits
-      << ",\"sg_misses\":" << stats.sg_cache_misses << "}";
+      << ",\"sg_misses\":" << stats.sg_cache_misses
+      << ",\"gate_hits\":" << stats.gate_hits
+      << ",\"gate_misses\":" << stats.gate_misses
+      << ",\"gate_evictions\":" << stats.gate_evictions
+      << ",\"gate_entries\":" << stats.gate_entries
+      << ",\"gate_bytes\":" << stats.gate_bytes << "}";
 }
 
 ServerOptions normalized(ServerOptions options) {

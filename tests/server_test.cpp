@@ -277,6 +277,11 @@ TEST(Server, TcpServesConcurrentClientsInPerConnectionOrder) {
     const std::string& stats = results[c].back();
     EXPECT_EQ(id_of(stats), "c" + std::to_string(c) + "-stats");
     EXPECT_NE(stats.find("\"stats\":{"), std::string::npos) << stats;
+    // The gate-level slice cache reports through the same stats object.
+    EXPECT_NE(stats.find("\"gate_hits\":"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"gate_misses\":"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"gate_evictions\":"), std::string::npos) << stats;
+    EXPECT_NE(stats.find("\"gate_bytes\":"), std::string::npos) << stats;
   }
 
   // However many clients raced, each design ran exactly one fresh flow.
@@ -284,6 +289,9 @@ TEST(Server, TcpServesConcurrentClientsInPerConnectionOrder) {
   EXPECT_EQ(stats.misses, static_cast<long long>(designs.size()));
   EXPECT_EQ(stats.hits + stats.coalesced,
             static_cast<long long>((kClients - 1) * designs.size()));
+  // The fresh flows populated the gate-level slice cache on the way.
+  EXPECT_GT(stats.gate_misses, 0);
+  EXPECT_GT(stats.gate_entries, 0);
 
   // The canonical body over TCP is byte-identical to what the service
   // itself renders — i.e. to the stdin transport, which embeds the same

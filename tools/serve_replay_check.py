@@ -3,10 +3,19 @@
 the cache contract: the first pass runs every flow fresh, the second pass is
 answered entirely from the design cache with byte-identical report JSON.
 
-Usage: serve_replay_check.py SERVE_BINARY DESIGN_DIR [--warm]
+Usage: serve_replay_check.py SERVE_BINARY DESIGN_DIR [--warm] [--mutate]
 
 With --warm the server preloads the embedded benchmark suite first, so BOTH
 passes must be all cache hits (the dumped directory is that same suite).
+
+With --mutate the replay exercises the second cache level instead: after
+replaying the suite once, every design with a dumped netlist is re-sent
+once per gate with that gate's equation edited (its first cube duplicated
+— same function, different text, so the whole-design key misses while
+every other gate's job keys stay put). The edited passes must all run
+"fresh" (no design-cache hit), must grow the gate-slice hit counter, and
+must produce reports byte-identical to the same edits on a second, cold
+server process.
 """
 import glob
 import json
@@ -14,10 +23,105 @@ import subprocess
 import sys
 
 
+def run_serve(serve, requests, warm=False):
+    """One sitime_serve process over `requests`; returns parsed lines."""
+    command = [serve, "--jobs", "2", "--admit", "1"] + (
+        ["--warm"] if warm else []
+    )
+    text = "".join(json.dumps(r) + "\n" for r in requests)
+    proc = subprocess.run(
+        command, input=text, capture_output=True, text=True, check=True
+    )
+    lines = [json.loads(line) for line in proc.stdout.strip().split("\n")]
+    assert len(lines) == len(requests), (len(lines), len(requests))
+    bad = [l for l in lines if not l["ok"]]
+    assert not bad, bad
+    return lines
+
+
+def duplicate_first_cube(eqn, gate):
+    """The editor's keystroke: duplicate the first cube of `gate`'s
+    equation. The gate computes the same function, so the constraints are
+    unchanged, but the canonical netlist text (and the whole-design key)
+    differs."""
+    lhs = gate + " = "
+    at = eqn.index(lhs)
+    rhs = at + len(lhs)
+    plus = eqn.find("+", rhs)
+    semi = eqn.index(";", rhs)
+    end = semi if plus == -1 or semi < plus else plus
+    first = eqn[rhs:end].strip()
+    return eqn[:rhs] + first + " + " + eqn[rhs:]
+
+
+def mutate_check(serve, design_dir):
+    designs = sorted(glob.glob(design_dir + "/*.g"))
+    assert designs, f"no .g designs in {design_dir}"
+    suite = [{"id": i, "design": path} for i, path in enumerate(designs)]
+
+    edits = []
+    for eqn_path in sorted(glob.glob(design_dir + "/*.eqn")):
+        with open(eqn_path) as f:
+            eqn = f.read()
+        with open(eqn_path[:-4] + ".g") as f:
+            astg = f.read()
+        gates = [
+            line.split(" = ")[0]
+            for line in eqn.splitlines()
+            if " = " in line
+        ]
+        assert gates, f"no equations in {eqn_path}"
+        for gate in gates:
+            edits.append(
+                {
+                    "id": len(suite) + len(edits),
+                    "design": {
+                        "name": f"{eqn_path}#edit-{gate}",
+                        "astg": astg,
+                        "eqn": duplicate_first_cube(eqn, gate),
+                    },
+                }
+            )
+    assert edits, f"no dumped netlists (*.eqn) to mutate in {design_dir}"
+
+    # Warm server: suite first (primes both cache levels), then the edits.
+    lines = run_serve(serve, suite + edits)
+    replay, edited = lines[: len(suite)], lines[len(suite):]
+    # Every edit must MISS the design cache (the text changed) ...
+    not_fresh = [
+        (l.get("id"), l["cache"]) for l in edited if l["cache"] != "fresh"
+    ]
+    assert not not_fresh, f"edited designs not fresh: {not_fresh}"
+    # ... while its unchanged gates hit the slice cache underneath.
+    primed = replay[-1]["cache_stats"]
+    after = edited[-1]["cache_stats"]
+    gate_hits = after["gate_hits"] - primed["gate_hits"]
+    assert gate_hits > 0, (primed, after)
+
+    # Cold server: the same edits with nothing primed. The reports must be
+    # byte-identical — mixing cached and fresh slices can never change an
+    # output byte.
+    cold = run_serve(serve, edits)
+    for warm_line, cold_line in zip(edited, cold):
+        assert warm_line["key"] == cold_line["key"], warm_line.get("id")
+        assert warm_line["report"] == cold_line["report"], (
+            f"report drift for edit {warm_line.get('id')}"
+        )
+
+    print(
+        f"serve mutate OK: {len(suite)} designs replayed, "
+        f"{len(edits)} single-gate edits all fresh with {gate_hits} "
+        f"gate-slice hits, reports byte-identical to a cold server"
+    )
+    return 0
+
+
 def main() -> int:
     serve = sys.argv[1]
     design_dir = sys.argv[2]
     warm = "--warm" in sys.argv[3:]
+    if "--mutate" in sys.argv[3:]:
+        return mutate_check(serve, design_dir)
 
     designs = sorted(glob.glob(design_dir + "/*.g"))
     assert designs, f"no .g designs in {design_dir}"
