@@ -92,12 +92,14 @@ bool ThreadPool::pop_task(std::function<void()>& out) {
   // Steal oldest-first from the other deques.
   const int start = self >= 0 ? self + 1 : 0;
   for (int k = 0; k < count; ++k) {
-    WorkQueue& queue = *queues_[(start + k) % count];
+    const int which = (start + k) % count;
+    WorkQueue& queue = *queues_[which];
     std::lock_guard<std::mutex> lock(queue.mutex);
     if (!queue.tasks.empty()) {
       out = std::move(queue.tasks.front());
       queue.tasks.pop_front();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      if (which != self) stolen_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -108,7 +110,10 @@ bool ThreadPool::try_run_one() {
   std::function<void()> task;
   if (!pop_task(task)) return false;
   TaskScope scope;
+  active_.fetch_add(1, std::memory_order_relaxed);
   task();
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  executed_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -121,8 +126,11 @@ void ThreadPool::worker_loop(int index) {
     if (pop_task(task)) {
       {
         TaskScope scope;
+        active_.fetch_add(1, std::memory_order_relaxed);
         task();
+        active_.fetch_sub(1, std::memory_order_relaxed);
       }
+      executed_.fetch_add(1, std::memory_order_relaxed);
       task = nullptr;
       continue;
     }

@@ -67,6 +67,24 @@ class ThreadPool {
   /// see svc::AnalysisService's single-flight bypass.
   static bool in_task();
 
+  /// Utilization counters for the observability layer (all relaxed
+  /// atomics — approximate mid-traffic, exact at quiescence).
+  /// Tasks that ran to completion on any thread of/through this pool.
+  long long tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  /// Tasks taken from a deque the running thread does not own — worker
+  /// steals plus every task picked up by an external help-while-wait
+  /// thread (which owns no deque).
+  long long tasks_stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+  /// Threads currently inside a task body of this pool (workers and
+  /// helpers alike) — the pool-utilization gauge.
+  int active_workers() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
   /// Calls fn(i) exactly once for every i in [begin, end), distributing
   /// chunks of `grain` indices over the workers *and* the calling thread,
   /// and blocks until all of them finished. `max_tasks > 0` bounds the
@@ -90,6 +108,9 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkQueue>> queues_;
   std::vector<std::thread> workers_;
+  std::atomic<long long> executed_{0};
+  std::atomic<long long> stolen_{0};
+  std::atomic<int> active_{0};
   std::mutex sleep_mutex_;
   std::condition_variable wake_;
   std::atomic<int> pending_{0};

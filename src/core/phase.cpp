@@ -67,8 +67,10 @@ void run_verify_phase(PhaseArtifacts& artifacts,
                       const FlowOptions& options) {
   check(artifacts.completed == Phase::decomposed,
         "run_verify_phase: artifact is not at the decomposed phase");
+  const auto start = std::chrono::steady_clock::now();
   artifacts.verify_offender = verify_speed_independent(
       artifacts.decomposition, *artifacts.circuit, options);
+  artifacts.verify_seconds = seconds_since(start);
   artifacts.completed = Phase::verified;
 }
 
@@ -76,6 +78,7 @@ void run_derive_phase(PhaseArtifacts& artifacts,
                       const FlowOptions& options) {
   check(artifacts.completed == Phase::verified,
         "run_derive_phase: artifact is not at the verified phase");
+  const auto start = std::chrono::steady_clock::now();
   if (artifacts.verify_offender.empty()) {
     artifacts.result = derive_timing_constraints(
         artifacts.decomposition, *artifacts.stg, *artifacts.circuit,
@@ -84,6 +87,7 @@ void run_derive_phase(PhaseArtifacts& artifacts,
     artifacts.result.seconds += artifacts.decompose_seconds;
     artifacts.has_result = true;
   }
+  artifacts.derive_seconds = seconds_since(start);
   artifacts.completed = Phase::derived;
 }
 

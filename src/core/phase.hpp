@@ -55,10 +55,12 @@ struct PhaseArtifacts {
   double decompose_seconds = 0.0;
   // verified
   std::string verify_offender;  // empty = speed independent
+  double verify_seconds = 0.0;
   // derived (only when speed independent; a non-SI design reaches
   // Phase::derived with has_result == false)
   bool has_result = false;
   FlowResult result;
+  double derive_seconds = 0.0;
 
   Phase completed = Phase::parsed;
 

@@ -277,9 +277,134 @@ struct AnalysisService::Entry {
 AnalysisService::AnalysisService(ServiceOptions options)
     : options_(std::move(options)),
       gate_cache_(options_.gate_cache ? options_.cache_budget_bytes : 0,
-                  &design_bytes_) {}
+                  &design_bytes_) {
+  register_metrics();
+}
 
 AnalysisService::~AnalysisService() = default;
+
+void AnalysisService::register_metrics() {
+  const char* kRequests = "sitime_design_cache_requests_total";
+  const char* kRequestsHelp =
+      "Requests by design-cache outcome: hit (every needed phase "
+      "resident), miss (fresh run), upgrade (only missing phases run), "
+      "coalesced (waited on another request's run).";
+  hits_ = &metrics_.counter(kRequests, kRequestsHelp, "outcome=\"hit\"");
+  misses_ = &metrics_.counter(kRequests, kRequestsHelp, "outcome=\"miss\"");
+  upgrades_ =
+      &metrics_.counter(kRequests, kRequestsHelp, "outcome=\"upgrade\"");
+  coalesced_ =
+      &metrics_.counter(kRequests, kRequestsHelp, "outcome=\"coalesced\"");
+  evictions_ = &metrics_.counter(
+      "sitime_design_cache_evictions_total",
+      "Design-cache entries dropped by the byte budget.");
+  failures_ = &metrics_.counter(
+      "sitime_request_failures_total",
+      "Requests that ended in an error (every error_code).");
+  deadline_exceeded_ = &metrics_.counter(
+      "sitime_deadline_exceeded_total",
+      "Requests answered with error_code deadline_exceeded.");
+  const char* kPhaseRuns = "sitime_phase_runs_total";
+  const char* kPhaseRunsHelp =
+      "Phase executions, single-flight bypass runs included (derive "
+      "counts runs that produced constraints).";
+  decompose_runs_ =
+      &metrics_.counter(kPhaseRuns, kPhaseRunsHelp, "phase=\"decompose\"");
+  verify_runs_ =
+      &metrics_.counter(kPhaseRuns, kPhaseRunsHelp, "phase=\"verify\"");
+  derive_runs_ =
+      &metrics_.counter(kPhaseRuns, kPhaseRunsHelp, "phase=\"derive\"");
+  expand_steps_ = &metrics_.counter(
+      "sitime_expand_steps_total",
+      "Expand relaxation steps summed over all derive runs.");
+  expand_subtasks_ = &metrics_.counter(
+      "sitime_expand_subtasks_total",
+      "OR-causality subSTG subtasks spawned by derive runs.");
+
+  const char* kPhaseSeconds = "sitime_phase_seconds";
+  const char* kPhaseSecondsHelp =
+      "Per-phase latency; source=cold ran from the parsed design, "
+      "source=upgrade advanced a resident cache entry.";
+  static const char* const kPhaseLabel[4] = {"parse", "decompose", "verify",
+                                             "derive"};
+  for (int phase = 0; phase < 4; ++phase) {
+    for (int source = 0; source < 2; ++source) {
+      if (phase == 0 && source == 1) continue;  // parse never upgrades
+      phase_seconds_[phase][source] = &metrics_.histogram(
+          kPhaseSeconds, kPhaseSecondsHelp,
+          base::MetricHistogram::default_latency_bounds(),
+          std::string("phase=\"") + kPhaseLabel[phase] + "\",source=\"" +
+              (source == 0 ? "cold" : "upgrade") + "\"");
+    }
+  }
+
+  // Scrape-time callbacks over the authoritative atomics that live
+  // outside the registry. Owner tag `this`: the registry is a member, so
+  // everything these read outlives every render.
+  auto cb = [this](const char* name, const char* help, const char* type,
+                   std::function<double()> read) {
+    metrics_.callback(this, name, help, type, "", std::move(read));
+  };
+  cb("sitime_cancelled_subtasks_total",
+     "OR-causality subtasks that observed a cancel and unwound early.",
+     "counter", [this] {
+       return static_cast<double>(
+           cancelled_subtasks_.load(std::memory_order_relaxed));
+     });
+  cb("sitime_design_cache_entries", "Resident design-cache entries.",
+     "gauge", [this] {
+       std::lock_guard<std::mutex> lock(mutex_);
+       return static_cast<double>(lru_.size());
+     });
+  cb("sitime_design_cache_bytes",
+     "Estimated resident footprint of the design cache.", "gauge", [this] {
+       return static_cast<double>(
+           design_bytes_.load(std::memory_order_relaxed));
+     });
+  cb("sitime_cache_budget_bytes",
+     "Byte budget shared by the design and gate caches.", "gauge",
+     [this] { return static_cast<double>(options_.cache_budget_bytes); });
+  cb("sitime_sg_cache_hits_total", "Cross-request state-graph cache hits.",
+     "counter", [this] { return static_cast<double>(sg_cache_.hits()); });
+  cb("sitime_sg_cache_misses_total",
+     "Cross-request state-graph cache misses.", "counter",
+     [this] { return static_cast<double>(sg_cache_.misses()); });
+  cb("sitime_sg_cache_entries", "Memoized state graphs resident.", "gauge",
+     [this] { return static_cast<double>(sg_cache_.entries()); });
+  cb("sitime_gate_cache_hits_total", "Gate-level slice cache hits.",
+     "counter", [this] { return static_cast<double>(gate_cache_.hits()); });
+  cb("sitime_gate_cache_misses_total", "Gate-level slice cache misses.",
+     "counter",
+     [this] { return static_cast<double>(gate_cache_.misses()); });
+  cb("sitime_gate_cache_evictions_total",
+     "Gate-level slices shed to fit the shared budget.", "counter",
+     [this] { return static_cast<double>(gate_cache_.evictions()); });
+  cb("sitime_gate_cache_entries", "Resident gate-level slices.", "gauge",
+     [this] { return static_cast<double>(gate_cache_.entries()); });
+  cb("sitime_gate_cache_bytes",
+     "Estimated resident footprint of the gate-level slice cache.",
+     "gauge", [this] { return static_cast<double>(gate_cache_.bytes()); });
+
+  // Pool utilization: the pool the request job graphs are admitted onto.
+  auto pool = [this]() -> base::ThreadPool& {
+    return options_.pool != nullptr ? *options_.pool
+                                    : base::ThreadPool::shared();
+  };
+  cb("sitime_pool_workers", "Worker threads of the analysis pool.",
+     "gauge",
+     [pool] { return static_cast<double>(pool().worker_count()); });
+  cb("sitime_pool_active_workers",
+     "Threads currently inside an analysis pool task.", "gauge",
+     [pool] { return static_cast<double>(pool().active_workers()); });
+  cb("sitime_pool_tasks_total", "Tasks the analysis pool has executed.",
+     "counter",
+     [pool] { return static_cast<double>(pool().tasks_executed()); });
+  cb("sitime_pool_steals_total",
+     "Tasks taken from another thread's deque (work stealing + "
+     "help-while-wait).",
+     "counter",
+     [pool] { return static_cast<double>(pool().tasks_stolen()); });
+}
 
 core::FlowOptions AnalysisService::flow_options(
     int request_jobs, const core::CancelToken& cancel) {
@@ -298,8 +423,7 @@ core::FlowOptions AnalysisService::flow_options(
 bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
                                  int jobs, const core::CancelToken& cancel,
                                  std::string& error,
-                                 std::string& error_code, int& decomposes,
-                                 int& verifies, int& derives,
+                                 std::string& error_code, RunStats& run,
                                  core::Phase& achieved,
                                  std::size_t& footprint) {
   const core::FlowOptions options = flow_options(jobs, cancel);
@@ -327,16 +451,27 @@ bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
           core::run_decompose_phase(entry->artifacts, options.cancel);
           netlist = std::make_shared<const std::string>(
               entry->artifacts.circuit->to_eqn());
-          ++decomposes;
+          ++run.decomposes;
+          run.decompose_seconds = entry->artifacts.decompose_seconds;
           break;
         case core::Phase::verified:
           core::run_verify_phase(entry->artifacts, options);
-          ++verifies;
+          ++run.verifies;
+          run.verify_seconds = entry->artifacts.verify_seconds;
           break;
         case core::Phase::derived:
           core::run_derive_phase(entry->artifacts, options);
+          run.derive_ran = true;
+          run.derive_seconds = entry->artifacts.derive_seconds;
           if (entry->artifacts.has_result) {
-            ++derives;
+            ++run.derives;
+            const core::FlowResult& result = entry->artifacts.result;
+            run.expand_seconds = result.expand_seconds;
+            run.expand_steps = result.expand_steps;
+            run.expand_subtasks = result.expand_subtasks;
+            run.expand_jobs = result.jobs;
+            run.gate_hits = result.gate_hits;
+            run.gate_misses = result.gate_misses;
             core::FlowReport rendered = core::make_flow_report(
                 /*design=*/"", entry->artifacts.result,
                 entry->artifacts.stg->signals);
@@ -410,7 +545,7 @@ void AnalysisService::evict_overflow_locked() {
     bytes_ -= victim->charged_bytes;
     cache_.erase(victim->canonical);
     lru_.pop_back();
-    ++evictions_;
+    evictions_->inc();
   }
   design_bytes_.store(bytes_, std::memory_order_relaxed);
 }
@@ -418,16 +553,16 @@ void AnalysisService::evict_overflow_locked() {
 void AnalysisService::finish_run(const std::shared_ptr<Entry>& entry,
                                  bool from_scratch, bool ok,
                                  core::Phase achieved,
-                                 std::size_t footprint_now, int decomposes,
-                                 int verifies, int derives) {
+                                 std::size_t footprint_now,
+                                 const RunStats& run) {
   std::lock_guard<std::mutex> lock(mutex_);
-  decompose_runs_ += decomposes;
-  verify_runs_ += verifies;
-  derive_runs_ += derives;
+  decompose_runs_->inc(run.decomposes);
+  verify_runs_->inc(run.verifies);
+  derive_runs_->inc(run.derives);
   if (ok)
-    from_scratch ? ++misses_ : ++upgrades_;
+    (from_scratch ? misses_ : upgrades_)->inc();
   else
-    ++failures_;
+    failures_->inc();
 
   // A successor runner may have claimed the entry between our run ending
   // and this epilogue: if the entry has already advanced past what we
@@ -454,7 +589,7 @@ void AnalysisService::finish_run(const std::shared_ptr<Entry>& entry,
       bytes_ -= entry->charged_bytes;
       lru_.erase(resident->second);
       cache_.erase(resident);
-      ++evictions_;
+      evictions_->inc();
       design_bytes_.store(bytes_, std::memory_order_relaxed);
     } else if (footprint_now != entry->charged_bytes) {
       bytes_ = bytes_ - entry->charged_bytes + footprint_now;
@@ -485,6 +620,48 @@ void AnalysisService::finish_run(const std::shared_ptr<Entry>& entry,
   evict_overflow_locked();
 }
 
+void AnalysisService::record_run_metrics(const RunStats& run, bool cold) {
+  const int source = cold ? 0 : 1;
+  if (run.decomposes > 0)
+    phase_seconds_[1][source]->observe(run.decompose_seconds);
+  if (run.verifies > 0)
+    phase_seconds_[2][source]->observe(run.verify_seconds);
+  if (run.derive_ran)
+    phase_seconds_[3][source]->observe(run.derive_seconds);
+  if (run.derives > 0) {
+    expand_steps_->inc(run.expand_steps);
+    expand_subtasks_->inc(run.expand_subtasks);
+  }
+}
+
+void AnalysisService::append_run_spans(const RunStats& run, bool cold,
+                                       double at_seconds,
+                                       std::vector<TraceSpan>& spans) {
+  const char* source = cold ? "cold" : "upgrade";
+  double at = at_seconds;
+  if (run.decomposes > 0) {
+    spans.push_back({"decompose", at, run.decompose_seconds, source, ""});
+    at += run.decompose_seconds;
+  }
+  if (run.verifies > 0) {
+    spans.push_back({"verify", at, run.verify_seconds, source, ""});
+    at += run.verify_seconds;
+  }
+  if (run.derive_ran) {
+    spans.push_back({"derive", at, run.derive_seconds, source, ""});
+    if (run.derives > 0)
+      spans.push_back({"expand", at, run.expand_seconds,
+                       "jobs=" + std::to_string(run.expand_jobs) +
+                           " steps=" + std::to_string(run.expand_steps) +
+                           " subtasks=" +
+                           std::to_string(run.expand_subtasks) +
+                           " gate_hits=" + std::to_string(run.gate_hits) +
+                           " gate_misses=" +
+                           std::to_string(run.gate_misses),
+                       "derive"});
+  }
+}
+
 void AnalysisService::respond_from_locked(const Entry& entry,
                                           RequestMode mode,
                                           const char* cache_state,
@@ -512,9 +689,8 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
   // it in finish_run, the others here.
   auto fail_with = [&](const std::string& message, const std::string& code,
                        bool count_failure) {
-    if (count_failure) failures_.fetch_add(1, std::memory_order_relaxed);
-    if (code == "deadline_exceeded")
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    if (count_failure) failures_->inc();
+    if (code == "deadline_exceeded") deadline_exceeded_->inc();
     response.ok = false;
     response.error = message;
     response.error_code = code;
@@ -531,8 +707,14 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
 
   Parsed parsed;
   try {
+    const double parse_begin = seconds_since(start);
     parsed = parse_request(request, options_.expand);
     response.key = parsed.key_hex;
+    const double parse_seconds = seconds_since(start) - parse_begin;
+    phase_seconds_[0][0]->observe(parse_seconds);
+    if (request.trace_spans)
+      response.spans.push_back(
+          {"parse", parse_begin, parse_seconds, "cold", ""});
   } catch (const std::exception& error) {
     // Injected parse faults are infrastructure failures, not malformed
     // designs; everything else parse_request throws is bad input.
@@ -573,15 +755,33 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
 
   // The per-(entry, phase) machine: serve, wait, run, or bypass.
   bool waited = false;
+  double wait_begin = 0.0;  // offset of the first coalesced wait
   std::unique_lock<std::mutex> elock(entry->mutex);
   while (true) {
     if (entry->satisfies(needed)) {
       respond_from_locked(*entry, request.mode,
                           waited ? "coalesced" : "hit", response);
       elock.unlock();
-      (waited ? coalesced_ : hits_).fetch_add(1,
-                                              std::memory_order_relaxed);
+      (waited ? coalesced_ : hits_)->inc();
       response.seconds = seconds_since(start);
+      if (request.trace_spans) {
+        if (waited) {
+          response.spans.push_back({"coalesced_wait", wait_begin,
+                                    response.seconds - wait_begin,
+                                    "coalesced", ""});
+        } else {
+          // The lookup span starts where the parse span ended, so
+          // top-level spans stay disjoint (they must sum to <= wall).
+          const double lookup_begin =
+              response.spans.empty()
+                  ? 0.0
+                  : response.spans.back().start +
+                        response.spans.back().seconds;
+          response.spans.push_back({"cache", lookup_begin,
+                                    response.seconds - lookup_begin, "hit",
+                                    ""});
+        }
+      }
       return response;
     }
 
@@ -598,7 +798,10 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
       // cancellable waiter sleeps only until its own budget fires — a
       // waiter must not outlive its deadline just because another
       // request's run does.
-      waited = true;
+      if (!waited) {
+        waited = true;
+        wait_begin = seconds_since(start);
+      }
       if (request.cancel.cancellable()) {
         entry->cv.wait_until(elock, request.cancel.wait_point());
         if (request.cancel.cancelled() && !entry->satisfies(needed)) {
@@ -637,14 +840,19 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
 
     std::string error;
     std::string error_code;
-    int decomposes = 0, verifies = 0, derives = 0;
+    RunStats run;
     core::Phase achieved = from;
     std::size_t footprint = 0;
+    const double run_begin = seconds_since(start);
     const bool ok =
         run_phases(entry, request.jobs, request.cancel, error, error_code,
-                   decomposes, verifies, derives, achieved, footprint);
+                   run, achieved, footprint);
     finish_run(entry, /*from_scratch=*/from == core::Phase::parsed, ok,
-               achieved, footprint, decomposes, verifies, derives);
+               achieved, footprint, run);
+    const bool cold = from == core::Phase::parsed;
+    record_run_metrics(run, cold);
+    if (request.trace_spans)
+      append_run_spans(run, cold, run_begin, response.spans);
     if (!ok) {
       {
         std::lock_guard<std::mutex> lock(entry->mutex);
@@ -671,6 +879,7 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
   bool ok = true;
   std::string error;
   std::string error_code;
+  const double run_begin = seconds_since(start);
   try {
     if (parsed.stg == nullptr) {
       // We created the entry and donated our parse to it before another
@@ -689,13 +898,29 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
   if (artifacts.circuit != nullptr)
     response.netlist_eqn =
         std::make_shared<const std::string>(artifacts.circuit->to_eqn());
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    decompose_runs_ += artifacts.completed >= core::Phase::decomposed;
-    verify_runs_ += artifacts.completed >= core::Phase::verified;
-    derive_runs_ += artifacts.has_result ? 1 : 0;
-    if (ok) ++misses_;  // a real flow run, never a wait
+  RunStats run;
+  run.decomposes = artifacts.completed >= core::Phase::decomposed ? 1 : 0;
+  run.verifies = artifacts.completed >= core::Phase::verified ? 1 : 0;
+  run.derive_ran = artifacts.completed >= core::Phase::derived;
+  run.derives = artifacts.has_result ? 1 : 0;
+  run.decompose_seconds = artifacts.decompose_seconds;
+  run.verify_seconds = artifacts.verify_seconds;
+  run.derive_seconds = artifacts.derive_seconds;
+  if (artifacts.has_result) {
+    run.expand_seconds = artifacts.result.expand_seconds;
+    run.expand_steps = artifacts.result.expand_steps;
+    run.expand_subtasks = artifacts.result.expand_subtasks;
+    run.expand_jobs = artifacts.result.jobs;
+    run.gate_hits = artifacts.result.gate_hits;
+    run.gate_misses = artifacts.result.gate_misses;
   }
+  decompose_runs_->inc(run.decomposes);
+  verify_runs_->inc(run.verifies);
+  derive_runs_->inc(run.derives);
+  if (ok) misses_->inc();  // a real flow run, never a wait
+  record_run_metrics(run, /*cold=*/true);
+  if (request.trace_spans)
+    append_run_spans(run, /*cold=*/true, run_begin, response.spans);
   if (!ok) {
     fail_with(error, error_code, /*count_failure=*/true);
     return response;
@@ -736,17 +961,17 @@ int AnalysisService::warm_benchmark_suite(const std::atomic<bool>* stop) {
 CacheStats AnalysisService::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   CacheStats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
-  stats.upgrades = upgrades_;
-  stats.coalesced = coalesced_;
-  stats.evictions = evictions_;
-  stats.failures = failures_;
-  stats.deadline_exceeded = deadline_exceeded_;
+  stats.hits = hits_->value();
+  stats.misses = misses_->value();
+  stats.upgrades = upgrades_->value();
+  stats.coalesced = coalesced_->value();
+  stats.evictions = evictions_->value();
+  stats.failures = failures_->value();
+  stats.deadline_exceeded = deadline_exceeded_->value();
   stats.cancelled_subtasks = cancelled_subtasks_;
-  stats.decompose_runs = decompose_runs_;
-  stats.verify_runs = verify_runs_;
-  stats.derive_runs = derive_runs_;
+  stats.decompose_runs = decompose_runs_->value();
+  stats.verify_runs = verify_runs_->value();
+  stats.derive_runs = derive_runs_->value();
   stats.entries = static_cast<int>(lru_.size());
   stats.bytes = bytes_;
   stats.budget_bytes = options_.cache_budget_bytes;

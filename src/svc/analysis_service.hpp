@@ -38,8 +38,10 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "base/fault.hpp"
+#include "base/metrics.hpp"
 #include "base/thread_pool.hpp"
 #include "circuit/circuit.hpp"
 #include "core/flow.hpp"
@@ -65,6 +67,30 @@ enum class RequestMode {
   derive,  // verify, then derive the relative timing constraints
 };
 
+/// One timed section of a request, reported in the response envelope when
+/// the request asked for tracing (`trace_spans`). Spans never change any
+/// analysis output — the canonical report bytes of a traced request are
+/// identical to an untraced run.
+struct TraceSpan {
+  /// "queue_wait" (server only), "parse", "decompose", "verify",
+  /// "derive", "expand", "coalesced_wait", "cache".
+  std::string name;
+  /// Offset in seconds from request start (the server shifts service
+  /// spans behind its own queue_wait span). Phase spans are laid out
+  /// back-to-back from when their run began: scheduling gaps between
+  /// phases are not represented, so top-level spans always sum to <= the
+  /// request wall time.
+  double start = 0.0;
+  double seconds = 0.0;
+  /// Cache provenance or per-span context: "cold" / "upgrade" on phase
+  /// spans, "hit" on the cache span, "jobs=4 steps=123 subtasks=5" on the
+  /// expand aggregate.
+  std::string detail;
+  /// Name of the enclosing span ("" = top level): the per-job expansion
+  /// aggregate nests in "derive".
+  std::string in;
+};
+
 struct AnalysisRequest {
   std::string name;  // display name (file path, benchmark name, request id)
   std::string astg;  // implementation STG text (.g format)
@@ -78,6 +104,9 @@ struct AnalysisRequest {
   /// waits on another request's in-flight run of the same design. Never
   /// part of the cache key.
   core::CancelToken cancel;
+  /// Collect TraceSpans for this request (AnalysisResponse::spans). Off by
+  /// default: tracing is per-request opt-in, never ambient.
+  bool trace_spans = false;
 };
 
 struct AnalysisResponse {
@@ -118,6 +147,10 @@ struct AnalysisResponse {
   /// cache entry, so serving a hit copies two pointers, not the payload.
   std::shared_ptr<const core::FlowReport> report;
   std::shared_ptr<const std::string> canonical_json;
+  /// Timed sections of this request; empty unless the request set
+  /// trace_spans. Failures keep the spans of the phases that did run, so
+  /// a deadline kill is self-explaining.
+  std::vector<TraceSpan> spans;
 };
 
 /// Point-in-time counters of the design cache (monotonic except entries
@@ -218,10 +251,37 @@ class AnalysisService {
 
   const ServiceOptions& options() const { return options_; }
 
+  /// The service-wide metric registry: the single source of truth every
+  /// exposition surface (Prometheus text, {"stats": true} aliases) reads
+  /// through. Layers above (svc::Server) register their own metrics here
+  /// with owner-tagged callbacks and MUST remove_callbacks() before they
+  /// die; the registry outlives everything its own callbacks read.
+  base::MetricsRegistry& metrics() { return metrics_; }
+
  private:
   struct Entry;
   struct Parsed;
   using LruList = std::list<std::shared_ptr<Entry>>;
+
+  /// What one single-flight run (or bypass run) actually executed, for
+  /// counters, histograms and trace spans. Captured by the runner while
+  /// it is still the sole toucher of the artifacts.
+  struct RunStats {
+    int decomposes = 0;
+    int verifies = 0;
+    int derives = 0;       // derive runs that produced constraints (SI)
+    bool derive_ran = false;  // the derive phase executed (SI or not)
+    double decompose_seconds = 0.0;
+    double verify_seconds = 0.0;
+    double derive_seconds = 0.0;
+    // Expansion aggregate of the derive phase (zero unless derives > 0).
+    double expand_seconds = 0.0;
+    long long expand_steps = 0;
+    long long expand_subtasks = 0;
+    int expand_jobs = 0;
+    long long gate_hits = 0;
+    long long gate_misses = 0;
+  };
 
   static Parsed parse_request(const AnalysisRequest& request,
                               const core::ExpandOptions& expand);
@@ -237,14 +297,22 @@ class AnalysisService {
   /// the artifacts).
   bool run_phases(const std::shared_ptr<Entry>& entry, int jobs,
                   const core::CancelToken& cancel, std::string& error,
-                  std::string& error_code, int& decomposes, int& verifies,
-                  int& derives, core::Phase& achieved,
-                  std::size_t& footprint);
+                  std::string& error_code, RunStats& run,
+                  core::Phase& achieved, std::size_t& footprint);
   /// Runner epilogue under mutex_: retention (inflight -> LRU or resident
   /// re-charge), byte accounting and counter updates.
   void finish_run(const std::shared_ptr<Entry>& entry, bool from_scratch,
                   bool ok, core::Phase achieved, std::size_t footprint,
-                  int decomposes, int verifies, int derives);
+                  const RunStats& run);
+  /// Histogram observations + expand counters for the phases `run`
+  /// executed; `cold` = the run started from the parsed phase.
+  void record_run_metrics(const RunStats& run, bool cold);
+  /// Appends back-to-back phase spans for `run` starting at offset
+  /// `at_seconds`, with the expand aggregate nested in derive.
+  static void append_run_spans(const RunStats& run, bool cold,
+                               double at_seconds,
+                               std::vector<TraceSpan>& spans);
+  void register_metrics();
   void evict_overflow_locked();
   void respond_from_locked(const Entry& entry, RequestMode mode,
                            const char* cache_state,
@@ -266,20 +334,34 @@ class AnalysisService {
   /// finishes (moved into the LRU on success when the budget allows).
   std::unordered_map<std::string, std::shared_ptr<Entry>> inflight_;
   std::size_t bytes_ = 0;
-  // hits_/coalesced_/failures_ are atomics so the warm-hit path bumps its
-  // outcome without re-acquiring mutex_ after the lookup; the remaining
-  // counters are only touched on cold paths that already hold it.
-  std::atomic<long long> hits_{0};
-  long long misses_ = 0;
-  long long upgrades_ = 0;
-  std::atomic<long long> coalesced_{0};
-  long long evictions_ = 0;
-  std::atomic<long long> failures_{0};
-  std::atomic<long long> deadline_exceeded_{0};
+
+  /// Exception to the registry-owned rule: core::ExpandOptions carries a
+  /// raw pointer to this atomic into the expansion hot loops, so the one
+  /// authoritative count lives here and the registry reads it through a
+  /// callback.
   std::atomic<long long> cancelled_subtasks_{0};
-  long long decompose_runs_ = 0;
-  long long verify_runs_ = 0;
-  long long derive_runs_ = 0;
+
+  // The metric registry and the registry-owned counters every stat below
+  // reads through (lock-free inc on the hot paths; {"stats": true} is the
+  // alias view over ->value()). Declared after the caches the
+  // constructor's callbacks read, destroyed before nothing that renders.
+  base::MetricsRegistry metrics_;
+  base::MetricCounter* hits_ = nullptr;
+  base::MetricCounter* misses_ = nullptr;
+  base::MetricCounter* upgrades_ = nullptr;
+  base::MetricCounter* coalesced_ = nullptr;
+  base::MetricCounter* evictions_ = nullptr;
+  base::MetricCounter* failures_ = nullptr;
+  base::MetricCounter* deadline_exceeded_ = nullptr;
+  base::MetricCounter* decompose_runs_ = nullptr;
+  base::MetricCounter* verify_runs_ = nullptr;
+  base::MetricCounter* derive_runs_ = nullptr;
+  base::MetricCounter* expand_steps_ = nullptr;
+  base::MetricCounter* expand_subtasks_ = nullptr;
+  /// Per-phase latency histograms, [phase 0..3 = parse/decompose/verify/
+  /// derive][source 0 = cold, 1 = upgrade]. parse never upgrades, so
+  /// [0][1] stays null.
+  base::MetricHistogram* phase_seconds_[4][2] = {};
 };
 
 }  // namespace sitime::svc

@@ -151,6 +151,8 @@ AnalysisRequest build_request(const JsonValue& json,
   else
     sitime::fail("request: unknown mode '" + mode + "'");
   request.jobs = static_cast<int>(json.int_or("jobs", 0));
+  const JsonValue& trace = json.get("trace_spans");
+  if (!trace.is_null()) request.trace_spans = trace.as_bool();
   validate_design_text("astg", request.astg);
   validate_design_text("eqn", request.eqn);
   const long long deadline_ms = json.int_or("deadline_ms", 0);
@@ -158,6 +160,33 @@ AnalysisRequest build_request(const JsonValue& json,
   request.cancel =
       core::CancelToken(core::Deadline::after_ms(deadline_ms, arrival));
   return request;
+}
+
+std::string render_seconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", seconds);
+  return buffer;
+}
+
+/// Renders the "spans" JSON array of a traced request: the server's own
+/// queue_wait span first, then the service spans shifted behind it (span
+/// offsets are relative to when the SERVICE saw the request).
+std::string render_spans(const std::vector<TraceSpan>& spans,
+                         double queue_wait) {
+  std::string out = "[{\"name\":\"queue_wait\",\"start\":0.000000";
+  out += ",\"seconds\":" + render_seconds(queue_wait) + "}";
+  for (const TraceSpan& span : spans) {
+    out += ",{\"name\":\"" + core::json_escape(span.name) + "\"";
+    out += ",\"start\":" + render_seconds(span.start + queue_wait);
+    out += ",\"seconds\":" + render_seconds(span.seconds);
+    if (!span.detail.empty())
+      out += ",\"detail\":\"" + core::json_escape(span.detail) + "\"";
+    if (!span.in.empty())
+      out += ",\"in\":\"" + core::json_escape(span.in) + "\"";
+    out += "}";
+  }
+  out += "]";
+  return out;
 }
 
 void append_cache_stats(std::ostringstream& out, const CacheStats& stats,
@@ -213,11 +242,81 @@ struct Server::Connection {
 // ---- Server ----------------------------------------------------------------
 
 Server::Server(AnalysisService& service, ServerOptions options)
-    : service_(service), options_(normalized(std::move(options))) {}
+    : service_(service), options_(normalized(std::move(options))) {
+  register_metrics();
+}
 
 Server::~Server() {
   stop();
   wait();
+  // Every thread that could scrape through our gauge callbacks is joined;
+  // drop them before the state they read goes away.
+  service_.metrics().remove_callbacks(this);
+}
+
+void Server::register_metrics() {
+  base::MetricsRegistry& registry = service_.metrics();
+  const char* kConns = "sitime_connections_total";
+  const char* kConnsHelp =
+      "Connections by admission outcome: accepted, or refused at the "
+      "connection limit.";
+  conns_accepted_ =
+      &registry.counter(kConns, kConnsHelp, "outcome=\"accepted\"");
+  conns_refused_ =
+      &registry.counter(kConns, kConnsHelp, "outcome=\"refused\"");
+  const char* kShed = "sitime_requests_shed_total";
+  const char* kShedHelp =
+      "Requests answered with the overloaded response, by shedding valve "
+      "(queue depth at admission, queue age at dequeue).";
+  shed_depth_ = &registry.counter(kShed, kShedHelp, "valve=\"depth\"");
+  shed_age_ = &registry.counter(kShed, kShedHelp, "valve=\"age\"");
+  queue_wait_seconds_ = &registry.histogram(
+      "sitime_queue_wait_seconds",
+      "Time a request spent in the shared admission queue before a worker "
+      "picked it up (or a shedding valve answered it).",
+      base::MetricHistogram::default_latency_bounds());
+
+  registry.callback(this, "sitime_uptime_seconds",
+                    "Seconds since this server was constructed.", "gauge",
+                    "", [this] {
+                      return std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 start_time_)
+                          .count();
+                    });
+  registry.callback(this, "sitime_queue_depth",
+                    "Requests currently waiting in the shared admission "
+                    "queue.",
+                    "gauge", "", [this] {
+                      int depth = 0;
+                      double age = 0.0;
+                      queue_state(depth, age);
+                      return static_cast<double>(depth);
+                    });
+  registry.callback(this, "sitime_queue_oldest_age_seconds",
+                    "Age of the oldest queued request (0 when the queue "
+                    "is empty).",
+                    "gauge", "", [this] {
+                      int depth = 0;
+                      double age = 0.0;
+                      queue_state(depth, age);
+                      return age;
+                    });
+  registry.callback(this, "sitime_connections_active",
+                    "Connections currently open.", "gauge", "", [this] {
+                      return static_cast<double>(active_connections());
+                    });
+}
+
+void Server::queue_state(int& depth, double& oldest_age_seconds) const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  depth = static_cast<int>(queue_.size());
+  oldest_age_seconds =
+      queue_.empty() ? 0.0
+                     : std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() -
+                           queue_.front().arrival)
+                           .count();
 }
 
 void Server::add_transport(std::unique_ptr<Transport> transport) {
@@ -294,13 +393,11 @@ int Server::active_connections() const {
 }
 
 long long Server::connections_accepted() const {
-  std::lock_guard<std::mutex> lock(conns_mutex_);
-  return accepted_;
+  return conns_accepted_->value();
 }
 
 long long Server::connections_refused() const {
-  std::lock_guard<std::mutex> lock(conns_mutex_);
-  return refused_;
+  return conns_refused_->value();
 }
 
 void Server::accept_loop(Transport& transport) {
@@ -313,14 +410,14 @@ void Server::accept_loop(Transport& transport) {
       if (stopping_) continue;  // refused; the channel closes right here
       if (options_.max_connections > 0 &&
           active_ >= options_.max_connections) {
-        ++refused_;
+        conns_refused_->inc();
         channel->write_line(
             "{\"ok\":false,\"error\":\"server busy: connection limit " +
             std::to_string(options_.max_connections) + " reached\"}");
         continue;
       }
       ++active_;
-      ++accepted_;
+      conns_accepted_->inc();
       conn = std::make_shared<Connection>(std::move(channel));
       conns_.insert(conn);
     }
@@ -385,9 +482,17 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
       // The depth watermark fired: answer immediately through the same
       // per-connection ordering machinery a worker would use, so the
       // overloaded line cannot overtake an earlier admitted response.
+      // The request never entered the queue, so its queue wait is the
+      // (tiny) admission time itself.
+      queue_wait_seconds_->observe(std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() -
+                                       arrival)
+                                       .count());
       std::string response = overload_response(
-          line, "server overloaded: admission queue depth limit " +
-                    std::to_string(options_.max_queue_depth) + " reached");
+          line,
+          "server overloaded: admission queue depth limit " +
+              std::to_string(options_.max_queue_depth) + " reached",
+          *shed_depth_);
       std::unique_lock<std::mutex> lock(conn->mutex);
       conn->ready.emplace(seq, std::move(response));
       flush_ready(*conn, lock);
@@ -437,18 +542,22 @@ void Server::worker_loop() {
     // past max_queue_ms is already late — answering it with an immediate
     // overloaded line keeps the backlog from compounding (every stale
     // request the workers skip is analysis time given to a fresh one).
+    const auto waited = std::chrono::steady_clock::now() - job.arrival;
+    queue_wait_seconds_->observe(
+        std::chrono::duration<double>(waited).count());
     std::string response;
     if (options_.max_queue_ms > 0) {
-      const auto waited = std::chrono::steady_clock::now() - job.arrival;
       const long long waited_ms =
           std::chrono::duration_cast<std::chrono::milliseconds>(waited)
               .count();
       if (waited_ms > options_.max_queue_ms)
         response = overload_response(
-            job.line, "server overloaded: request waited " +
-                          std::to_string(waited_ms) +
-                          " ms in the admission queue (limit " +
-                          std::to_string(options_.max_queue_ms) + " ms)");
+            job.line,
+            "server overloaded: request waited " +
+                std::to_string(waited_ms) +
+                " ms in the admission queue (limit " +
+                std::to_string(options_.max_queue_ms) + " ms)",
+            *shed_age_);
     }
     if (response.empty()) {
       // Fault point: the handler stalls before the analysis runs,
@@ -474,6 +583,13 @@ void Server::worker_loop() {
 /// "invalid_request", "analysis_error") for failures from the service.
 std::string Server::handle_line(
     const std::string& line, std::chrono::steady_clock::time_point arrival) {
+  // Everything between the wire read and this point — admission window,
+  // shared queue, the worker picking the job up — is the request's queue
+  // wait: the first span of a traced request.
+  const double queue_wait =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    arrival)
+          .count();
   std::string id;
   std::string name;
   try {
@@ -481,23 +597,72 @@ std::string Server::handle_line(
     id = render_id(json.get("id"));
 
     // Control request: {"stats": true} returns the live counters without
-    // touching the design cache.
+    // touching the design cache, plus the process-level snapshot fields
+    // (uptime, live queue state) that only make sense server-side.
     const JsonValue& stats_flag = json.get("stats");
     if (!stats_flag.is_null()) {
       if (!stats_flag.as_bool())
         sitime::fail("request: 'stats' must be true when present");
+      int depth = 0;
+      double oldest_age = 0.0;
+      queue_state(depth, oldest_age);
+      const double uptime = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                start_time_)
+                                .count();
       std::ostringstream out;
       out << "{";
       if (!id.empty()) out << "\"id\":" << id << ",";
-      out << "\"ok\":true,\"stats\":";
+      out << "\"ok\":true,\"uptime_seconds\":" << render_seconds(uptime)
+          << ",\"queue_depth\":" << depth
+          << ",\"queue_age_ms\":" << render_seconds(oldest_age * 1000.0)
+          << ",\"stats\":";
       append_cache_stats(out, service_.stats(), requests_shed());
       out << "}";
       return out.str();
     }
 
+    // Control request: {"metrics": true} renders the full registry in
+    // Prometheus text exposition format (one JSON string; a scraper
+    // unescapes it — see tools/README.md for the recipe).
+    const JsonValue& metrics_flag = json.get("metrics");
+    if (!metrics_flag.is_null()) {
+      if (!metrics_flag.as_bool())
+        sitime::fail("request: 'metrics' must be true when present");
+      std::ostringstream out;
+      out << "{";
+      if (!id.empty()) out << "\"id\":" << id << ",";
+      out << "\"ok\":true,\"metrics\":\""
+          << core::json_escape(service_.metrics().render_prometheus())
+          << "\"}";
+      return out.str();
+    }
+
     AnalysisRequest request = build_request(json, arrival);
     name = request.name;
+    // Slow-request logging needs the spans even when the client did not
+    // ask for them; they reach the response only when it did.
+    const bool want_spans = request.trace_spans;
+    if (options_.slow_ms > 0) request.trace_spans = true;
     const AnalysisResponse response = service_.analyze(request);
+
+    if (options_.slow_ms > 0) {
+      const double total_ms = (queue_wait + response.seconds) * 1000.0;
+      if (total_ms >= static_cast<double>(options_.slow_ms)) {
+        std::string breakdown =
+            "queue_wait=" + render_seconds(queue_wait) + "s";
+        for (const TraceSpan& span : response.spans)
+          breakdown += " " + span.name + "=" +
+                       render_seconds(span.seconds) + "s";
+        // Diagnostics, not a lifecycle notice: emitted regardless of
+        // log_lifecycle.
+        std::fprintf(stderr,
+                     "%s: slow request (%.1f ms >= %d ms): design=\"%s\" "
+                     "%s\n",
+                     options_.log_prefix.c_str(), total_ms,
+                     options_.slow_ms, name.c_str(), breakdown.c_str());
+      }
+    }
 
     std::ostringstream out;
     out << "{";
@@ -509,15 +674,18 @@ std::string Server::handle_line(
                                    ? "analysis_error"
                                    : response.error_code)
           << "\",\"error\":\"" << core::json_escape(response.error)
-          << "\"}";
+          << "\"";
+      // A traced failure keeps the spans of the phases that did run — a
+      // deadline kill reports where the budget went.
+      if (want_spans)
+        out << ",\"spans\":" << render_spans(response.spans, queue_wait);
+      out << "}";
       return out.str();
     }
     out << ",\"ok\":true,\"cache\":\"" << response.cache_state
         << "\",\"phases_run\":\"" << core::json_escape(response.phases_run)
         << "\",\"key\":\"" << response.key << "\"";
-    char seconds[32];
-    std::snprintf(seconds, sizeof(seconds), "%.6f", response.seconds);
-    out << ",\"seconds\":" << seconds;
+    out << ",\"seconds\":" << render_seconds(response.seconds);
     out << ",\"speed_independent\":"
         << (response.speed_independent ? "true" : "false");
     if (!response.speed_independent)
@@ -525,6 +693,8 @@ std::string Server::handle_line(
           << core::json_escape(response.verify_offender) << "\"";
     if (response.canonical_json != nullptr)
       out << ",\"report\":" << *response.canonical_json;
+    if (want_spans)
+      out << ",\"spans\":" << render_spans(response.spans, queue_wait);
     out << ",\"cache_stats\":";
     append_cache_stats(out, service_.stats(), requests_shed());
     out << "}";
@@ -542,8 +712,9 @@ std::string Server::handle_line(
 }
 
 std::string Server::overload_response(const std::string& line,
-                                      const std::string& why) {
-  shed_.fetch_add(1, std::memory_order_relaxed);
+                                      const std::string& why,
+                                      base::MetricCounter& valve) {
+  valve.inc();
   std::string id;
   try {
     id = render_id(parse_json(line).get("id"));

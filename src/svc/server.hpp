@@ -44,6 +44,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/metrics.hpp"
 #include "svc/transport.hpp"
 
 namespace sitime::svc {
@@ -93,6 +94,13 @@ struct ServerOptions {
   /// queue already holds this many waiting requests is shed at admission
   /// with the same overloaded response. 0 = unbounded.
   int max_queue_depth = 0;
+  /// Slow-request tracing: a request whose handling (queue wait included)
+  /// takes at least this long gets its span breakdown logged to stderr,
+  /// whether or not the client asked for trace_spans (the spans reach the
+  /// response JSON only when the client did). 0 = off. Logged even when
+  /// log_lifecycle is false — it is a diagnostics surface, not a
+  /// lifecycle notice.
+  int slow_ms = 0;
   /// Lifecycle notices ("listening on tcp 127.0.0.1:45123", shutdown)
   /// go to stderr under this prefix; log_lifecycle = false silences
   /// them (tests).
@@ -136,7 +144,7 @@ class Server {
   /// Requests answered with the overloaded response by either shedding
   /// valve (queue depth at admission, queue age at dequeue).
   long long requests_shed() const {
-    return shed_.load(std::memory_order_relaxed);
+    return shed_depth_->value() + shed_age_->value();
   }
 
  private:
@@ -158,12 +166,18 @@ class Server {
   std::string handle_line(const std::string& line,
                           std::chrono::steady_clock::time_point arrival);
   /// The immediate {"ok":false,"code":"overloaded"} line for a shed
-  /// request (echoing its id when the line parses).
+  /// request (echoing its id when the line parses); `valve` is the shed
+  /// counter of the valve that fired (depth or age).
   std::string overload_response(const std::string& line,
-                                const std::string& why);
+                                const std::string& why,
+                                base::MetricCounter& valve);
   static void flush_ready(Connection& conn,
                           std::unique_lock<std::mutex>& lock);
   void log(const std::string& message) const;
+  void register_metrics();
+  /// Current depth and oldest-request age of the shared admission queue,
+  /// for the {"stats": true} snapshot and the queue gauges.
+  void queue_state(int& depth, double& oldest_age_seconds) const;
 
   AnalysisService& service_;
   const ServerOptions options_;  // admit pre-clamped by the constructor
@@ -173,7 +187,7 @@ class Server {
   std::vector<std::thread> workers_;
 
   // The shared bounded admission queue.
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable work_ready_;
   std::deque<Job> queue_;
   bool workers_down_ = false;
@@ -186,9 +200,19 @@ class Server {
   int active_ = 0;
   bool started_ = false;
   bool stopping_ = false;
-  long long accepted_ = 0;
-  long long refused_ = 0;
-  std::atomic<long long> shed_{0};
+
+  /// Server metrics live in the SERVICE registry (one exposition per
+  /// process); counters are registry-owned, gauges over live state
+  /// (queue depth/age, active connections, uptime) are callbacks tagged
+  /// with this Server and removed in the destructor — the service, and
+  /// so the registry, outlives the Server. One Server per service.
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
+  base::MetricCounter* conns_accepted_ = nullptr;
+  base::MetricCounter* conns_refused_ = nullptr;
+  base::MetricCounter* shed_depth_ = nullptr;
+  base::MetricCounter* shed_age_ = nullptr;
+  base::MetricHistogram* queue_wait_seconds_ = nullptr;
 
   std::mutex wait_mutex_;  // serializes the joins in wait()
 };

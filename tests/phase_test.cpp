@@ -100,6 +100,35 @@ TEST(PhaseArtifacts, PhasesRefuseToRunOutOfOrder) {
                Error);
 }
 
+TEST(PhaseArtifacts, EveryPhaseRecordsItsOwnSeconds) {
+  // The observability layer builds trace spans and latency histograms
+  // from the per-phase clocks, so each run_*_phase must stamp its own
+  // duration — and only its own: advancing a later phase leaves the
+  // earlier timings untouched.
+  core::PhaseArtifacts artifacts = parsed_artifacts("fifo");
+  EXPECT_EQ(artifacts.verify_seconds, 0.0);
+  EXPECT_EQ(artifacts.derive_seconds, 0.0);
+
+  core::run_decompose_phase(artifacts);
+  EXPECT_GT(artifacts.decompose_seconds, 0.0);
+  EXPECT_EQ(artifacts.verify_seconds, 0.0);
+
+  core::run_verify_phase(artifacts);
+  EXPECT_GT(artifacts.verify_seconds, 0.0);
+  const double decompose_seconds = artifacts.decompose_seconds;
+  const double verify_seconds = artifacts.verify_seconds;
+  EXPECT_EQ(artifacts.derive_seconds, 0.0);
+
+  core::run_derive_phase(artifacts, core::FlowOptions{});
+  EXPECT_GT(artifacts.derive_seconds, 0.0);
+  EXPECT_EQ(artifacts.decompose_seconds, decompose_seconds);
+  EXPECT_EQ(artifacts.verify_seconds, verify_seconds);
+  // The expansion aggregate nests inside the derive phase, so its time
+  // can never exceed the phase that contains it.
+  ASSERT_TRUE(artifacts.has_result);
+  EXPECT_LE(artifacts.result.expand_seconds, artifacts.derive_seconds);
+}
+
 TEST(PhaseNames, RangeTextListsTheExecutedPhases) {
   EXPECT_EQ(core::phase_range_text(core::Phase::parsed,
                                    core::Phase::derived),

@@ -13,6 +13,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -24,6 +25,7 @@
 #include "base/error.hpp"
 #include "benchdata/benchmarks.hpp"
 #include "svc/analysis_service.hpp"
+#include "svc/json.hpp"
 #include "svc/server.hpp"
 #include "svc/transport.hpp"
 
@@ -798,6 +800,147 @@ TEST(Server, DroppedResponseWriteAffectsOnlyThatResponse) {
   ASSERT_TRUE(client.read_line(line));
   EXPECT_EQ(id_of(line), "d3");
   EXPECT_TRUE(response_ok(line)) << line;
+}
+
+// ---- observability ---------------------------------------------------------
+
+TEST(Server, TracedRequestNamesEveryPhaseAndKeepsReportBytesIdentical) {
+  TcpHarness harness;
+  TestClient client = TestClient::connect_tcp(harness.port);
+  ASSERT_TRUE(client.connected());
+  client.send("{\"id\":\"t0\",\"design\":{\"bench\":\"ebergen\"},"
+              "\"trace_spans\":true}\n");
+  std::string traced;
+  ASSERT_TRUE(client.read_line(traced));
+  ASSERT_TRUE(response_ok(traced)) << traced;
+
+  const svc::JsonValue json = svc::parse_json(traced);
+  const double wall = json.get("seconds").as_number();
+  const svc::JsonValue& spans = json.get("spans");
+  ASSERT_FALSE(spans.is_null()) << traced;
+  const std::vector<svc::JsonValue>& items = spans.as_array();
+  ASSERT_FALSE(items.empty());
+
+  // The server's own queue-wait span opens the trace at t=0; every
+  // phase the service reports as run appears as a span; the top-level
+  // spans never sum past the wall time (gaps are unrepresented, so the
+  // sum is a lower bound on the wall).
+  EXPECT_EQ(items[0].get("name").as_string(), "queue_wait");
+  EXPECT_EQ(items[0].get("start").as_number(), 0.0);
+  std::vector<std::string> names;
+  double top_level_total = 0.0;
+  for (const svc::JsonValue& span : items) {
+    names.push_back(span.get("name").as_string());
+    if (span.get("in").is_null())
+      top_level_total += span.get("seconds").as_number();
+  }
+  const std::string phases_run = json.get("phases_run").as_string();
+  EXPECT_EQ(phases_run, "decompose+verify+derive");
+  std::size_t begin = 0;
+  while (begin < phases_run.size()) {
+    std::size_t end = phases_run.find('+', begin);
+    if (end == std::string::npos) end = phases_run.size();
+    const std::string phase = phases_run.substr(begin, end - begin);
+    EXPECT_NE(std::find(names.begin(), names.end(), phase), names.end())
+        << "phase " << phase << " ran but has no span: " << traced;
+    begin = end + 1;
+  }
+  const double queue_wait = items[0].get("seconds").as_number();
+  EXPECT_LE(top_level_total, wall + queue_wait + 1e-9);
+
+  // Tracing is envelope-only: the report bytes match a fresh untraced
+  // run on a separate server (separate cache, so genuinely re-derived).
+  TcpHarness reference;
+  TestClient ref_client = TestClient::connect_tcp(reference.port);
+  ASSERT_TRUE(ref_client.connected());
+  ref_client.send(bench_request_line("u0", "ebergen"));
+  std::string untraced;
+  ASSERT_TRUE(ref_client.read_line(untraced));
+  ASSERT_TRUE(response_ok(untraced)) << untraced;
+  const std::size_t report_at = traced.find("\"report\":");
+  const std::size_t spans_at = traced.find(",\"spans\":");
+  ASSERT_NE(report_at, std::string::npos);
+  ASSERT_NE(spans_at, std::string::npos);
+  ASSERT_GT(spans_at, report_at);
+  const std::string traced_report =
+      traced.substr(report_at + 9, spans_at - report_at - 9);
+  EXPECT_EQ(traced_report, report_of(untraced));
+}
+
+TEST(Server, StatsControlRequestReportsUptimeAndQueueState) {
+  TcpHarness harness;
+  TestClient client = TestClient::connect_tcp(harness.port);
+  ASSERT_TRUE(client.connected());
+  // The snapshot goes out only after the analysis response arrived: in
+  // one burst the stats line could be handled while "w" is still in
+  // flight on another worker and see an empty cache.
+  std::string line;
+  client.send(bench_request_line("w", "adfast"));
+  ASSERT_TRUE(client.read_line(line));
+  ASSERT_TRUE(response_ok(line)) << line;
+  client.send("{\"id\":\"s\",\"stats\":true}\n");
+  ASSERT_TRUE(client.read_line(line));
+  ASSERT_TRUE(response_ok(line)) << line;
+  const svc::JsonValue json = svc::parse_json(line);
+  EXPECT_GE(json.get("uptime_seconds").as_number(), 0.0);
+  // Both requests were answered before the snapshot: the queue is idle.
+  EXPECT_EQ(json.get("queue_depth").as_number(), 0.0);
+  EXPECT_EQ(json.get("queue_age_ms").as_number(), 0.0);
+  // The legacy stats block stays intact underneath the new fields.
+  const svc::JsonValue& stats = json.get("stats");
+  ASSERT_FALSE(stats.is_null());
+  EXPECT_EQ(stats.get("misses").as_number(), 1.0);
+}
+
+TEST(Server, MetricsControlRequestRendersPrometheusText) {
+  TcpHarness harness;
+  TestClient client = TestClient::connect_tcp(harness.port);
+  ASSERT_TRUE(client.connected());
+  // One cold run and one warm repeat populate the phase histograms and
+  // both cache outcomes. The repeat goes out only after the cold
+  // response arrived — in one burst the two could coalesce in flight
+  // and the repeat would count as "coalesced", not "hit".
+  std::string line;
+  client.send(bench_request_line("c", "adfast"));
+  ASSERT_TRUE(client.read_line(line));
+  ASSERT_TRUE(response_ok(line)) << line;
+  client.send(bench_request_line("h", "adfast"));
+  ASSERT_TRUE(client.read_line(line));
+  ASSERT_TRUE(response_ok(line)) << line;
+  // And the scrape goes out alone too: in a burst it could render the
+  // registry while "h" is still in flight on another worker.
+  client.send("{\"id\":\"m\",\"metrics\":true}\n");
+  ASSERT_TRUE(client.read_line(line));
+  ASSERT_TRUE(response_ok(line)) << line;
+  const svc::JsonValue json = svc::parse_json(line);
+  const std::string text = json.get("metrics").as_string();
+
+  // The exposition is real Prometheus text: typed families with the
+  // counters this traffic must have produced.
+  EXPECT_NE(text.find("# TYPE sitime_design_cache_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("sitime_design_cache_requests_total{outcome=\"hit\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("sitime_design_cache_requests_total{outcome=\"miss\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE sitime_phase_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sitime_queue_wait_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("sitime_queue_wait_seconds_count 3\n"),
+            std::string::npos)
+      << "every handled line (control requests included) waits in the "
+         "admission queue";
+  EXPECT_NE(text.find("sitime_uptime_seconds"), std::string::npos);
+  EXPECT_NE(text.find("sitime_connections_total{outcome=\"accepted\"} 1\n"),
+            std::string::npos);
+
+  // {"metrics": false} is rejected like {"stats": false}.
+  client.send("{\"id\":\"bad\",\"metrics\":false}\n");
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_FALSE(response_ok(line)) << line;
 }
 
 TEST(Server, StartRequiresATransportAndStopsCleanlyWithoutTraffic) {

@@ -438,6 +438,107 @@ TEST(AnalysisService, WarmBenchmarkSuiteMakesTheWholeSuiteResident) {
         << bench.name;
 }
 
+// ---- trace spans ---------------------------------------------------------
+
+// Index of the span named `name` in `spans`, or -1.
+int span_index(const std::vector<svc::TraceSpan>& spans,
+               const std::string& name) {
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    if (spans[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+TEST(AnalysisService, TraceSpansNameEveryPhaseAndNestTheExpansion) {
+  svc::AnalysisService service;
+
+  // Untraced requests pay nothing and return no spans.
+  const svc::AnalysisResponse quiet = service.analyze(bench_request("fifo"));
+  ASSERT_TRUE(quiet.ok) << quiet.error;
+  EXPECT_TRUE(quiet.spans.empty());
+
+  svc::AnalysisRequest request = bench_request("ebergen");
+  request.trace_spans = true;
+  const svc::AnalysisResponse cold = service.analyze(request);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.phases_run, "decompose+verify+derive");
+
+  // Every phase that ran appears as a span, in execution order, tagged
+  // as a cold run; the expansion aggregate nests inside derive.
+  const int parse = span_index(cold.spans, "parse");
+  const int decompose = span_index(cold.spans, "decompose");
+  const int verify = span_index(cold.spans, "verify");
+  const int derive = span_index(cold.spans, "derive");
+  const int expand = span_index(cold.spans, "expand");
+  ASSERT_GE(parse, 0);
+  ASSERT_GE(decompose, 0);
+  ASSERT_GE(verify, 0);
+  ASSERT_GE(derive, 0);
+  ASSERT_GE(expand, 0);
+  EXPECT_LT(parse, decompose);
+  EXPECT_LT(decompose, verify);
+  EXPECT_LT(verify, derive);
+  for (const int at : {parse, decompose, verify, derive}) {
+    EXPECT_EQ(cold.spans[at].detail, "cold") << cold.spans[at].name;
+    EXPECT_TRUE(cold.spans[at].in.empty()) << cold.spans[at].name;
+  }
+  EXPECT_EQ(cold.spans[expand].in, "derive");
+  EXPECT_LE(cold.spans[expand].seconds, cold.spans[derive].seconds);
+  EXPECT_NE(cold.spans[expand].detail.find("jobs="), std::string::npos);
+
+  // Top-level spans (empty `in`) are laid out back to back from the
+  // start of handling: non-overlapping and within the wall time.
+  double cursor = 0.0;
+  double top_level_total = 0.0;
+  for (const svc::TraceSpan& span : cold.spans) {
+    if (!span.in.empty()) continue;
+    EXPECT_GE(span.start + 1e-9, cursor) << span.name;
+    cursor = span.start + span.seconds;
+    top_level_total += span.seconds;
+  }
+  EXPECT_LE(top_level_total, cold.seconds + 1e-9);
+
+  // A traced repeat is a cache hit: parse plus the cache span, no phases.
+  const svc::AnalysisResponse hit = service.analyze(request);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_EQ(hit.cache_state, "hit");
+  const int cache = span_index(hit.spans, "cache");
+  ASSERT_GE(cache, 0);
+  EXPECT_EQ(hit.spans[cache].detail, "hit");
+  EXPECT_LT(span_index(hit.spans, "parse"), cache);
+  EXPECT_EQ(span_index(hit.spans, "decompose"), -1);
+
+  // Tracing is envelope-only: the canonical report bytes match a fresh
+  // untraced run of the same design.
+  svc::AnalysisService untraced_service;
+  const svc::AnalysisResponse untraced =
+      untraced_service.analyze(bench_request("ebergen"));
+  ASSERT_NE(cold.canonical_json, nullptr);
+  ASSERT_NE(untraced.canonical_json, nullptr);
+  EXPECT_EQ(*cold.canonical_json, *untraced.canonical_json);
+}
+
+TEST(AnalysisService, TraceSpansTagLazyUpgradesAsUpgrade) {
+  svc::AnalysisService service;
+  const svc::AnalysisResponse verified =
+      service.analyze(bench_request("adfast", svc::RequestMode::verify));
+  ASSERT_TRUE(verified.ok);
+
+  svc::AnalysisRequest request =
+      bench_request("adfast", svc::RequestMode::derive);
+  request.trace_spans = true;
+  const svc::AnalysisResponse upgraded = service.analyze(request);
+  ASSERT_TRUE(upgraded.ok);
+  EXPECT_EQ(upgraded.phases_run, "derive");
+
+  // Only derive ran, and its span says it was a cache upgrade, not a
+  // cold run; decompose/verify were served by the resident entry.
+  const int derive = span_index(upgraded.spans, "derive");
+  ASSERT_GE(derive, 0);
+  EXPECT_EQ(upgraded.spans[derive].detail, "upgrade");
+  EXPECT_EQ(span_index(upgraded.spans, "decompose"), -1);
+  EXPECT_EQ(span_index(upgraded.spans, "verify"), -1);
+}
+
 // ---- cancellation and deadlines ------------------------------------------
 
 TEST(AnalysisServiceCancel, ExpiredDeadlineFailsFastWithStructuredCode) {

@@ -40,6 +40,13 @@
 //                        "overloaded" response (default 0 = never)
 //   --max-queue-depth N  shed requests arriving while this many are
 //                        already queued (default 0 = unbounded)
+//   --slow-ms N          log the span breakdown of any request that took
+//                        at least N ms (queue wait included) to stderr
+//                        (default 0 = off)
+//   --metrics            one-shot: print the Prometheus metric catalog
+//                        (after an optional --warm) to stdout and exit —
+//                        the same text a running server returns for the
+//                        {"metrics": true} control request
 #include <unistd.h>
 
 #include <atomic>
@@ -64,6 +71,7 @@ struct ServeOptions {
   int jobs = 1;
   std::size_t cache_bytes = 256u << 20;
   bool warm = false;
+  bool metrics_once = false;
   std::string socket_path;
   std::vector<std::string> listen_endpoints;
   sitime::svc::ServerOptions server;
@@ -77,7 +85,7 @@ int usage() {
       "                    [--max-connections N] [--max-requests N]\n"
       "                    [--idle-timeout-ms N] [--write-timeout-ms N]\n"
       "                    [--max-line-bytes N] [--max-queue-ms N]\n"
-      "                    [--max-queue-depth N]\n"
+      "                    [--max-queue-depth N] [--slow-ms N] [--metrics]\n"
       "reads one JSON request per line on stdin (or per socket/TCP\n"
       "connection), writes one JSON response per line; see\n"
       "tools/README.md\n");
@@ -164,6 +172,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-queue-depth") {
       options.server.max_queue_depth =
           static_cast<int>(int_value("--max-queue-depth", 0, 1 << 30));
+    } else if (arg == "--slow-ms") {
+      options.server.slow_ms =
+          static_cast<int>(int_value("--slow-ms", 0, 1 << 30));
+    } else if (arg == "--metrics") {
+      options.metrics_once = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -209,6 +222,16 @@ int main(int argc, char** argv) {
   }
 
   svc::Server server(service, options.server);
+
+  // One-shot metric catalog: the Server's construction registered the
+  // admission/queue metrics, so this prints the same families a running
+  // server exposes through {"metrics": true} — warm first (--warm) for a
+  // populated snapshot.
+  if (options.metrics_once) {
+    std::fputs(service.metrics().render_prometheus().c_str(), stdout);
+    return 0;
+  }
+
   try {
     if (!options.socket_path.empty())
       server.add_transport(
