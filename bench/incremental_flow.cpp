@@ -1,20 +1,25 @@
-// Editor-loop benchmark for the gate-level slice cache: mutate one gate
-// per iteration and re-run the flow, comparing cold (no gate store —
-// every edit re-expands every (component × gate) job) against delta (a
-// warm svc::GateCache — only the edited gate's jobs re-expand). Emits one
-// JSON document (committed as BENCH_incremental.json at the repo root).
+// Editor-loop benchmark for the warm-path caches: mutate one gate per
+// iteration and re-run the flow, comparing cold (no caches — every edit
+// re-decomposes, re-keys, and re-expands every (component × gate) job)
+// against delta (the service's warm path: the STG-keyed decomposition
+// cache skips the global-SG rebuild, the shared FlowKeyCache skips the
+// key serialization, and the warm svc::GateCache re-expands only the
+// edited gate's jobs). Emits one JSON document (committed as
+// BENCH_incremental.json at the repo root) with a per-phase breakdown
+// (decompose / keying / expand / render seconds) for both lanes.
 //
 // The loop models a designer iterating on one gate of a finished design:
 // the STG is parsed once and stays fixed; each iteration re-parses the
-// edited netlist, re-decomposes, and re-derives the constraints. The edit
-// is the one tests/incremental_test.cpp uses — duplicate the first cube
-// of the target gate's equation — so the gate's function (and with it the
+// edited netlist and re-derives the constraints. The edit is the one
+// tests/incremental_test.cpp uses — duplicate the first cube of the
+// target gate's equation — so the gate's function (and with it the
 // constraint sets) is unchanged while its job keys, and the whole-design
 // key, differ on every iteration.
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +27,7 @@
 #include "benchdata/benchmarks.hpp"
 #include "circuit/circuit.hpp"
 #include "core/flow.hpp"
+#include "core/report.hpp"
 #include "svc/gate_cache.hpp"
 
 namespace {
@@ -67,6 +73,14 @@ std::string mutate(const std::string& eqn, const std::string& gate,
   return mutated;
 }
 
+/// Accumulated per-phase wall time of one lane's edit stream.
+struct PhaseBreakdown {
+  double decompose_seconds = 0.0;  // global SG + MG decomposition
+  double keying_seconds = 0.0;     // ComponentKeyBase serialization
+  double expand_seconds = 0.0;     // the (component × gate) job graph
+  double render_seconds = 0.0;     // report assembly + text/JSON render
+};
+
 struct DesignRow {
   std::string design;
   int gates = 0;
@@ -74,7 +88,19 @@ struct DesignRow {
   double cold_seconds = 0.0;
   double delta_seconds = 0.0;
   double hit_rate = 0.0;
+  PhaseBreakdown cold;
+  PhaseBreakdown delta;
 };
+
+void print_phases(const char* prefix, const PhaseBreakdown& phases) {
+  std::printf("\"%s_decompose_seconds\": %.6f, "
+              "\"%s_keying_seconds\": %.6f, "
+              "\"%s_expand_seconds\": %.6f, "
+              "\"%s_render_seconds\": %.6f",
+              prefix, phases.decompose_seconds, prefix,
+              phases.keying_seconds, prefix, phases.expand_seconds, prefix,
+              phases.render_seconds);
+}
 
 }  // namespace
 
@@ -100,41 +126,72 @@ int main() {
     row.gates = static_cast<int>(gates.size());
     row.edits = kRounds * row.gates;
 
-    const auto run_edit = [&](const std::string& gate, int round,
-                              core::GateSliceStore* store) {
-      const circuit::Circuit edited = circuit::Circuit::from_equations(
-          &stg.signals, mutate(eqn, gate, round));
-      const core::FlowDecomposition decomposition =
-          core::decompose_flow(stg, edited);
+    // One edit of one lane: derive against `decomposition`, charging each
+    // phase of the run to `phases`. The decompose charge is paid by the
+    // caller — the cold lane decomposes per edit, the delta lane reuses
+    // one cached decomposition and only re-targets its job list.
+    const auto run_edit = [&](const core::FlowDecomposition& decomposition,
+                              const circuit::Circuit& edited,
+                              core::GateSliceStore* store,
+                              PhaseBreakdown& phases) {
       core::FlowOptions options;
       options.gate_store = store;
-      return core::derive_timing_constraints(decomposition, stg, edited,
-                                             options);
+      const core::FlowResult result = core::derive_timing_constraints(
+          decomposition, stg, edited, options);
+      phases.keying_seconds += result.keying_seconds;
+      phases.expand_seconds += result.expand_seconds;
+      const auto render_start = Clock::now();
+      const core::FlowReport report =
+          core::make_flow_report(bench.name, result, stg.signals);
+      const core::RenderedReport rendered = core::render_report(report);
+      phases.render_seconds += seconds_since(render_start);
+      if (rendered.json_body.empty()) std::abort();  // keep the render live
     };
 
-    // Cold: every edit pays netlist parse + decompose + full expansion.
+    // Cold: every edit pays netlist parse + decompose + keying + full
+    // expansion + render.
     const auto cold_start = Clock::now();
     for (int round = 1; round <= kRounds; ++round)
-      for (const std::string& gate : gates)
-        run_edit(gate, round, nullptr);
+      for (const std::string& gate : gates) {
+        const circuit::Circuit edited = circuit::Circuit::from_equations(
+            &stg.signals, mutate(eqn, gate, round));
+        const auto decompose_start = Clock::now();
+        const core::FlowDecomposition decomposition =
+            core::decompose_flow(stg, edited);
+        row.cold.decompose_seconds += seconds_since(decompose_start);
+        run_edit(decomposition, edited, nullptr, row.cold);
+      }
     row.cold_seconds = seconds_since(cold_start);
 
-    // Delta: prime the store with the unedited design, then replay the
-    // same edit stream — unchanged gates hit their cached slices.
+    // Delta: decompose ONCE (the decomposition cache's hit — the STG
+    // never changes in the edit stream), prime the gate store with the
+    // unedited design, then replay the same edit stream. Each edit
+    // re-targets the cached decomposition's job list at its circuit; the
+    // shared FlowKeyCache keeps the key bases warm, and unchanged gates
+    // hit their cached slices.
     svc::GateCache store(64 * 1024 * 1024, &kNoDesignBytes);
+    const core::FlowDecomposition cached =
+        core::decompose_flow(stg, circuit);
     {
-      const core::FlowDecomposition decomposition =
-          core::decompose_flow(stg, circuit);
       core::FlowOptions options;
       options.gate_store = &store;
-      core::derive_timing_constraints(decomposition, stg, circuit, options);
+      core::derive_timing_constraints(cached, stg, circuit, options);
     }
     const long long primed_hits = store.hits();
     const long long primed_misses = store.misses();
     const auto delta_start = Clock::now();
     for (int round = 1; round <= kRounds; ++round)
-      for (const std::string& gate : gates)
-        run_edit(gate, round, &store);
+      for (const std::string& gate : gates) {
+        const circuit::Circuit edited = circuit::Circuit::from_equations(
+            &stg.signals, mutate(eqn, gate, round));
+        const auto retarget_start = Clock::now();
+        core::FlowDecomposition decomposition = cached;
+        decomposition.jobs = core::enumerate_flow_jobs(
+            static_cast<int>(decomposition.component_stgs.size()),
+            static_cast<int>(edited.gates().size()));
+        row.delta.decompose_seconds += seconds_since(retarget_start);
+        run_edit(decomposition, edited, &store, row.delta);
+      }
     row.delta_seconds = seconds_since(delta_start);
     const long long hits = store.hits() - primed_hits;
     const long long misses = store.misses() - primed_misses;
@@ -170,12 +227,17 @@ int main() {
     const DesignRow& row = rows[i];
     std::printf("    {\"design\": \"%s\", \"gates\": %d, \"edits\": %d, "
                 "\"cold_seconds\": %.6f, \"delta_seconds\": %.6f, "
-                "\"speedup\": %.2f, \"gate_hit_rate\": %.4f}%s\n",
+                "\"speedup\": %.2f, \"gate_hit_rate\": %.4f,\n",
                 row.design.c_str(), row.gates, row.edits, row.cold_seconds,
                 row.delta_seconds,
                 row.delta_seconds > 0 ? row.cold_seconds / row.delta_seconds
                                       : 0.0,
-                row.hit_rate, i + 1 < rows.size() ? "," : "");
+                row.hit_rate);
+    std::printf("     ");
+    print_phases("cold", row.cold);
+    std::printf(",\n     ");
+    print_phases("delta", row.delta);
+    std::printf("}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::printf("  ],\n");
   std::printf("  \"all_designs_speedup\": %.2f,\n",

@@ -27,6 +27,7 @@ const char* fault_point_name(FaultPoint point) {
     case FaultPoint::gate_cache_insert: return "gate_cache_insert";
     case FaultPoint::transport_write: return "transport_write";
     case FaultPoint::worker_stall: return "worker_stall";
+    case FaultPoint::decomp_cache_insert: return "decomp_cache_insert";
   }
   return "unknown";
 }

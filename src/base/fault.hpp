@@ -3,7 +3,7 @@
 // unless CMake defines SITIME_FAULT_INJECTION (option SITIME_FAULTS,
 // default ON so the checked-in test suites exercise the paths).
 //
-// Seven injection points cover the layers a request crosses:
+// Eight injection points cover the layers a request crosses:
 //   parse           AnalysisService request parsing
 //   decompose       core::run_decompose_phase entry
 //   sg_build        sg::build_state_graph entry
@@ -17,6 +17,10 @@
 //                   (sleeps ~40 ms, simulating a slow analysis pinning a
 //                   shared worker — the deterministic "plug" behind the
 //                   queue-timing tests)
+//   decomp_cache_insert  svc::DecompCache::insert retention (the
+//                   decomposition is still served to its own run, it
+//                   just is not kept — mirrors gate_cache_insert one
+//                   cache level up)
 //
 // The injector is a process-wide singleton but INERT until a test arms
 // it, so suites that don't opt in are untouched even when the hooks are
@@ -51,8 +55,11 @@ enum class FaultPoint : int {
   gate_cache_insert,
   transport_write,
   worker_stall,
+  // Appended (not inserted) so seeded-mode fire schedules of the
+  // pre-existing points stay stable across releases.
+  decomp_cache_insert,
 };
-inline constexpr int kFaultPointCount = 7;
+inline constexpr int kFaultPointCount = 8;
 
 /// Thrown by throwing injection points. Deliberately NOT a subclass of
 /// any analysis error: core/expand.cpp rethrows it past the OR-causality

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,6 +75,10 @@ struct FlowResult {
   double seconds = 0.0;     // end to end
   double decompose_seconds = 0.0;  // global SG + MG decomposition
   double expand_seconds = 0.0;     // the (component × gate) job graph
+  /// Spent acquiring the per-component ComponentKeyBase prefixes (adversary
+  /// weight matrix included) — ~0 when FlowDecomposition::key_cache already
+  /// holds them, the serial key-serialization tail otherwise.
+  double keying_seconds = 0.0;
 };
 
 /// Worker-count and scheduling knobs for the flow.
@@ -108,6 +114,14 @@ struct FlowOptions {
   /// job-order merge makes a flow mixing cached and fresh slices
   /// byte-identical to a fully cold run at any worker count.
   GateSliceStore* gate_store = nullptr;
+  /// Construction knobs for the state graphs the verify phase builds
+  /// directly (workers != 1 turns on the frontier-parallel BFS). The
+  /// state/token limits and cancel of this member are ignored — the flow
+  /// always builds with the library defaults and its own `cancel` — and
+  /// the verdicts/constraints are byte-identical for every setting.
+  /// Expand-loop SG builds are configured on the SgCache instead
+  /// (sg::SgCache::set_build_options).
+  sg::SgBuildOptions sg_build;
 };
 
 /// One (MG component × gate) unit of flow work.
@@ -117,13 +131,60 @@ struct FlowJob {
   int gate = -1;       // index into Circuit::gates()
 };
 
+/// Memoized per-component key material, shared by every flow run on one
+/// decomposition (copies of a FlowDecomposition share it through the
+/// key_cache shared_ptr). ComponentKeyBase serialization — and for the
+/// derive side the full adversary-weight matrix it embeds — is the serial
+/// keying tail of a warm run; computing it once per decomposition and
+/// handing out the shared prefixes turns that tail into a lookup.
+/// ComponentKeyBase owns its words (shared_ptr), so memoized bases are
+/// self-contained: no lifetime tie to any AdversaryAnalysis or STG.
+/// Thread-safe; both getters fill the cache on first use via `build`.
+class FlowKeyCache {
+ public:
+  /// The verify-phase bases (adversary-free), built on first call.
+  std::vector<ComponentKeyBase> verify_bases(
+      const std::function<std::vector<ComponentKeyBase>()>& build);
+
+  /// The derive-phase bases for one (order, max_steps, max_depth) knob
+  /// tuple, built on first call per tuple.
+  std::vector<ComponentKeyBase> derive_bases(
+      int order, int max_steps, int max_depth,
+      const std::function<std::vector<ComponentKeyBase>()>& build);
+
+ private:
+  struct DeriveEntry {
+    int order = 0;
+    int max_steps = 0;
+    int max_depth = 0;
+    std::vector<ComponentKeyBase> bases;
+  };
+  std::mutex mutex_;
+  bool has_verify_ = false;
+  std::vector<ComponentKeyBase> verify_;
+  std::vector<DeriveEntry> derive_;  // a handful of knob tuples at most
+};
+
 /// The shared, read-only part of the flow every job starts from.
 struct FlowDecomposition {
   int state_count = 0;                      // global SG size
   std::vector<int> initial_values;          // from sg::initial_values
   std::vector<stg::MgStg> component_stgs;   // one per MG component
   std::vector<FlowJob> jobs;                // component-major, stable order
+  /// Pins the STG whose SignalTable the component_stgs point into, so a
+  /// decomposition cached beyond its producing PhaseArtifacts (the
+  /// service's decomposition cache) stays valid. May be null when the
+  /// caller guarantees the source STG outlives every copy.
+  std::shared_ptr<const stg::Stg> source;
+  /// Memoized component key bases (set by decompose_flow); copies share
+  /// it, so a cached decomposition keeps its keys warm across requests.
+  std::shared_ptr<FlowKeyCache> key_cache;
 };
+
+/// The stable component-major job order of decompose_flow, reusable to
+/// re-target a cached decomposition at a circuit with a different gate
+/// list (the component_stgs and initial values depend only on the STG).
+std::vector<FlowJob> enumerate_flow_jobs(int components, int gates);
 
 /// Builds the global SG, checks consistency, and enumerates the MG
 /// components and (component × gate) jobs. Throws on malformed inputs

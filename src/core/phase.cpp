@@ -52,13 +52,16 @@ void run_decompose_phase(PhaseArtifacts& artifacts,
   if (artifacts.circuit == nullptr) {
     const sg::GlobalSg global =
         sg::build_global_sg(*artifacts.stg, /*state_limit=*/1 << 20, cancel);
-    artifacts.circuit = std::make_unique<circuit::Circuit>(
+    artifacts.circuit = std::make_shared<const circuit::Circuit>(
         circuit::Circuit::from_synthesis(
             &artifacts.stg->signals,
             synth::synthesize(*artifacts.stg, global)));
   }
   artifacts.decomposition =
       decompose_flow(*artifacts.stg, *artifacts.circuit, cancel);
+  // Pin the STG the decomposition's component projections point into, so
+  // a cache can hold the decomposition beyond this artifact's lifetime.
+  artifacts.decomposition.source = artifacts.stg;
   artifacts.decompose_seconds = seconds_since(start);
   artifacts.completed = Phase::decomposed;
 }

@@ -42,14 +42,17 @@ std::string phase_range_text(Phase from, Phase to);
 /// The staged products of the flow for one design. Construction supplies
 /// the parse-phase product (an owned STG, plus the explicit netlist when
 /// the design came with one); each run_*_phase() call below adds the next
-/// product and bumps `completed`. The artifact owns everything it holds —
-/// circuit and decomposition point into `stg`, so the struct must not be
-/// copied (and cannot be: the unique_ptrs see to it).
+/// product and bumps `completed`. Circuit and decomposition point into
+/// `stg`; both are held through shared_ptr so a cache can retain the
+/// decomposition (which pins `stg` via FlowDecomposition::source) and the
+/// synthesized circuit beyond the artifact that built them — the pointees
+/// are immutable once a phase completes.
 struct PhaseArtifacts {
   // parsed
-  std::unique_ptr<stg::Stg> stg;
-  std::unique_ptr<circuit::Circuit> circuit;  // null until decomposed when
-                                              // the netlist is synthesized
+  std::shared_ptr<const stg::Stg> stg;
+  std::shared_ptr<const circuit::Circuit> circuit;  // null until decomposed
+                                                    // when the netlist is
+                                                    // synthesized
   // decomposed
   FlowDecomposition decomposition;
   double decompose_seconds = 0.0;

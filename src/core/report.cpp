@@ -145,16 +145,27 @@ std::string to_text(const FlowReport& report) {
   return out.str();
 }
 
-std::string to_json(const FlowReport& report) {
+std::string json_report_head(const std::string& design,
+                             const std::string& content_hash,
+                             const std::string& cache_state,
+                             const std::string& phases_run) {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"design\": \"" << json_escape(report.design) << "\",\n";
-  if (!report.content_hash.empty()) {
+  out << "  \"design\": \"" << json_escape(design) << "\",\n";
+  if (!content_hash.empty()) {
     out << "  \"cache_provenance\": {\"content_hash\": \""
-        << json_escape(report.content_hash) << "\", \"state\": \""
-        << json_escape(report.cache_state) << "\", \"phases_run\": \""
-        << json_escape(report.phases_run) << "\"},\n";
+        << json_escape(content_hash) << "\", \"state\": \""
+        << json_escape(cache_state) << "\", \"phases_run\": \""
+        << json_escape(phases_run) << "\"},\n";
   }
+  return out.str();
+}
+
+namespace {
+
+/// Everything of to_json below the provenance head — no design name, no
+/// cache provenance, so the rendering is memoizable per report content.
+void append_json_body(std::ostringstream& out, const FlowReport& report) {
   out << "  \"states\": " << report.state_count << ",\n";
   out << "  \"mg_components\": " << report.mg_component_count << ",\n";
   out << "  \"gates\": " << report.gate_count << ",\n";
@@ -190,7 +201,26 @@ std::string to_json(const FlowReport& report) {
   if (!report.gates.empty()) out << "\n  ";
   out << "]\n";
   out << "}";
+}
+
+}  // namespace
+
+std::string to_json(const FlowReport& report) {
+  std::ostringstream out;
+  out << json_report_head(report.design, report.content_hash,
+                          report.cache_state, report.phases_run);
+  append_json_body(out, report);
   return out.str();
+}
+
+RenderedReport render_report(const FlowReport& report) {
+  RenderedReport rendered;
+  rendered.thesis = thesis_report_text(report);
+  rendered.text = to_text(report);
+  std::ostringstream out;
+  append_json_body(out, report);
+  rendered.json_body = out.str();
+  return rendered;
 }
 
 std::string to_canonical_json(const FlowReport& report) {

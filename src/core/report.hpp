@@ -80,8 +80,34 @@ std::string thesis_report_text(const FlowReport& report);
 std::string to_text(const FlowReport& report);
 
 /// One JSON object; stable key order, no external dependencies. Includes a
-/// "cache_provenance" object when content_hash is set.
+/// "cache_provenance" object when content_hash is set. Structurally this
+/// is json_report_head(...) + RenderedReport::json_body — the per-request
+/// provenance lives entirely in the head, so a memoized body can be
+/// re-headed without re-rendering.
 std::string to_json(const FlowReport& report);
+
+/// Every rendering of one report that does NOT depend on per-request
+/// provenance (display name, cache_state, phases_run): the thesis text,
+/// the full text layout, and the body of to_json (from the "states" line
+/// to the closing brace). A design cache renders these once per (entry,
+/// phase) and serves them verbatim — a pure cache hit never re-renders.
+struct RenderedReport {
+  std::string thesis;     // == thesis_report_text(report)
+  std::string text;       // == to_text(report)
+  std::string json_body;  // to_json minus json_report_head
+};
+
+/// Renders all three memoizable forms in one pass over the report.
+RenderedReport render_report(const FlowReport& report);
+
+/// The provenance head of to_json: the design line plus (when
+/// content_hash is non-empty) the cache_provenance object.
+/// json_report_head(...) + RenderedReport::json_body is byte-identical to
+/// to_json on a report carrying the same provenance fields.
+std::string json_report_head(const std::string& design,
+                             const std::string& content_hash,
+                             const std::string& cache_state,
+                             const std::string& phases_run);
 
 /// The deterministic body of a report as one compact single-line JSON
 /// object: everything a consumer can rely on byte-for-byte — design name,

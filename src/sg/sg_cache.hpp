@@ -52,6 +52,20 @@ class SgCache {
   std::shared_ptr<const StateGraph> get_or_build(
       const stg::MgStg& mg, const base::CancelToken& cancel = {});
 
+  /// Construction knobs miss builds run with (frontier-parallel expansion,
+  /// latency sinks). The per-call `cancel` always wins over
+  /// `options.cancel`; the state/token limits stay at the library defaults
+  /// regardless of `options` — cached graphs must not depend on who
+  /// triggered the miss. Call before sharing the cache across threads
+  /// (a resident service sets it once at construction); the built graphs
+  /// are byte-identical for every setting, so late changes affect only
+  /// speed.
+  void set_build_options(const SgBuildOptions& options) {
+    build_options_ = options;
+    build_options_.state_limit = kDefaultSgStateLimit;
+    build_options_.token_limit = kDefaultSgTokenLimit;
+  }
+
   // 64-bit: a resident service (svc::AnalysisService) keeps one cache for
   // the process lifetime, where 32-bit counters would wrap under traffic.
   long long hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -75,6 +89,7 @@ class SgCache {
   static constexpr int kShardCount = 16;
 
   Shard shards_[kShardCount];
+  SgBuildOptions build_options_;
   std::atomic<long long> hits_{0};
   std::atomic<long long> misses_{0};
 };

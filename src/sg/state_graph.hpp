@@ -30,6 +30,11 @@
 #include "stg/marked_graph.hpp"
 #include "stg/stg.hpp"
 
+namespace sitime::base {
+class MetricHistogram;
+class ThreadPool;
+}  // namespace sitime::base
+
 namespace sitime::sg {
 
 /// Explicit state graph of a marked-graph STG. States are indexed densely;
@@ -69,6 +74,36 @@ struct StateGraph {
 inline constexpr int kDefaultSgStateLimit = 200000;
 inline constexpr int kDefaultSgTokenLimit = 6;
 
+/// Construction knobs for build_state_graph. Every combination of
+/// workers / pool / frontier_threshold yields a byte-identical StateGraph
+/// (same state numbering, codes, and CSR rows): the parallel mode expands
+/// one BFS level at a time and merges the per-state candidate lists in the
+/// serial (state, transition) order, so discovery order — and therefore
+/// every state id — never depends on scheduling.
+struct SgBuildOptions {
+  int state_limit = kDefaultSgStateLimit;
+  int token_limit = kDefaultSgTokenLimit;
+  /// Polled every 256 states (serial) / once per frontier chunk
+  /// (parallel); a fired token throws base::CancelledError.
+  base::CancelToken cancel;
+  /// Frontier expansion concurrency: 1 = serial on the calling thread
+  /// (default), 0 = one body per pool worker plus the caller, N > 1 = at
+  /// most N concurrent bodies.
+  int workers = 1;
+  /// Pool carrying the frontier chunks; null = base::ThreadPool::shared().
+  /// Ignored while workers == 1.
+  base::ThreadPool* pool = nullptr;
+  /// BFS levels narrower than this expand serially even in parallel mode
+  /// (fan-out overhead would dominate); the default keeps small local SGs
+  /// entirely serial.
+  int frontier_threshold = 64;
+  /// Build-latency sinks by configured mode (parallel = workers != 1),
+  /// observed once per build when non-null. The service registers these as
+  /// sitime_sg_build_seconds{mode="serial"|"parallel"}.
+  base::MetricHistogram* serial_seconds = nullptr;
+  base::MetricHistogram* parallel_seconds = nullptr;
+};
+
 /// Exhaustive reachability of the local STG. `mg.initial_values` must be set
 /// for every signal that has an alive transition. Throws on inconsistent
 /// firing (a+ from a state where a = 1), when a state/token bound is
@@ -79,6 +114,12 @@ StateGraph build_state_graph(const stg::MgStg& mg,
                              int state_limit = kDefaultSgStateLimit,
                              int token_limit = kDefaultSgTokenLimit,
                              const base::CancelToken& cancel = {});
+
+/// Same reachability with the full knob set — frontier-parallel BFS when
+/// options.workers != 1, byte-identical to the serial build (see
+/// SgBuildOptions).
+StateGraph build_state_graph(const stg::MgStg& mg,
+                             const SgBuildOptions& options);
 
 /// State graph of the full STG: Petri-net reachability plus inferred codes.
 struct GlobalSg {

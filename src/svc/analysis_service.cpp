@@ -6,6 +6,7 @@
 #include "base/error.hpp"
 #include "benchdata/benchmarks.hpp"
 #include "stg/astg.hpp"
+#include "svc/footprint.hpp"
 
 namespace sitime::svc {
 
@@ -48,108 +49,9 @@ std::string fnv1a_hex(const std::string& text) {
   return out;
 }
 
-// ---- calibrated footprint accounting ---------------------------------------
-// The byte budget charges what the allocator actually holds: container
-// *capacities* (not sizes), the small-string optimization (an SSO string
-// owns no heap block), and the per-node overhead of node-based containers.
-// The constants below are the measured libstdc++/libc++ LP64 layouts; they
-// are estimates in the strict sense, but calibrated ones — the old
-// accounting guessed flat per-element factors.
-
-/// Strings at or below the SSO capacity live inside the object.
-const std::size_t kStringSso = std::string().capacity();
-
-/// One std::map node: left/right/parent pointers + color word.
-constexpr std::size_t kMapNodeBytes = 4 * sizeof(void*);
-/// One unordered_map node: forward pointer + cached hash.
-constexpr std::size_t kHashNodeBytes = 2 * sizeof(void*);
-
-std::size_t heap_bytes(const std::string& text) {
-  return text.capacity() > kStringSso ? text.capacity() + 1 : 0;
-}
-
-template <typename T>
-std::size_t slab_bytes(const std::vector<T>& v) {
-  return v.capacity() * sizeof(T);
-}
-
-std::size_t footprint(const stg::Stg& stg) {
-  std::size_t total = sizeof(stg::Stg) + heap_bytes(stg.model_name);
-  const pn::PetriNet& net = stg.net;
-  for (int p = 0; p < net.place_count(); ++p)
-    total += sizeof(std::string) + heap_bytes(net.place_name(p)) +
-             2 * sizeof(std::vector<int>) + slab_bytes(net.place_inputs(p)) +
-             slab_bytes(net.place_outputs(p));
-  for (int t = 0; t < net.transition_count(); ++t)
-    total += sizeof(std::string) + heap_bytes(net.transition_name(t)) +
-             2 * sizeof(std::vector<int>) +
-             slab_bytes(net.transition_inputs(t)) +
-             slab_bytes(net.transition_outputs(t));
-  total += slab_bytes(net.initial_marking());
-  total += slab_bytes(stg.labels);
-  for (const std::string& name : stg.signals.names())
-    total += sizeof(std::string) + heap_bytes(name);
-  total += static_cast<std::size_t>(stg.signals.count()) *
-           sizeof(stg::SignalKind);
-  return total;
-}
-
-std::size_t footprint(const circuit::Circuit& circuit) {
-  std::size_t total = sizeof(circuit::Circuit);
-  total += slab_bytes(circuit.gates());
-  for (const circuit::Gate& gate : circuit.gates())
-    total += slab_bytes(gate.up.cubes) + slab_bytes(gate.down.cubes) +
-             slab_bytes(gate.fanins);
-  // The signal -> gate index table.
-  total += static_cast<std::size_t>(circuit.signals().count()) * sizeof(int);
-  return total;
-}
-
-std::size_t footprint(const stg::MgStg& mg) {
-  // arcs() exposes the real arc table; transitions and their alive flags
-  // are charged one label plus one flag byte each.
-  return sizeof(stg::MgStg) + slab_bytes(mg.arcs()) +
-         static_cast<std::size_t>(mg.transition_count()) *
-             (sizeof(stg::TransitionLabel) + 1);
-}
-
-std::size_t footprint(const core::FlowDecomposition& decomposition) {
-  std::size_t total = slab_bytes(decomposition.initial_values) +
-                      slab_bytes(decomposition.jobs) +
-                      slab_bytes(decomposition.component_stgs);
-  for (const stg::MgStg& mg : decomposition.component_stgs)
-    total += footprint(mg) - sizeof(stg::MgStg);  // slab counted above
-  return total;
-}
-
-std::size_t footprint(const core::ConstraintSet& constraints) {
-  return constraints.size() *
-         (sizeof(std::pair<const core::TimingConstraint, int>) +
-          kMapNodeBytes);
-}
-
-std::size_t footprint(const core::ReportConstraint& constraint) {
-  return heap_bytes(constraint.gate) + heap_bytes(constraint.before) +
-         heap_bytes(constraint.after);
-}
-
-std::size_t footprint(const std::vector<core::ReportConstraint>& list) {
-  std::size_t total = slab_bytes(list);
-  for (const core::ReportConstraint& constraint : list)
-    total += footprint(constraint);
-  return total;
-}
-
-std::size_t footprint(const core::FlowReport& report) {
-  std::size_t total = sizeof(core::FlowReport) + heap_bytes(report.design) +
-                      heap_bytes(report.content_hash) +
-                      footprint(report.before) + footprint(report.after) +
-                      slab_bytes(report.gates);
-  for (const core::GateReport& gate : report.gates)
-    total += heap_bytes(gate.gate) + footprint(gate.before) +
-             footprint(gate.after);
-  return total;
-}
+// The calibrated footprint accounting these entries are charged with
+// lives in svc/footprint.hpp, shared with the decomposition and gate-slice
+// cache levels so the one budget compares like with like.
 
 }  // namespace
 
@@ -162,6 +64,10 @@ struct AnalysisService::Parsed {
   std::unique_ptr<circuit::Circuit> circuit;  // null until synthesized
   std::string canonical;  // exact cache key (content + options)
   std::string key_hex;    // public content-address
+  /// The canonical STG text alone — the decomposition-cache key, a strict
+  /// prefix component of `canonical` (a netlist-only edit changes
+  /// `canonical` but not this).
+  std::string stg_canonical;
 };
 
 AnalysisService::Parsed AnalysisService::parse_request(
@@ -181,10 +87,11 @@ AnalysisService::Parsed AnalysisService::parse_request(
   // byte-identical output for any jobs value) — and so is the request
   // MODE: the mode selects which phases of the one entry must be complete,
   // it does not change any artifact.
+  parsed.stg_canonical = stg::write_astg(*parsed.stg);
   std::string canonical;
   canonical.reserve(request.astg.size() + 64);
   canonical += "astg\x1f";
-  canonical += stg::write_astg(*parsed.stg);
+  canonical += parsed.stg_canonical;
   canonical += "\x1f""eqn\x1f";
   canonical += parsed.circuit != nullptr ? parsed.circuit->to_eqn()
                                          : "(synthesized)";
@@ -222,6 +129,11 @@ AnalysisService::Parsed AnalysisService::parse_request(
 struct AnalysisService::Entry {
   std::string canonical;  // immutable; cache map key (owned for eviction)
   std::string key_hex;    // immutable
+  std::string stg_canonical;  // immutable; decomposition-cache key
+  /// The request carried a netlist (vs. synthesizing from the STG) —
+  /// decides whether a decompose run donates synthesis products to the
+  /// decomposition cache. Immutable.
+  bool explicit_netlist = false;
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -234,6 +146,7 @@ struct AnalysisService::Entry {
   std::shared_ptr<const std::string> netlist_eqn;   // set at decomposed
   std::shared_ptr<const core::FlowReport> report;   // set at derived (SI)
   std::shared_ptr<const std::string> canonical_json;
+  std::shared_ptr<const core::RenderedReport> rendered;  // set with report
 
   /// Bytes currently charged against the service budget. Guarded by the
   /// SERVICE mutex, not this->mutex.
@@ -255,7 +168,8 @@ struct AnalysisService::Entry {
     // The canonical string is charged twice: the cache map key holds a
     // second copy, plus the map/list node overheads of the indexes.
     std::size_t total = sizeof(Entry) + 2 * heap_bytes(canonical) +
-                        heap_bytes(key_hex) + 2 * kHashNodeBytes +
+                        heap_bytes(key_hex) + heap_bytes(stg_canonical) +
+                        2 * kHashNodeBytes +
                         sizeof(std::shared_ptr<Entry>) + 2 * sizeof(void*);
     if (artifacts.stg != nullptr) total += footprint(*artifacts.stg);
     if (artifacts.circuit != nullptr) total += footprint(*artifacts.circuit);
@@ -270,15 +184,29 @@ struct AnalysisService::Entry {
     if (canonical_json != nullptr)
       total += sizeof(std::string) + heap_bytes(*canonical_json);
     if (report != nullptr) total += footprint(*report);
+    if (rendered != nullptr) total += footprint(*rendered);
     return total;
   }
 };
 
 AnalysisService::AnalysisService(ServiceOptions options)
     : options_(std::move(options)),
+      decomp_cache_(options_.decomp_cache ? options_.cache_budget_bytes : 0,
+                    &design_bytes_),
       gate_cache_(options_.gate_cache ? options_.cache_budget_bytes : 0,
-                  &design_bytes_) {
+                  &upper_level_bytes_) {
   register_metrics();
+  // Every SG build a flow runs through the cross-request cache observes
+  // the mode-labelled build histograms; the workers knob follows the
+  // service default (per-request jobs configure the verify phase's direct
+  // builds via flow_options instead — SgCache build options are set once,
+  // before the cache is shared across threads).
+  sg::SgBuildOptions sg_build;
+  sg_build.workers = options_.jobs;
+  sg_build.pool = options_.pool;
+  sg_build.serial_seconds = sg_build_seconds_[0];
+  sg_build.parallel_seconds = sg_build_seconds_[1];
+  sg_cache_.set_build_options(sg_build);
 }
 
 AnalysisService::~AnalysisService() = default;
@@ -338,6 +266,18 @@ void AnalysisService::register_metrics() {
     }
   }
 
+  const char* kSgBuild = "sitime_sg_build_seconds";
+  const char* kSgBuildHelp =
+      "State-graph build latency by construction mode: mode=serial is the "
+      "canonical single-thread BFS, mode=parallel the level-synchronous "
+      "frontier-parallel build (byte-identical output).";
+  sg_build_seconds_[0] = &metrics_.histogram(
+      kSgBuild, kSgBuildHelp,
+      base::MetricHistogram::default_latency_bounds(), "mode=\"serial\"");
+  sg_build_seconds_[1] = &metrics_.histogram(
+      kSgBuild, kSgBuildHelp,
+      base::MetricHistogram::default_latency_bounds(), "mode=\"parallel\"");
+
   // Scrape-time callbacks over the authoritative atomics that live
   // outside the registry. Owner tag `this`: the registry is a member, so
   // everything these read outlives every render.
@@ -371,6 +311,23 @@ void AnalysisService::register_metrics() {
      [this] { return static_cast<double>(sg_cache_.misses()); });
   cb("sitime_sg_cache_entries", "Memoized state graphs resident.", "gauge",
      [this] { return static_cast<double>(sg_cache_.entries()); });
+  cb("sitime_decomp_cache_hits_total",
+     "Decomposition cache hits (STG-keyed; a hit skips the global-SG "
+     "rebuild of the decompose phase).",
+     "counter",
+     [this] { return static_cast<double>(decomp_cache_.hits()); });
+  cb("sitime_decomp_cache_misses_total", "Decomposition cache misses.",
+     "counter",
+     [this] { return static_cast<double>(decomp_cache_.misses()); });
+  cb("sitime_decomp_cache_evictions_total",
+     "Decompositions shed to fit the shared budget.", "counter",
+     [this] { return static_cast<double>(decomp_cache_.evictions()); });
+  cb("sitime_decomp_cache_entries", "Resident cached decompositions.",
+     "gauge",
+     [this] { return static_cast<double>(decomp_cache_.entries()); });
+  cb("sitime_decomp_cache_bytes",
+     "Estimated resident footprint of the decomposition cache.", "gauge",
+     [this] { return static_cast<double>(decomp_cache_.bytes()); });
   cb("sitime_gate_cache_hits_total", "Gate-level slice cache hits.",
      "counter", [this] { return static_cast<double>(gate_cache_.hits()); });
   cb("sitime_gate_cache_misses_total", "Gate-level slice cache misses.",
@@ -414,6 +371,12 @@ core::FlowOptions AnalysisService::flow_options(
   options.jobs = request_jobs > 0 ? request_jobs : options_.jobs;
   options.pool = options_.pool;
   options.sg_cache = &sg_cache_;
+  // The verify phase's direct SG builds follow the request's parallelism
+  // and observe the same mode-labelled histograms as the SgCache builds.
+  options.sg_build.workers = options.jobs;
+  options.sg_build.pool = options_.pool;
+  options.sg_build.serial_seconds = sg_build_seconds_[0];
+  options.sg_build.parallel_seconds = sg_build_seconds_[1];
   if (options_.gate_cache && options_.cache_budget_bytes > 0)
     options.gate_store = &gate_cache_;
   options.cancel = cancel;
@@ -445,15 +408,78 @@ bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
     std::shared_ptr<const std::string> netlist;
     std::shared_ptr<const core::FlowReport> report;
     std::shared_ptr<const std::string> canonical_json;
+    std::shared_ptr<const core::RenderedReport> rendered_forms;
     try {
       switch (next) {
-        case core::Phase::decomposed:
+        case core::Phase::decomposed: {
+          // Decomposition-cache consult, keyed on the canonical STG
+          // alone: a netlist-only edit misses the whole-design key above
+          // but lands here, reusing the entire FlowDecomposition —
+          // global-SG rebuild, consistency check and component
+          // projections included. A design with no explicit netlist is
+          // servable only when the cached value retained the synthesized
+          // circuit.
+          const bool decomp_enabled =
+              options_.decomp_cache && options_.cache_budget_bytes > 0;
+          const std::shared_ptr<const DecompCache::Value> cached =
+              decomp_enabled
+                  ? decomp_cache_.lookup(
+                        entry->stg_canonical,
+                        /*have_circuit=*/entry->artifacts.circuit != nullptr)
+                  : nullptr;
+          if (cached != nullptr) {
+            // The phase still executes (cheaply): it polls the same
+            // fault and cancel points as a cold decompose, so injected
+            // decompose faults and deadlines behave identically warm.
+            const auto hit_start = std::chrono::steady_clock::now();
+            if (base::fault_fires(base::FaultPoint::decompose))
+              base::injected_failure(base::FaultPoint::decompose);
+            options.cancel.poll("decompose phase");
+            if (entry->artifacts.circuit == nullptr) {
+              entry->artifacts.circuit = cached->synth_circuit;
+              netlist = cached->synth_eqn;  // no re-serialization
+            } else {
+              netlist = std::make_shared<const std::string>(
+                  entry->artifacts.circuit->to_eqn());
+            }
+            core::FlowDecomposition decomposition = cached->decomposition;
+            if (*netlist != cached->built_eqn) {
+              // Different circuit, same STG: re-target the job list at
+              // this circuit's gate count. The shared key_cache stays —
+              // component key bases (adversary-weight matrix included)
+              // are a pure function of the STG, and every per-gate key
+              // still differs through its gate-word suffix — so a
+              // netlist-only edit pays no keying serialization at all.
+              decomposition.jobs = core::enumerate_flow_jobs(
+                  static_cast<int>(decomposition.component_stgs.size()),
+                  static_cast<int>(
+                      entry->artifacts.circuit->gates().size()));
+            }
+            entry->artifacts.decomposition = std::move(decomposition);
+            entry->artifacts.decompose_seconds = seconds_since(hit_start);
+            entry->artifacts.completed = core::Phase::decomposed;
+            run.decomp_cache_hit = true;
+            run.decompose_seconds = entry->artifacts.decompose_seconds;
+            break;
+          }
           core::run_decompose_phase(entry->artifacts, options.cancel);
           netlist = std::make_shared<const std::string>(
               entry->artifacts.circuit->to_eqn());
           ++run.decomposes;
           run.decompose_seconds = entry->artifacts.decompose_seconds;
+          {
+            DecompCache::Value value;
+            value.decomposition = entry->artifacts.decomposition;
+            value.built_eqn = *netlist;
+            if (!entry->explicit_netlist) {
+              value.synth_circuit = entry->artifacts.circuit;
+              value.synth_eqn = netlist;
+            }
+            decomp_cache_.insert(entry->stg_canonical, std::move(value));
+            refresh_gate_allowance();
+          }
           break;
+        }
         case core::Phase::verified:
           core::run_verify_phase(entry->artifacts, options);
           ++run.verifies;
@@ -478,6 +504,10 @@ bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
             rendered.content_hash = entry->key_hex;
             canonical_json = std::make_shared<const std::string>(
                 core::to_canonical_json(rendered));
+            // Render the provenance-independent forms once, here, so
+            // every later hit on this entry serves them verbatim.
+            rendered_forms = std::make_shared<const core::RenderedReport>(
+                core::render_report(rendered));
             report = std::make_shared<const core::FlowReport>(
                 std::move(rendered));
           }
@@ -517,6 +547,8 @@ bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
       if (report != nullptr) entry->report = std::move(report);
       if (canonical_json != nullptr)
         entry->canonical_json = std::move(canonical_json);
+      if (rendered_forms != nullptr)
+        entry->rendered = std::move(rendered_forms);
       entry->completed = next;
       const bool done = entry->completed >= entry->target;
       if (done) {
@@ -532,14 +564,25 @@ bool AnalysisService::run_phases(const std::shared_ptr<Entry>& entry,
   }
 }
 
-void AnalysisService::evict_overflow_locked() {
-  // Designs take budget priority over gate slices: publish the new design
-  // bytes and shed gate entries down to whatever the designs leave free,
-  // BEFORE considering a design eviction. Only when the designs alone
-  // overflow the budget does the design LRU give ground — so a gate-slice
-  // burst can never push a resident whole-design entry out.
-  design_bytes_.store(bytes_, std::memory_order_relaxed);
+void AnalysisService::refresh_gate_allowance() {
+  upper_level_bytes_.store(
+      design_bytes_.load(std::memory_order_relaxed) + decomp_cache_.bytes(),
+      std::memory_order_relaxed);
   gate_cache_.shed_to_fit();
+}
+
+void AnalysisService::evict_overflow_locked() {
+  // Shed priority design > decomposition > gate slice: publish the new
+  // design bytes, shed decompositions down to whatever the designs leave
+  // free, then gate slices down to what designs + decompositions leave,
+  // BEFORE considering a design eviction. Only when the designs alone
+  // overflow the budget does the design LRU give ground — so neither a
+  // gate-slice burst nor a decomposition insert can ever push a resident
+  // whole-design entry out, and a design burst squeezes gate slices to
+  // zero before it touches a cached decomposition.
+  design_bytes_.store(bytes_, std::memory_order_relaxed);
+  decomp_cache_.shed_to_fit();
+  refresh_gate_allowance();
   while (bytes_ > options_.cache_budget_bytes && !lru_.empty()) {
     const std::shared_ptr<Entry>& victim = lru_.back();
     bytes_ -= victim->charged_bytes;
@@ -548,6 +591,7 @@ void AnalysisService::evict_overflow_locked() {
     evictions_->inc();
   }
   design_bytes_.store(bytes_, std::memory_order_relaxed);
+  refresh_gate_allowance();
 }
 
 void AnalysisService::finish_run(const std::shared_ptr<Entry>& entry,
@@ -591,6 +635,7 @@ void AnalysisService::finish_run(const std::shared_ptr<Entry>& entry,
       cache_.erase(resident);
       evictions_->inc();
       design_bytes_.store(bytes_, std::memory_order_relaxed);
+      refresh_gate_allowance();
     } else if (footprint_now != entry->charged_bytes) {
       bytes_ = bytes_ - entry->charged_bytes + footprint_now;
       entry->charged_bytes = footprint_now;
@@ -639,8 +684,12 @@ void AnalysisService::append_run_spans(const RunStats& run, bool cold,
                                        std::vector<TraceSpan>& spans) {
   const char* source = cold ? "cold" : "upgrade";
   double at = at_seconds;
-  if (run.decomposes > 0) {
-    spans.push_back({"decompose", at, run.decompose_seconds, source, ""});
+  if (run.decomposes > 0 || run.decomp_cache_hit) {
+    // A decomposition-cache hit still emits the decompose span (the phase
+    // is in phases_run) but carries its own provenance instead of
+    // masquerading as a cold decompose.
+    spans.push_back({"decompose", at, run.decompose_seconds,
+                     run.decomp_cache_hit ? "cache=decomp" : source, ""});
     at += run.decompose_seconds;
   }
   if (run.verifies > 0) {
@@ -676,6 +725,7 @@ void AnalysisService::respond_from_locked(const Entry& entry,
   if (mode == RequestMode::derive) {
     out.report = entry.report;
     out.canonical_json = entry.canonical_json;
+    out.rendered = entry.rendered;
   }
 }
 
@@ -745,9 +795,11 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
       } else {
         entry = std::make_shared<Entry>();
         entry->key_hex = parsed.key_hex;
+        entry->explicit_netlist = parsed.circuit != nullptr;
         entry->artifacts.stg = std::move(parsed.stg);
         entry->artifacts.circuit = std::move(parsed.circuit);
         entry->canonical = std::move(parsed.canonical);
+        entry->stg_canonical = std::move(parsed.stg_canonical);
         inflight_.emplace(entry->canonical, entry);
       }
     }
@@ -937,6 +989,8 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
     rendered.content_hash = response.key;
     response.canonical_json = std::make_shared<const std::string>(
         core::to_canonical_json(rendered));
+    response.rendered = std::make_shared<const core::RenderedReport>(
+        core::render_report(rendered));
     response.report =
         std::make_shared<const core::FlowReport>(std::move(rendered));
   }
@@ -978,6 +1032,11 @@ CacheStats AnalysisService::stats() const {
   stats.sg_cache_entries = sg_cache_.entries();
   stats.sg_cache_hits = sg_cache_.hits();
   stats.sg_cache_misses = sg_cache_.misses();
+  stats.decomp_hits = decomp_cache_.hits();
+  stats.decomp_misses = decomp_cache_.misses();
+  stats.decomp_evictions = decomp_cache_.evictions();
+  stats.decomp_entries = decomp_cache_.entries();
+  stats.decomp_bytes = decomp_cache_.bytes();
   stats.gate_hits = gate_cache_.hits();
   stats.gate_misses = gate_cache_.misses();
   stats.gate_evictions = gate_cache_.evictions();

@@ -17,10 +17,18 @@
 //     derive entry answers verify requests for free ("hit"). Mixed
 //     verify/derive traffic on one design holds one entry and runs
 //     decompose_flow once.
+//   - two finer cache levels under the whole-design key: a decomposition
+//     cache keyed on the canonical STG alone (svc::DecompCache — a
+//     netlist-only edit reuses the whole FlowDecomposition and skips the
+//     global-SG rebuild) and a gate-level slice cache keyed per
+//     (component × gate) job (svc::GateCache — an edited design
+//     re-expands only its delta).
 //   - LRU eviction by byte budget: entries are charged a calibrated
 //     estimate of their resident footprint (real container capacities, SSO
-//     and node overheads accounted) and the least-recently-used ones are
-//     dropped when the sum exceeds ServiceOptions::cache_budget_bytes.
+//     and node overheads accounted; svc/footprint.hpp) and the
+//     least-recently-used ones are dropped when the sum exceeds
+//     ServiceOptions::cache_budget_bytes, which all three cache levels
+//     share with shed priority design > decomposition > gate slice.
 //   - single-flight deduplication per (entry, phase): N concurrent
 //     requests for the same design run each missing phase ONCE; a
 //     concurrent verify and derive share the parse + decompose work, with
@@ -49,6 +57,7 @@
 #include "core/report.hpp"
 #include "sg/sg_cache.hpp"
 #include "stg/stg.hpp"
+#include "svc/decomp_cache.hpp"
 #include "svc/gate_cache.hpp"
 
 namespace sitime::svc {
@@ -83,8 +92,10 @@ struct TraceSpan {
   double start = 0.0;
   double seconds = 0.0;
   /// Cache provenance or per-span context: "cold" / "upgrade" on phase
-  /// spans, "hit" on the cache span, "jobs=4 steps=123 subtasks=5" on the
-  /// expand aggregate.
+  /// spans, "cache=decomp" on a decompose span served from the
+  /// decomposition cache (the phase appears in phases_run but no global-SG
+  /// rebuild happened), "hit" on the cache span, "jobs=4 steps=123
+  /// subtasks=5" on the expand aggregate.
   std::string detail;
   /// Name of the enclosing span ("" = top level): the per-job expansion
   /// aggregate nests in "derive".
@@ -147,6 +158,11 @@ struct AnalysisResponse {
   /// cache entry, so serving a hit copies two pointers, not the payload.
   std::shared_ptr<const core::FlowReport> report;
   std::shared_ptr<const std::string> canonical_json;
+  /// The memoized per-request-independent renderings of `report` (thesis
+  /// text, full text layout, JSON body) — rendered once when the derive
+  /// phase produced the report and served verbatim afterwards, so a pure
+  /// cache hit never re-renders. Null exactly when `report` is.
+  std::shared_ptr<const core::RenderedReport> rendered;
   /// Timed sections of this request; empty unless the request set
   /// trace_spans. Failures keep the spans of the phases that did run, so
   /// a deadline kill is self-explaining.
@@ -181,7 +197,16 @@ struct CacheStats {
   int sg_cache_entries = 0;  // cross-request state-graph cache
   long long sg_cache_hits = 0;
   long long sg_cache_misses = 0;
-  // Gate-level slice cache (the second addressing level; see
+  // Decomposition cache (the middle addressing level; see
+  // svc::DecompCache). hits/misses count decompose-phase lookups by
+  // canonical STG; bytes share budget_bytes, below designs and above
+  // gate slices in shed priority.
+  long long decomp_hits = 0;
+  long long decomp_misses = 0;
+  long long decomp_evictions = 0;
+  int decomp_entries = 0;
+  std::size_t decomp_bytes = 0;
+  // Gate-level slice cache (the third addressing level; see
   // svc::GateCache). hits/misses count per-job lookups across every flow
   // the service ran; bytes are charged against the SAME budget_bytes as
   // the design entries above, with designs taking priority.
@@ -218,6 +243,13 @@ struct ServiceOptions {
   /// bytes share cache_budget_bytes (designs take priority); disabled
   /// automatically when cache_budget_bytes == 0.
   bool gate_cache = true;
+  /// Enables the decomposition cache (svc::DecompCache): whole-design
+  /// FlowDecompositions keyed on the canonical STG alone, so a
+  /// netlist-only edit reuses the entire decomposition — global-SG
+  /// rebuild included — and re-enumerates only the job list. Its bytes
+  /// share cache_budget_bytes with shed priority design > decomposition >
+  /// gate slice; disabled automatically when cache_budget_bytes == 0.
+  bool decomp_cache = true;
 };
 
 class AnalysisService {
@@ -268,6 +300,11 @@ class AnalysisService {
   /// it is still the sole toucher of the artifacts.
   struct RunStats {
     int decomposes = 0;
+    /// The decompose phase was satisfied from the decomposition cache:
+    /// the phase appears in phases_run (and gets a span tagged
+    /// "cache=decomp") but decomposes stays 0 — no decompose run
+    /// happened, no cold-decompose latency is observed.
+    bool decomp_cache_hit = false;
     int verifies = 0;
     int derives = 0;       // derive runs that produced constraints (SI)
     bool derive_ran = false;  // the derive phase executed (SI or not)
@@ -314,6 +351,12 @@ class AnalysisService {
                                std::vector<TraceSpan>& spans);
   void register_metrics();
   void evict_overflow_locked();
+  /// Publishes design + decomposition bytes to upper_level_bytes_ and
+  /// sheds gate slices down to the allowance that leaves. Called wherever
+  /// either upper level's resident bytes change; lock-free (reads the
+  /// design mirror, not mutex_), so the runner hot path may call it after
+  /// a decomposition insert.
+  void refresh_gate_allowance();
   void respond_from_locked(const Entry& entry, RequestMode mode,
                            const char* cache_state,
                            AnalysisResponse& out) const;
@@ -321,9 +364,15 @@ class AnalysisService {
   ServiceOptions options_;
   sg::SgCache sg_cache_;  // cross-request SG memoization
   /// Lock-free mirror of bytes_ (updated wherever bytes_ changes) so the
-  /// gate cache can size its dynamic allowance — budget minus resident
-  /// design bytes — without taking mutex_ on the job hot path.
+  /// lower cache levels can size their dynamic allowances without taking
+  /// mutex_ on the job hot path. design_bytes_ bounds the decomposition
+  /// cache (allowance = budget - designs); upper_level_bytes_ adds the
+  /// decomposition cache's own bytes and bounds the gate cache
+  /// (allowance = budget - designs - decompositions) — the shed-priority
+  /// contract design > decomposition > gate slice in atomic form.
   std::atomic<std::size_t> design_bytes_{0};
+  DecompCache decomp_cache_;  // STG-keyed decomposition cache
+  std::atomic<std::size_t> upper_level_bytes_{0};
   GateCache gate_cache_;  // per-(component × gate) slice cache
 
   mutable std::mutex mutex_;
@@ -362,6 +411,10 @@ class AnalysisService {
   /// derive][source 0 = cold, 1 = upgrade]. parse never upgrades, so
   /// [0][1] stays null.
   base::MetricHistogram* phase_seconds_[4][2] = {};
+  /// State-graph build latency by construction mode ([0] = serial, [1] =
+  /// frontier-parallel BFS), wired into every SG build the flows run
+  /// (SgCache misses and the verify phase's direct builds).
+  base::MetricHistogram* sg_build_seconds_[2] = {};
 };
 
 }  // namespace sitime::svc

@@ -1,23 +1,15 @@
 #include "svc/gate_cache.hpp"
 
 #include "base/fault.hpp"
+#include "svc/footprint.hpp"
 
 namespace sitime::svc {
 
 namespace {
 
-/// Calibrated footprint of one resident slice, mirroring the design-level
-/// accounting in analysis_service.cpp: container capacities plus node
-/// overheads, not guessed flat factors.
-constexpr std::size_t kMapNodeBytes = 4 * sizeof(void*);
-constexpr std::size_t kControlBlockBytes = 4 * sizeof(void*);
-
-std::size_t footprint(const core::ConstraintSet& constraints) {
-  return constraints.size() *
-         (sizeof(std::pair<const core::TimingConstraint, int>) +
-          kMapNodeBytes);
-}
-
+/// Calibrated footprint of one resident slice: the shared model in
+/// svc/footprint.hpp plus the key slabs and node overheads specific to
+/// this cache's layout.
 std::size_t node_bytes(const core::GateJobKey& key,
                        const core::GateSlice& slice) {
   // The node itself, its list links, one bucket-vector slot, the key's

@@ -207,6 +207,11 @@ void append_cache_stats(std::ostringstream& out, const CacheStats& stats,
       << ",\"sg_entries\":" << stats.sg_cache_entries
       << ",\"sg_hits\":" << stats.sg_cache_hits
       << ",\"sg_misses\":" << stats.sg_cache_misses
+      << ",\"decomp_hits\":" << stats.decomp_hits
+      << ",\"decomp_misses\":" << stats.decomp_misses
+      << ",\"decomp_evictions\":" << stats.decomp_evictions
+      << ",\"decomp_entries\":" << stats.decomp_entries
+      << ",\"decomp_bytes\":" << stats.decomp_bytes
       << ",\"gate_hits\":" << stats.gate_hits
       << ",\"gate_misses\":" << stats.gate_misses
       << ",\"gate_evictions\":" << stats.gate_evictions

@@ -17,8 +17,10 @@ two classes:
     machine/schedule-dependent gauges (hardware_concurrency, byte
     footprints that vary with the standard library, peak_active_bodies,
     hit/coalesced splits under concurrency). Timings are flagged as a
-    regression when they worsen beyond --threshold percent (default 25);
-    the rest are shown unflagged. None of these ever fail the job.
+    regression when they worsen beyond --threshold percent (default 25):
+    up for *seconds* metrics, DOWN for *speedup* ratios (a shrinking
+    delta-path speedup means the warm path got slower relative to cold).
+    The rest are shown unflagged. None of these ever fail the job.
   - DETERMINISTIC metrics — constraint counts, job/subtask counts,
     determinism flags, entry counts. These must not drift with the
     hardware; ANY change is flagged, and fails the job under --strict.
@@ -111,11 +113,14 @@ def main() -> int:
                 continue
             delta = (f_ - b) / b * 100.0 if b != 0 else float("inf")
             if is_volatile(path):
-                flag = (
-                    "regression"
-                    if "seconds" in path and delta > args.threshold
-                    else ""
-                )
+                # Timings regress UP; speedup ratios (the delta-path's
+                # cold/warm quotient) regress DOWN.
+                if "seconds" in path and delta > args.threshold:
+                    flag = "regression"
+                elif "speedup" in path and delta < -args.threshold:
+                    flag = "regression"
+                else:
+                    flag = ""
             else:
                 flag = "drift"
                 drifted = True

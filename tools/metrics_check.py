@@ -202,6 +202,34 @@ def main():
     assert by_id["s2"]["uptime_seconds"] >= 0.0, by_id["s2"]
     assert by_id["s2"]["queue_depth"] == 0, by_id["s2"]
 
+    # The decomposition-cache level: the cold pass decomposed each of the
+    # six distinct STGs once (all misses, all retained); the warm pass is
+    # answered at the design level and never reaches the decompose phase,
+    # so the counters sit exactly where the cold pass left them — and the
+    # registry agrees with the snapshot.
+    decomp_hits = counter_value(scrape2, "sitime_decomp_cache_hits_total")
+    decomp_misses = counter_value(
+        scrape2, "sitime_decomp_cache_misses_total"
+    )
+    assert decomp_hits == stats2["decomp_hits"] == 0, (decomp_hits, stats2)
+    assert decomp_misses == stats2["decomp_misses"] == len(BENCHES) + 1, (
+        decomp_misses,
+        stats2,
+    )
+    decomp_entries = counter_value(scrape2, "sitime_decomp_cache_entries")
+    assert decomp_entries == stats2["decomp_entries"] == len(BENCHES) + 1, (
+        decomp_entries,
+        stats2,
+    )
+
+    # State-graph build latency is observed by configured mode; the flows
+    # above built local SGs, so the histogram family must exist and hold
+    # at least one observation (whatever the serial/parallel split under
+    # --jobs 2).
+    assert typed2.get("sitime_sg_build_seconds") == "histogram", typed2
+    sg_builds = counter_value(scrape2, "sitime_sg_build_seconds_count")
+    assert sg_builds > 0, "no sg build observations"
+
     check_spans(by_id["t"])
 
     # Cold flow runs take ≥ 1 ms, so --slow-ms 1 must have logged some.
@@ -213,6 +241,8 @@ def main():
     )
     typed_catalog, _ = parse_exposition(catalog.stdout)
     assert "sitime_phase_seconds" in typed_catalog, typed_catalog
+    assert "sitime_sg_build_seconds" in typed_catalog, typed_catalog
+    assert "sitime_decomp_cache_hits_total" in typed_catalog, typed_catalog
 
     print(
         f"metrics OK: {len(BENCHES)} designs cold+warm, 2 scrapes "

@@ -8,14 +8,16 @@ Usage: serve_replay_check.py SERVE_BINARY DESIGN_DIR [--warm] [--mutate]
 With --warm the server preloads the embedded benchmark suite first, so BOTH
 passes must be all cache hits (the dumped directory is that same suite).
 
-With --mutate the replay exercises the second cache level instead: after
-replaying the suite once, every design with a dumped netlist is re-sent
-once per gate with that gate's equation edited (its first cube duplicated
-— same function, different text, so the whole-design key misses while
-every other gate's job keys stay put). The edited passes must all run
-"fresh" (no design-cache hit), must grow the gate-slice hit counter, and
-must produce reports byte-identical to the same edits on a second, cold
-server process.
+With --mutate the replay exercises the two finer cache levels instead:
+after replaying the suite once, every design with a dumped netlist is
+re-sent once per gate with that gate's equation edited (its first cube
+duplicated — same function, different text, so the whole-design key misses
+while the STG and every other gate's job keys stay put). The edited passes
+must all run "fresh" (no design-cache hit), must each hit the STG-keyed
+decomposition cache (decomp_hits grows by exactly the number of edits and
+decompose_runs does not move — the netlist-only edits never rebuild the
+global SG), must grow the gate-slice hit counter, and must produce reports
+byte-identical to the same edits on a second, cold server process.
 """
 import glob
 import json
@@ -97,6 +99,15 @@ def mutate_check(serve, design_dir):
     after = edited[-1]["cache_stats"]
     gate_hits = after["gate_hits"] - primed["gate_hits"]
     assert gate_hits > 0, (primed, after)
+    # The STG never changed, so EVERY edit reuses the suite pass's cached
+    # decomposition — and no edit rebuilds the global SG (decompose_runs
+    # counts actual decompose executions, and it must not move).
+    decomp_hits = after["decomp_hits"] - primed["decomp_hits"]
+    assert decomp_hits == len(edits), (decomp_hits, len(edits), after)
+    assert after["decompose_runs"] == primed["decompose_runs"], (
+        primed["decompose_runs"],
+        after["decompose_runs"],
+    )
 
     # Cold server: the same edits with nothing primed. The reports must be
     # byte-identical — mixing cached and fresh slices can never change an
@@ -110,7 +121,8 @@ def mutate_check(serve, design_dir):
 
     print(
         f"serve mutate OK: {len(suite)} designs replayed, "
-        f"{len(edits)} single-gate edits all fresh with {gate_hits} "
+        f"{len(edits)} single-gate edits all fresh with {decomp_hits} "
+        f"decomposition reuses (no global-SG rebuild) and {gate_hits} "
         f"gate-slice hits, reports byte-identical to a cold server"
     )
     return 0
