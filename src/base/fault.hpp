@@ -21,6 +21,14 @@
 //                   decomposition is still served to its own run, it
 //                   just is not kept — mirrors gate_cache_insert one
 //                   cache level up)
+//   disk_store_write  svc::DiskStore::save (the spill is dropped and
+//                   counted as a write error; the in-memory entry and
+//                   the response are untouched — persistence is always
+//                   best-effort)
+//   disk_store_load  svc::DiskStore::read_file (the boot-time load of
+//                   one store file fails as if the file were
+//                   unreadable; the file is treated as corrupt and the
+//                   design falls back to a cold run)
 //
 // The injector is a process-wide singleton but INERT until a test arms
 // it, so suites that don't opt in are untouched even when the hooks are
@@ -58,8 +66,10 @@ enum class FaultPoint : int {
   // Appended (not inserted) so seeded-mode fire schedules of the
   // pre-existing points stay stable across releases.
   decomp_cache_insert,
+  disk_store_write,
+  disk_store_load,
 };
-inline constexpr int kFaultPointCount = 8;
+inline constexpr int kFaultPointCount = 10;
 
 /// Thrown by throwing injection points. Deliberately NOT a subclass of
 /// any analysis error: core/expand.cpp rethrows it past the OR-causality

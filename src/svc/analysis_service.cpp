@@ -5,6 +5,7 @@
 
 #include "base/error.hpp"
 #include "benchdata/benchmarks.hpp"
+#include "core/artifact_codec.hpp"
 #include "stg/astg.hpp"
 #include "svc/footprint.hpp"
 
@@ -152,6 +153,13 @@ struct AnalysisService::Entry {
   /// SERVICE mutex, not this->mutex.
   std::size_t charged_bytes = 0;
 
+  /// A persistent-store spill was already attempted for this entry (set
+  /// true on loaded entries too — they came FROM the store). Guarded by
+  /// this->mutex. "Attempted", not "succeeded": a failed write is not
+  /// retried — persistence is best-effort and a flaky disk must not turn
+  /// every request into an I/O storm.
+  bool spill_attempted = false;
+
   /// True when a request needing `phase` can be answered: the phase
   /// completed, or the design is already known not speed independent (the
   /// derive phase has nothing to add to the verdict).
@@ -195,6 +203,12 @@ AnalysisService::AnalysisService(ServiceOptions options)
                     &design_bytes_),
       gate_cache_(options_.gate_cache ? options_.cache_budget_bytes : 0,
                   &upper_level_bytes_) {
+  // The persistent store opens before the metric registrations so the
+  // sitime_disk_store_* callbacks can read it unconditionally. A store
+  // that failed to open stays constructed (ok() false) for the boot
+  // diagnostics; it never loads and never saves.
+  if (!options_.cache_dir.empty())
+    disk_store_ = std::make_unique<DiskStore>(options_.cache_dir);
   register_metrics();
   // Every SG build a flow runs through the cross-request cache observes
   // the mode-labelled build histograms; the workers knob follows the
@@ -341,6 +355,48 @@ void AnalysisService::register_metrics() {
   cb("sitime_gate_cache_bytes",
      "Estimated resident footprint of the gate-level slice cache.",
      "gauge", [this] { return static_cast<double>(gate_cache_.bytes()); });
+
+  // Persistent-store counters: registered unconditionally (zero without
+  // --cache-dir) so dashboards and the metrics_check catalog see a
+  // stable family set regardless of deployment flags.
+  cb("sitime_disk_store_writes_total",
+     "Design entries spilled to the persistent store (--cache-dir).",
+     "counter", [this] {
+       return disk_store_ != nullptr
+                  ? static_cast<double>(disk_store_->writes())
+                  : 0.0;
+     });
+  cb("sitime_disk_store_write_errors_total",
+     "Persistent-store spills dropped by an I/O failure (the in-memory "
+     "entry and the response are unaffected).",
+     "counter", [this] {
+       return disk_store_ != nullptr
+                  ? static_cast<double>(disk_store_->write_errors())
+                  : 0.0;
+     });
+  cb("sitime_disk_store_loads_total",
+     "Design entries warm-started from the persistent store at boot.",
+     "counter", [this] {
+       return disk_store_ != nullptr
+                  ? static_cast<double>(disk_store_->loads())
+                  : 0.0;
+     });
+  cb("sitime_disk_store_load_skips_total",
+     "Store files rejected at boot for a stale format version or a "
+     "content-address mismatch (deleted; the design runs cold).",
+     "counter", [this] {
+       return disk_store_ != nullptr
+                  ? static_cast<double>(disk_store_->load_skips())
+                  : 0.0;
+     });
+  cb("sitime_disk_store_load_corrupt_total",
+     "Store files rejected at boot as unreadable, truncated or "
+     "bit-flipped (deleted; the design runs cold).",
+     "counter", [this] {
+       return disk_store_ != nullptr
+                  ? static_cast<double>(disk_store_->load_corrupt())
+                  : 0.0;
+     });
 
   // Pool utilization: the pool the request job graphs are admitted onto.
   auto pool = [this]() -> base::ThreadPool& {
@@ -665,6 +721,45 @@ void AnalysisService::finish_run(const std::shared_ptr<Entry>& entry,
   evict_overflow_locked();
 }
 
+void AnalysisService::maybe_spill(const std::shared_ptr<Entry>& entry) {
+  if (disk_store_ == nullptr || !disk_store_->ok()) return;
+  core::PersistedArtifact artifact;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->spill_attempted) return;
+    // Only idle, TERMINAL entries are spilled: an entry that satisfies
+    // Phase::derived answers both request modes as a pure hit forever,
+    // so the load path never has to advance it — which is exactly what
+    // lets the codec skip the FlowDecomposition (graphs pointing into
+    // the signal table) and still guarantee zero decompose re-runs for
+    // every design served from disk. A verify-only SI entry simply is
+    // not persisted; after a restart that design runs cold.
+    if (entry->target != entry->completed) return;
+    if (!entry->satisfies(core::Phase::derived)) return;
+    if (entry->netlist_eqn == nullptr) return;
+    entry->spill_attempted = true;
+    artifact.canonical = entry->canonical;
+    artifact.key_hex = entry->key_hex;
+    artifact.stg_canonical = entry->stg_canonical;
+    artifact.netlist_eqn = *entry->netlist_eqn;
+    artifact.explicit_netlist = entry->explicit_netlist;
+    artifact.completed = entry->completed;
+    artifact.verify_offender = entry->artifacts.verify_offender;
+    if (entry->report != nullptr && entry->canonical_json != nullptr &&
+        entry->rendered != nullptr) {
+      // The rendered forms are persisted VERBATIM — byte-identity of a
+      // disk-warm response is by construction, not re-rendering.
+      artifact.has_report = true;
+      artifact.report = *entry->report;
+      artifact.canonical_json = *entry->canonical_json;
+      artifact.rendered = *entry->rendered;
+    }
+  }
+  // Encode and write outside every lock: disk latency must not stall
+  // requests coalescing on the entry or the cache indexes.
+  disk_store_->save(artifact.key_hex, core::encode_artifact(artifact));
+}
+
 void AnalysisService::record_run_metrics(const RunStats& run, bool cold) {
   const int source = cold ? 0 : 1;
   if (run.decomposes > 0)
@@ -903,6 +998,10 @@ AnalysisResponse AnalysisService::analyze(const AnalysisRequest& request) {
                achieved, footprint, run);
     const bool cold = from == core::Phase::parsed;
     record_run_metrics(run, cold);
+    // Persist BEFORE the response returns: a client that saw this answer
+    // may kill the server immediately (the restart-survival contract)
+    // and must still find the artifact durable on disk.
+    if (ok) maybe_spill(entry);
     if (request.trace_spans)
       append_run_spans(run, cold, run_begin, response.spans);
     if (!ok) {
@@ -1012,6 +1111,115 @@ int AnalysisService::warm_benchmark_suite(const std::atomic<bool>* stop) {
   return loaded;
 }
 
+int AnalysisService::warm_from_disk() {
+  if (disk_store_ == nullptr || !disk_store_->ok()) return 0;
+  if (options_.cache_budget_bytes == 0) return 0;  // cache disabled
+  int loaded = 0;
+  for (const std::string& path : disk_store_->list_files()) {
+    // Every rejection below deletes the file: a store file is either
+    // provably whole and loadable by THIS binary, or it is dead weight
+    // the next boot should not re-examine. The design it carried simply
+    // runs cold — rejection is never an error.
+    std::string bytes;
+    if (!disk_store_->read_file(path, bytes)) {
+      disk_store_->note_corrupt();
+      disk_store_->remove_file(path);
+      continue;
+    }
+    core::PersistedArtifact artifact;
+    const core::ArtifactDecodeStatus status =
+        core::decode_artifact(bytes, artifact);
+    if (status == core::ArtifactDecodeStatus::version_mismatch) {
+      disk_store_->note_skip();
+      disk_store_->remove_file(path);
+      continue;
+    }
+    if (status != core::ArtifactDecodeStatus::ok) {
+      disk_store_->note_corrupt();
+      disk_store_->remove_file(path);
+      continue;
+    }
+    // Cross-checks beyond the codec's own header hash: the payload's
+    // content-address must match both its canonical content and the
+    // file name it was stored under, and the entry must be terminal —
+    // a file claiming a non-terminal phase set was not written by this
+    // code and could provoke a phase run on artifacts the codec does
+    // not carry.
+    const bool terminal =
+        artifact.has_report
+            ? artifact.completed >= core::Phase::derived
+            : artifact.completed >= core::Phase::verified &&
+                  !artifact.verify_offender.empty();
+    if (fnv1a_hex(artifact.canonical) != artifact.key_hex ||
+        disk_store_->path_for(artifact.key_hex) != path || !terminal) {
+      disk_store_->note_skip();
+      disk_store_->remove_file(path);
+      continue;
+    }
+    // Re-parse the canonical STG under the CURRENT parser and demand an
+    // exact round-trip: if the canonicalizer has drifted since the file
+    // was written, the entry would never match a live request's key —
+    // skip it instead of carrying dead weight.
+    std::shared_ptr<const stg::Stg> stg;
+    try {
+      stg = std::make_shared<const stg::Stg>(
+          stg::parse_astg(artifact.stg_canonical));
+    } catch (const std::exception&) {
+      disk_store_->note_corrupt();
+      disk_store_->remove_file(path);
+      continue;
+    }
+    if (stg::write_astg(*stg) != artifact.stg_canonical) {
+      disk_store_->note_skip();
+      disk_store_->remove_file(path);
+      continue;
+    }
+
+    auto entry = std::make_shared<Entry>();
+    entry->canonical = std::move(artifact.canonical);
+    entry->key_hex = std::move(artifact.key_hex);
+    entry->stg_canonical = std::move(artifact.stg_canonical);
+    entry->explicit_netlist = artifact.explicit_netlist;
+    entry->artifacts.stg = std::move(stg);
+    entry->artifacts.completed = artifact.completed;
+    entry->artifacts.verify_offender = std::move(artifact.verify_offender);
+    entry->completed = artifact.completed;
+    entry->target = artifact.completed;  // idle; terminal — never advanced
+    entry->netlist_eqn = std::make_shared<const std::string>(
+        std::move(artifact.netlist_eqn));
+    if (artifact.has_report) {
+      entry->report = std::make_shared<const core::FlowReport>(
+          std::move(artifact.report));
+      entry->canonical_json = std::make_shared<const std::string>(
+          std::move(artifact.canonical_json));
+      entry->rendered = std::make_shared<const core::RenderedReport>(
+          std::move(artifact.rendered));
+    }
+    entry->spill_attempted = true;  // it came FROM the store
+    const std::size_t footprint_now = entry->footprint_bytes();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // A duplicate key (warm_from_disk called twice, or a request beat
+      // the boot load) keeps the resident entry and the file.
+      if (cache_.find(entry->canonical) != cache_.end() ||
+          inflight_.find(entry->canonical) != inflight_.end())
+        continue;
+      if (footprint_now > options_.cache_budget_bytes) {
+        disk_store_->note_skip();
+        continue;  // served cold this generation; keep the file
+      }
+      bytes_ += footprint_now;
+      entry->charged_bytes = footprint_now;
+      lru_.push_front(entry);
+      cache_[entry->canonical] = lru_.begin();
+      evict_overflow_locked();
+    }
+    disk_store_->note_load();
+    ++loaded;
+  }
+  return loaded;
+}
+
 CacheStats AnalysisService::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   CacheStats stats;
@@ -1042,6 +1250,13 @@ CacheStats AnalysisService::stats() const {
   stats.gate_evictions = gate_cache_.evictions();
   stats.gate_entries = gate_cache_.entries();
   stats.gate_bytes = gate_cache_.bytes();
+  if (disk_store_ != nullptr) {
+    stats.disk_writes = disk_store_->writes();
+    stats.disk_write_errors = disk_store_->write_errors();
+    stats.disk_loads = disk_store_->loads();
+    stats.disk_load_skips = disk_store_->load_skips();
+    stats.disk_load_corrupt = disk_store_->load_corrupt();
+  }
   return stats;
 }
 

@@ -58,6 +58,7 @@
 #include "sg/sg_cache.hpp"
 #include "stg/stg.hpp"
 #include "svc/decomp_cache.hpp"
+#include "svc/disk_store.hpp"
 #include "svc/gate_cache.hpp"
 
 namespace sitime::svc {
@@ -215,6 +216,17 @@ struct CacheStats {
   long long gate_evictions = 0;
   int gate_entries = 0;
   std::size_t gate_bytes = 0;
+  // Persistent disk store (svc::DiskStore; --cache-dir). All zero when
+  // persistence is off. writes/write_errors count spills; loads counts
+  // entries warm-started at boot; load_skips counts files rejected for a
+  // stale format version or a content-address mismatch; load_corrupt
+  // counts files rejected as unreadable/truncated/bit-flipped. Skipped
+  // and corrupt files are deleted — the affected designs run cold.
+  long long disk_writes = 0;
+  long long disk_write_errors = 0;
+  long long disk_loads = 0;
+  long long disk_load_skips = 0;
+  long long disk_load_corrupt = 0;
 };
 
 struct ServiceOptions {
@@ -250,6 +262,15 @@ struct ServiceOptions {
   /// share cache_budget_bytes with shed priority design > decomposition >
   /// gate slice; disabled automatically when cache_budget_bytes == 0.
   bool decomp_cache = true;
+  /// Directory of the persistent warm store (svc::DiskStore). Empty =
+  /// persistence off. When set, terminal design entries (every request
+  /// mode answered by resident phases) are spilled to
+  /// `<cache_dir>/<key>.sit` as they complete, and warm_from_disk()
+  /// rebuilds them at boot — a killed-and-restarted server serves the
+  /// same designs as pure hits with byte-identical canonical reports.
+  /// Persistence is best-effort: every disk failure degrades to a cold
+  /// run, never an error response.
+  std::string cache_dir;
 };
 
 class AnalysisService {
@@ -278,6 +299,21 @@ class AnalysisService {
   /// checked between designs, so a shutdown signal interrupts the warm
   /// loop promptly instead of finishing the whole suite.
   int warm_benchmark_suite(const std::atomic<bool>* stop = nullptr);
+
+  /// Rebuilds cache entries from the persistent store (ServiceOptions::
+  /// cache_dir): reads every store file, decodes and cross-validates it
+  /// (format version, payload hash, content-address, canonical-STG
+  /// round-trip under the CURRENT parser), and inserts the survivors as
+  /// terminal entries under the normal byte budget. Rejected files are
+  /// deleted and their designs run cold — this method never throws and
+  /// never loads anything it cannot prove whole. Returns the number of
+  /// entries loaded. No-op without a store.
+  int warm_from_disk();
+
+  /// The persistent store behind --cache-dir; null when persistence is
+  /// off. Exposed so the boot path can report an unusable directory
+  /// (store->ok() false) and tests can inspect counters and files.
+  const DiskStore* disk_store() const { return disk_store_.get(); }
 
   CacheStats stats() const;
 
@@ -350,6 +386,13 @@ class AnalysisService {
                                double at_seconds,
                                std::vector<TraceSpan>& spans);
   void register_metrics();
+  /// Spills `entry` to the persistent store if it is terminal (satisfies
+  /// every request mode), idle, and not yet spilled. Called by the
+  /// single-flight runner after finish_run, BEFORE its response returns,
+  /// so a client that saw the answer can kill the server and still find
+  /// the artifact durable. Best-effort: failures only bump the write
+  /// error counter. No-op without a store.
+  void maybe_spill(const std::shared_ptr<Entry>& entry);
   void evict_overflow_locked();
   /// Publishes design + decomposition bytes to upper_level_bytes_ and
   /// sheds gate slices down to the allowance that leaves. Called wherever
@@ -374,6 +417,11 @@ class AnalysisService {
   DecompCache decomp_cache_;  // STG-keyed decomposition cache
   std::atomic<std::size_t> upper_level_bytes_{0};
   GateCache gate_cache_;  // per-(component × gate) slice cache
+  /// Persistent warm store (--cache-dir); null = persistence off. Never
+  /// touched under mutex_ or an entry mutex — spills encode under the
+  /// entry lock but write outside every lock, so disk latency cannot
+  /// stall the serving path.
+  std::unique_ptr<DiskStore> disk_store_;
 
   mutable std::mutex mutex_;
   LruList lru_;  // most-recently-used first

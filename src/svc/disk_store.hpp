@@ -1,0 +1,106 @@
+// Persistent on-disk store under the design cache: one file per
+// content-address, holding the core::encode_artifact bytes of a terminal
+// cache entry so a restarted server warm-starts from disk instead of
+// recomputing the flow (sitime_serve --cache-dir DIR).
+//
+// Layout of the directory:
+//   <key_hex>.sit   one encoded PersistedArtifact (versioned, hashed —
+//                   see core/artifact_codec.hpp)
+//   <key_hex>.tmp   an in-progress write that never reached its atomic
+//                   rename (a crash mid-write); swept at construction
+//
+// Durability contract: save() writes to the temp name, fsyncs the file,
+// renames it over the final name, then fsyncs the directory — so a
+// reader never observes a half-written .sit file and a crash at ANY
+// instant leaves the store servable (either the old bytes, the new
+// bytes, or a .tmp the next boot sweeps). Everything is best-effort and
+// non-throwing: an I/O failure is a counter bump and a false return,
+// never an exception into the serving path.
+//
+// The store is a dumb byte mover by design — it never decodes what it
+// carries. Validation (format version, payload hash, content-address
+// cross-checks) belongs to AnalysisService::warm_from_disk, which owns
+// the skip/corrupt policy; the store just exposes the counters both
+// sides bump so {"stats": true} and the sitime_disk_store_* metric
+// families read one source of truth.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace sitime::svc {
+
+class DiskStore {
+ public:
+  /// Opens (creating if needed) `dir` and sweeps stale .tmp files. Never
+  /// throws: on failure ok() is false and init_error() says why — the
+  /// caller decides whether a missing store is fatal (sitime_serve exits)
+  /// or ignorable (tests probing bad paths).
+  explicit DiskStore(std::string dir);
+
+  DiskStore(const DiskStore&) = delete;
+  DiskStore& operator=(const DiskStore&) = delete;
+
+  bool ok() const { return init_error_.empty(); }
+  const std::string& init_error() const { return init_error_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Final path of a key's store file (`<dir>/<key_hex>.sit`).
+  std::string path_for(const std::string& key_hex) const;
+
+  /// Crash-safe write of `bytes` as the store file for `key_hex`:
+  /// temp + fsync + atomic rename + directory fsync. Returns false (and
+  /// counts a write error) on any failure, leaving no partial final
+  /// file behind. FaultPoint::disk_store_write polls here.
+  bool save(const std::string& key_hex, const std::string& bytes);
+
+  /// Reads a whole store file. Returns false on any I/O failure — the
+  /// caller treats that exactly like corrupt content.
+  /// FaultPoint::disk_store_load polls here.
+  bool read_file(const std::string& path, std::string& bytes);
+
+  /// Every .sit file currently in the store, sorted by name so the boot
+  /// load order is deterministic.
+  std::vector<std::string> list_files() const;
+
+  /// Removes one file (used for corrupt/stale store files). Best-effort.
+  void remove_file(const std::string& path);
+
+  // One counter bump per outcome, mirrored into CacheStats and the
+  // sitime_disk_store_* metric families. save() counts writes and write
+  // errors itself; the load-side outcomes are decided by the caller
+  // (the store cannot tell a version skip from a checksum corruption).
+  void note_load() { loads_.fetch_add(1, std::memory_order_relaxed); }
+  void note_skip() { load_skips_.fetch_add(1, std::memory_order_relaxed); }
+  void note_corrupt() {
+    load_corrupt_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  long long writes() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+  long long write_errors() const {
+    return write_errors_.load(std::memory_order_relaxed);
+  }
+  long long loads() const { return loads_.load(std::memory_order_relaxed); }
+  long long load_skips() const {
+    return load_skips_.load(std::memory_order_relaxed);
+  }
+  long long load_corrupt() const {
+    return load_corrupt_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int sweep_temp_files();
+
+  std::string dir_;
+  std::string init_error_;
+  std::atomic<long long> writes_{0};
+  std::atomic<long long> write_errors_{0};
+  std::atomic<long long> loads_{0};
+  std::atomic<long long> load_skips_{0};
+  std::atomic<long long> load_corrupt_{0};
+};
+
+}  // namespace sitime::svc

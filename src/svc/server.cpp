@@ -216,7 +216,12 @@ void append_cache_stats(std::ostringstream& out, const CacheStats& stats,
       << ",\"gate_misses\":" << stats.gate_misses
       << ",\"gate_evictions\":" << stats.gate_evictions
       << ",\"gate_entries\":" << stats.gate_entries
-      << ",\"gate_bytes\":" << stats.gate_bytes << "}";
+      << ",\"gate_bytes\":" << stats.gate_bytes
+      << ",\"disk_writes\":" << stats.disk_writes
+      << ",\"disk_write_errors\":" << stats.disk_write_errors
+      << ",\"disk_loads\":" << stats.disk_loads
+      << ",\"disk_load_skips\":" << stats.disk_load_skips
+      << ",\"disk_load_corrupt\":" << stats.disk_load_corrupt << "}";
 }
 
 ServerOptions normalized(ServerOptions options) {

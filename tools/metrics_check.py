@@ -222,6 +222,20 @@ def main():
         stats2,
     )
 
+    # The persistent-store families are always registered (zero-valued
+    # gauge-reads of the disabled store here — this server has no
+    # --cache-dir, so nothing may count).
+    for family in (
+        "sitime_disk_store_writes_total",
+        "sitime_disk_store_write_errors_total",
+        "sitime_disk_store_loads_total",
+        "sitime_disk_store_load_skips_total",
+        "sitime_disk_store_load_corrupt_total",
+    ):
+        assert family in typed2, f"missing disk-store family: {family}"
+        assert counter_value(scrape2, family) == 0, (family, scrape2)
+    assert stats2["disk_writes"] == stats2["disk_loads"] == 0, stats2
+
     # State-graph build latency is observed by configured mode; the flows
     # above built local SGs, so the histogram family must exist and hold
     # at least one observation (whatever the serial/parallel split under
@@ -243,6 +257,7 @@ def main():
     assert "sitime_phase_seconds" in typed_catalog, typed_catalog
     assert "sitime_sg_build_seconds" in typed_catalog, typed_catalog
     assert "sitime_decomp_cache_hits_total" in typed_catalog, typed_catalog
+    assert "sitime_disk_store_loads_total" in typed_catalog, typed_catalog
 
     print(
         f"metrics OK: {len(BENCHES)} designs cold+warm, 2 scrapes "

@@ -3,10 +3,21 @@
 the cache contract: the first pass runs every flow fresh, the second pass is
 answered entirely from the design cache with byte-identical report JSON.
 
-Usage: serve_replay_check.py SERVE_BINARY DESIGN_DIR [--warm] [--mutate]
+Usage: serve_replay_check.py SERVE_BINARY DESIGN_DIR
+           [--warm] [--mutate] [--cache-dir [DIR]]
 
 With --warm the server preloads the embedded benchmark suite first, so BOTH
 passes must be all cache hits (the dumped directory is that same suite).
+
+With --cache-dir the replay exercises the restart-survival contract of the
+persistent warm store instead: serve the suite cold on a server started
+with --cache-dir, SIGKILL it the moment the last response is read (a
+crash, not a drain — the spill must already be durable), then start a
+fresh server over the same directory and assert the second pass is served
+entirely from disk (every response a "hit", disk_loads == designs, zero
+decompose/verify/derive re-runs) with report JSON byte-identical to the
+cold pass. DIR is optional; without it a temp directory is used and
+removed afterwards.
 
 With --mutate the replay exercises the two finer cache levels instead:
 after replaying the suite once, every design with a dumped netlist is
@@ -21,14 +32,18 @@ byte-identical to the same edits on a second, cold server process.
 """
 import glob
 import json
+import shutil
 import subprocess
 import sys
+import tempfile
 
 
-def run_serve(serve, requests, warm=False):
+def run_serve(serve, requests, warm=False, extra=None):
     """One sitime_serve process over `requests`; returns parsed lines."""
-    command = [serve, "--jobs", "2", "--admit", "1"] + (
-        ["--warm"] if warm else []
+    command = (
+        [serve, "--jobs", "2", "--admit", "1"]
+        + (["--warm"] if warm else [])
+        + (extra or [])
     )
     text = "".join(json.dumps(r) + "\n" for r in requests)
     proc = subprocess.run(
@@ -39,6 +54,81 @@ def run_serve(serve, requests, warm=False):
     bad = [l for l in lines if not l["ok"]]
     assert not bad, bad
     return lines
+
+
+def run_serve_then_kill(serve, extra, requests):
+    """One sitime_serve process over `requests`, SIGKILLed (not drained)
+    the moment the last response line is read. Models a crash/deploy: any
+    state the server wanted to keep must already be durable on disk."""
+    command = [serve, "--jobs", "2", "--admit", "1"] + extra
+    proc = subprocess.Popen(
+        command,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        for request in requests:
+            proc.stdin.write(json.dumps(request) + "\n")
+        proc.stdin.flush()
+        lines = [json.loads(proc.stdout.readline()) for _ in requests]
+    finally:
+        proc.kill()
+        proc.wait()
+    bad = [l for l in lines if not l["ok"]]
+    assert not bad, bad
+    return lines
+
+
+def restart_check(serve, design_dir, cache_dir):
+    designs = sorted(glob.glob(design_dir + "/*.g"))
+    assert designs, f"no .g designs in {design_dir}"
+    suite = [{"id": i, "design": path} for i, path in enumerate(designs)]
+    extra = ["--cache-dir", cache_dir]
+
+    # Pass 1: cold server with the persistent store, killed mid-flight.
+    first = run_serve_then_kill(serve, extra, suite)
+    not_fresh = [
+        (l.get("id"), l["cache"]) for l in first if l["cache"] != "fresh"
+    ]
+    assert not not_fresh, f"cold pass not all fresh: {not_fresh}"
+    stats = first[-1]["cache_stats"]
+    assert stats["disk_writes"] == len(designs), stats
+    assert stats["disk_write_errors"] == 0, stats
+    spilled = glob.glob(cache_dir + "/*.sit")
+    assert len(spilled) == len(designs), (len(spilled), len(designs))
+    assert not glob.glob(cache_dir + "/*.tmp"), "temp files left behind"
+
+    # Pass 2: a brand-new process over the same directory. Everything must
+    # come back from disk: all hits, zero phase re-runs of ANY kind.
+    second = run_serve(serve, suite, extra=extra)
+    not_hit = [
+        (l.get("id"), l["cache"]) for l in second if l["cache"] != "hit"
+    ]
+    assert not not_hit, f"restarted pass not all disk hits: {not_hit}"
+    stats = second[-1]["cache_stats"]
+    assert stats["disk_loads"] == len(designs), stats
+    assert stats["disk_load_skips"] == 0, stats
+    assert stats["disk_load_corrupt"] == 0, stats
+    assert stats["decompose_runs"] == 0, stats
+    assert stats["verify_runs"] == 0, stats
+    assert stats["derive_runs"] == 0, stats
+    assert stats["misses"] == 0, stats
+    assert stats["hits"] == len(designs), stats
+
+    for cold, warm in zip(first, second):
+        assert cold["key"] == warm["key"], cold.get("id")
+        assert cold["report"] == warm["report"], (
+            f"report drift across restart for {cold.get('id')}"
+        )
+
+    print(
+        f"serve restart OK: {len(designs)} designs spilled, server killed, "
+        f"restart served all {len(designs)} from disk "
+        f"(0 phase re-runs, reports byte-identical)"
+    )
+    return 0
 
 
 def duplicate_first_cube(eqn, gate):
@@ -134,6 +224,20 @@ def main() -> int:
     warm = "--warm" in sys.argv[3:]
     if "--mutate" in sys.argv[3:]:
         return mutate_check(serve, design_dir)
+    if "--cache-dir" in sys.argv[3:]:
+        tail = sys.argv[3:]
+        at = tail.index("--cache-dir")
+        explicit = (
+            tail[at + 1]
+            if at + 1 < len(tail) and not tail[at + 1].startswith("--")
+            else None
+        )
+        cache_dir = explicit or tempfile.mkdtemp(prefix="sitime_cache_")
+        try:
+            return restart_check(serve, design_dir, cache_dir)
+        finally:
+            if explicit is None:
+                shutil.rmtree(cache_dir, ignore_errors=True)
 
     designs = sorted(glob.glob(design_dir + "/*.g"))
     assert designs, f"no .g designs in {design_dir}"

@@ -24,6 +24,13 @@
 //                        connections (default 4)
 //   --cache-mb N         design-cache byte budget in MiB (default 256;
 //                        0 disables caching, single-flight still applies)
+//   --cache-dir DIR      persistent warm store: terminal design entries
+//                        are spilled to DIR as they complete (crash-safe
+//                        writes) and reloaded at boot, so a restarted
+//                        server serves the same designs as pure hits
+//                        with byte-identical reports; corrupted or
+//                        stale-version files are deleted and their
+//                        designs run cold (see tools/README.md)
 //   --warm               preload the embedded benchmark suite
 //   --max-connections N  concurrent connection limit (default 256;
 //                        0 = unlimited)
@@ -70,6 +77,7 @@ namespace {
 struct ServeOptions {
   int jobs = 1;
   std::size_t cache_bytes = 256u << 20;
+  std::string cache_dir;
   bool warm = false;
   bool metrics_once = false;
   std::string socket_path;
@@ -80,7 +88,8 @@ struct ServeOptions {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: sitime_serve [--jobs N] [--admit N] [--cache-mb N] [--warm]\n"
+      "usage: sitime_serve [--jobs N] [--admit N] [--cache-mb N]\n"
+      "                    [--cache-dir DIR] [--warm]\n"
       "                    [--socket PATH] [--listen HOST:PORT]...\n"
       "                    [--max-connections N] [--max-requests N]\n"
       "                    [--idle-timeout-ms N] [--write-timeout-ms N]\n"
@@ -145,6 +154,8 @@ int main(int argc, char** argv) {
       options.cache_bytes = static_cast<std::size_t>(
                                 int_value("--cache-mb", 0, 1 << 20))
                             << 20;
+    } else if (arg == "--cache-dir") {
+      options.cache_dir = value("--cache-dir");
     } else if (arg == "--warm") {
       options.warm = true;
     } else if (arg == "--socket") {
@@ -205,7 +216,28 @@ int main(int argc, char** argv) {
   svc::ServiceOptions service_options;
   service_options.cache_budget_bytes = options.cache_bytes;
   service_options.jobs = options.jobs;
+  service_options.cache_dir = options.cache_dir;
   svc::AnalysisService service(service_options);
+
+  // Warm-start from the persistent store BEFORE --warm: designs already
+  // on disk come back as pure hits, and the suite preload then computes
+  // (and spills) only what the store was missing.
+  if (!options.cache_dir.empty()) {
+    const svc::DiskStore* store = service.disk_store();
+    if (store == nullptr || !store->ok()) {
+      std::fprintf(stderr, "sitime_serve: --cache-dir unusable: %s\n",
+                   store != nullptr ? store->init_error().c_str()
+                                    : "store not created");
+      return 1;
+    }
+    const int loaded = service.warm_from_disk();
+    const svc::CacheStats stats = service.stats();
+    std::fprintf(stderr,
+                 "sitime_serve: cache-dir '%s' loaded %d designs "
+                 "(skipped %lld, corrupt %lld)\n",
+                 options.cache_dir.c_str(), loaded, stats.disk_load_skips,
+                 stats.disk_load_corrupt);
+  }
 
   if (options.warm) {
     const int loaded = service.warm_benchmark_suite(
